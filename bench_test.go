@@ -1,0 +1,233 @@
+// Benchmarks regenerating the paper's evaluation (§VI): one benchmark per
+// table and figure, reporting the simulated cycle counts via
+// b.ReportMetric("sim-cycles"). Wall-clock ns/op measures the simulator
+// itself; sim-cycles is the number the paper's graphs plot.
+//
+// Run with: go test -bench=. -benchmem
+package davinci
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"davinci/internal/bench"
+	"davinci/internal/chip"
+	"davinci/internal/isa"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+	"davinci/internal/workloads"
+)
+
+// BenchmarkTable1Workloads regenerates Table I (a data table: it validates
+// and renders the recorded CNN layer shapes).
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1()
+		if len(t.Rows) != 4 {
+			b.Fatal("Table I malformed")
+		}
+	}
+	b.ReportMetric(float64(len(workloads.TableI)), "layers")
+}
+
+func benchFig7(b *testing.B, run func(dev *Device, layer workloads.CNNLayer, variant string) (int64, error), variants []string) {
+	for _, layer := range workloads.InceptionV3Fig7() {
+		layer := layer
+		rng := rand.New(rand.NewSource(7))
+		for _, variant := range variants {
+			variant := variant
+			b.Run(fmt.Sprintf("%dx%dx%d/%s", layer.H, layer.W, layer.C, variant), func(b *testing.B) {
+				dev := NewDevice(ChipConfig{})
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					c, err := run(dev, layer, variant)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles")
+				_ = rng
+			})
+		}
+	}
+}
+
+// BenchmarkFig7aMaxpoolForward regenerates Fig. 7a.
+func BenchmarkFig7aMaxpoolForward(b *testing.B) {
+	benchFig7(b, func(dev *Device, layer workloads.CNNLayer, variant string) (int64, error) {
+		in := layer.Input(rand.New(rand.NewSource(1)))
+		_, st, err := dev.MaxPoolForward(variant, in, layer.Params())
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}, []string{"standard", "im2col"})
+}
+
+// BenchmarkFig7bMaxpoolArgmax regenerates Fig. 7b.
+func BenchmarkFig7bMaxpoolArgmax(b *testing.B) {
+	benchFig7(b, func(dev *Device, layer workloads.CNNLayer, variant string) (int64, error) {
+		in := layer.Input(rand.New(rand.NewSource(2)))
+		_, _, st, err := dev.MaxPoolForwardArgmax(variant, in, layer.Params())
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}, []string{"standard", "im2col"})
+}
+
+// BenchmarkFig7cMaxpoolBackward regenerates Fig. 7c.
+func BenchmarkFig7cMaxpoolBackward(b *testing.B) {
+	masks := map[int]*Tensor{}
+	grads := map[int]*Tensor{}
+	for _, layer := range workloads.InceptionV3Fig7() {
+		in := layer.Input(rand.New(rand.NewSource(3)))
+		p := layer.Params()
+		masks[layer.H] = ref.ArgmaxMask(in, p)
+		oh, ow := p.OutDims()
+		g := tensor.New(1, layer.C1(), oh, ow, tensor.C0)
+		g.FillRandom(rand.New(rand.NewSource(4)), 1)
+		grads[layer.H] = g
+	}
+	benchFig7(b, func(dev *Device, layer workloads.CNNLayer, variant string) (int64, error) {
+		_, st, err := dev.MaxPoolBackward(variant, masks[layer.H], grads[layer.H], layer.Params())
+		if err != nil {
+			return 0, err
+		}
+		return st.Cycles, nil
+	}, []string{"standard", "col2im"})
+}
+
+func benchFig8(b *testing.B, stride int) {
+	variants := []string{"standard", "im2col", "expansion"}
+	if stride == 2 {
+		variants = append(variants, "xysplit")
+	}
+	sizes := workloads.Fig8Sizes(3, stride, 0)
+	// The paper sweeps every even size; benchmark the endpoints and middle
+	// to bound runtime (cmd/davinci-bench prints the full series).
+	pick := []int{sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]}
+	for _, hw := range pick {
+		p := isa.ConvParams{Ih: hw, Iw: hw, Kh: 3, Kw: 3, Sh: stride, Sw: stride}
+		in := tensor.New(1, 1, hw, hw, tensor.C0)
+		in.FillRandom(rand.New(rand.NewSource(int64(hw))), 8)
+		for _, variant := range variants {
+			variant := variant
+			b.Run(fmt.Sprintf("%dx%d/%s", hw, hw, variant), func(b *testing.B) {
+				dev := NewDevice(ChipConfig{Cores: 1})
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					_, st, err := dev.MaxPoolForward(variant, in, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = st.Cycles
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Stride11 regenerates Fig. 8a (stride 1).
+func BenchmarkFig8Stride11(b *testing.B) { benchFig8(b, 1) }
+
+// BenchmarkFig8Stride22 regenerates Fig. 8b (stride 2, incl. X-Y split).
+func BenchmarkFig8Stride22(b *testing.B) { benchFig8(b, 2) }
+
+// BenchmarkFig8Stride33 regenerates Fig. 8c (stride 3).
+func BenchmarkFig8Stride33(b *testing.B) { benchFig8(b, 3) }
+
+// BenchmarkAblationPipelineOverlap quantifies the implicit-scoreboard
+// pipeline overlap (DESIGN.md §4): the same im2col kernel with and without
+// inter-pipe overlap.
+func BenchmarkAblationPipelineOverlap(b *testing.B) {
+	layer := workloads.InceptionV3Fig7()[1] // 71,71,192
+	in := layer.Input(rand.New(rand.NewSource(5)))
+	for _, serialize := range []bool{false, true} {
+		name := "overlapped"
+		if serialize {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			dev := NewDevice(ChipConfig{Serialize: serialize})
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := dev.MaxPoolForward("im2col", in, layer.Params())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSCURate sweeps the Im2Col per-fractal cost, the
+// cost-model choice that decides the stride-(1,1) crossover of Fig. 8a.
+func BenchmarkAblationSCURate(b *testing.B) {
+	p := isa.ConvParams{Ih: 41, Iw: 41, Kh: 3, Kw: 3, Sh: 1, Sw: 1}
+	in := tensor.New(1, 1, 41, 41, tensor.C0)
+	in.FillRandom(rand.New(rand.NewSource(6)), 8)
+	for _, rate := range []int64{2, 6, 12, 24} {
+		b.Run(fmt.Sprintf("%dcyc-per-fractal", rate), func(b *testing.B) {
+			cm := isa.DefaultCostModel()
+			cm.Im2ColFractal = rate
+			dev := NewDevice(ChipConfig{Cores: 1, Cost: cm})
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := dev.MaxPoolForward("im2col", in, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationCores measures multi-core scaling on a 12-tile layer.
+func BenchmarkAblationCores(b *testing.B) {
+	layer := workloads.InceptionV3Fig7()[1] // C1 = 12
+	in := layer.Input(rand.New(rand.NewSource(8)))
+	for _, cores := range []int{1, 2, 4, 12, 32} {
+		b.Run(fmt.Sprintf("cores-%d", cores), func(b *testing.B) {
+			dev := NewDevice(ChipConfig{Cores: cores})
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := dev.MaxPoolForward("im2col", in, layer.Params())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkConvCube exercises the Cube-unit convolution substrate.
+func BenchmarkConvCube(b *testing.B) {
+	p := isa.ConvParams{Ih: 28, Iw: 28, Kh: 3, Kw: 3, Sh: 1, Sw: 1, Pt: 1, Pb: 1, Pl: 1, Pr: 1}
+	rng := rand.New(rand.NewSource(9))
+	in := tensor.New(1, 2, 28, 28, tensor.C0)
+	in.FillRandom(rng, 1)
+	w := tensor.New(32, 32, 3, 3)
+	w.FillRandom(rng, 1)
+	dev := NewDevice(ChipConfig{Cores: 1})
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		_, st, err := dev.Conv2D(in, w, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+var _ = chip.Config{} // keep the chip import for documentation references

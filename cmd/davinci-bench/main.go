@@ -1,0 +1,99 @@
+// Command davinci-bench regenerates the tables and figures of the paper's
+// evaluation (§VI) on the simulated device and prints them as text tables.
+//
+// Usage:
+//
+//	davinci-bench [flags] [experiment ...]
+//
+// Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool, all
+// (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"davinci/internal/bench"
+	"davinci/internal/buffer"
+	"davinci/internal/chip"
+)
+
+func main() {
+	cores := flag.Int("cores", chip.DefaultCores, "AI cores on the simulated device")
+	ub := flag.Int("ub", buffer.DefaultUBSize, "Unified Buffer bytes per core")
+	l1 := flag.Int("l1", buffer.DefaultL1Size, "L1 buffer bytes per core")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	reps := flag.Int("reps", 1, "repetitions per measurement (verifies determinism)")
+	serialize := flag.Bool("serialize", false, "disable intra-core pipeline overlap (ablation)")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	flag.Parse()
+
+	opts := bench.Options{
+		Chip: chip.Config{
+			Cores:     *cores,
+			Buffers:   buffer.Config{UBSize: *ub, L1Size: *l1},
+			Serialize: *serialize,
+		},
+		Seed: *seed,
+		Reps: *reps,
+	}
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"all"}
+	}
+	for _, exp := range experiments {
+		if err := run(exp, opts, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-bench: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(exp string, opts bench.Options, csv bool) error {
+	emit := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if csv {
+			t.FormatCSV(os.Stdout)
+		} else {
+			t.Format(os.Stdout)
+		}
+		return nil
+	}
+	switch exp {
+	case "table1":
+		return emit(bench.Table1(), nil)
+	case "fig7a":
+		return emit(bench.Fig7a(opts))
+	case "fig7b":
+		return emit(bench.Fig7b(opts))
+	case "fig7c":
+		return emit(bench.Fig7c(opts))
+	case "fig8a":
+		return emit(bench.Fig8(1, opts))
+	case "fig8b":
+		return emit(bench.Fig8(2, opts))
+	case "fig8c":
+		return emit(bench.Fig8(3, opts))
+	case "avgpool":
+		return emit(bench.AvgPool(opts))
+	case "all":
+		tables, err := bench.All(opts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if csv {
+				t.FormatCSV(os.Stdout)
+			} else {
+				t.Format(os.Stdout)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, all)")
+	}
+}

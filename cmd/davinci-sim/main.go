@@ -1,0 +1,168 @@
+// Command davinci-sim runs a single pooling kernel on the simulated device
+// with arbitrary parameters and prints the timing breakdown: total cycles,
+// per-pipeline busy time and instruction counts — the hardware-counter
+// view of §VI.
+//
+// Example:
+//
+//	davinci-sim -op maxpool-fwd -variant im2col -h 147 -w 147 -c 64 -k 3 -s 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/ops"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+)
+
+func main() {
+	op := flag.String("op", "maxpool-fwd", "operator: maxpool-fwd, maxpool-argmax, maxpool-bwd, avgpool-fwd, avgpool-bwd")
+	variant := flag.String("variant", "im2col", "implementation variant (see -help text per op)")
+	h := flag.Int("h", 35, "input height")
+	w := flag.Int("w", 35, "input width")
+	k := flag.Int("k", 3, "kernel size")
+	s := flag.Int("s", 2, "stride")
+	pad := flag.Int("pad", 0, "zero padding on every side")
+	seed := flag.Int64("seed", 1, "input generator seed")
+	ub := flag.Int("ub", buffer.DefaultUBSize, "Unified Buffer bytes")
+	verify := flag.Bool("verify", true, "check the result against the reference model")
+	trace := flag.Bool("trace", false, "print a per-pipeline timeline of the schedule")
+	flag.Parse()
+
+	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	in := tensor.New(1, 1, *h, *w, tensor.C0)
+	in.FillRandom(rng, 8)
+	core := aicore.New(buffer.Config{UBSize: *ub}, nil)
+	if *trace {
+		core.Trace = &aicore.Trace{}
+	}
+
+	st, err := dispatch(core, *op, *variant, in, p, *verify)
+	if err != nil {
+		fatal(err)
+	}
+	oh, ow := p.OutDims()
+	fmt.Printf("op=%s variant=%s input=(%d,%d,%d) kernel=(%d,%d) stride=(%d,%d) pad=%d output=(%d,%d)\n",
+		*op, *variant, *h, *w, tensor.C0, *k, *k, *s, *s, *pad, oh, ow)
+	fmt.Printf("cycles: %d\n", st.Cycles)
+	fmt.Printf("instructions: %d\n", st.Instrs)
+	fmt.Printf("global-memory traffic: %d bytes in, %d bytes out\n", st.BytesIn, st.BytesOut)
+	for pipe := isa.PipeScalar; pipe < isa.NumPipes; pipe++ {
+		if st.PipeInstrs[pipe] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %8d instrs  %10d busy cycles (%.1f%% of makespan)\n",
+			pipe, st.PipeInstrs[pipe], st.PipeBusy[pipe],
+			100*float64(st.PipeBusy[pipe])/float64(st.Cycles))
+	}
+	if core.Trace != nil {
+		fmt.Println("\nschedule timeline:")
+		core.Trace.Gantt(os.Stdout, 100)
+	}
+}
+
+func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool) (*aicore.Stats, error) {
+	check := func(got, want *tensor.Tensor, what string) error {
+		if !verify {
+			return nil
+		}
+		if d := tensor.MaxAbsDiff(got, want); d != 0 {
+			return fmt.Errorf("%s diverges from reference (max diff %v)", what, d)
+		}
+		fmt.Printf("verified: %s matches the reference model\n", what)
+		return nil
+	}
+	switch op {
+	case "maxpool-fwd":
+		fn, ok := ops.MaxForward[variant]
+		if !ok {
+			return nil, fmt.Errorf("maxpool-fwd variants: standard, im2col, expansion, xysplit")
+		}
+		out, st, err := fn(core, in, p)
+		if err != nil {
+			return nil, err
+		}
+		return st, check(out, ref.MaxPoolForward(in, p), "output")
+	case "maxpool-argmax":
+		fn, ok := ops.MaxForwardArgmax[variant]
+		if !ok {
+			return nil, fmt.Errorf("maxpool-argmax variants: standard, im2col")
+		}
+		out, mask, st, err := fn(core, in, p)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(out, ref.MaxPoolForward(in, p), "output"); err != nil {
+			return nil, err
+		}
+		return st, check(mask, ref.ArgmaxMask(in, p), "argmax mask")
+	case "maxpool-bwd":
+		fn, ok := ops.MaxBackward[variant]
+		if !ok {
+			return nil, fmt.Errorf("maxpool-bwd variants: standard, col2im")
+		}
+		mask := ref.ArgmaxMask(in, p)
+		grad := intGradient(p)
+		out, st, err := fn(core, mask, grad, p)
+		if err != nil {
+			return nil, err
+		}
+		return st, check(out, ref.MaxPoolBackward(mask, grad, p, p.Ih, p.Iw), "gradient")
+	case "avgpool-fwd":
+		fn, ok := ops.AvgForward[variant]
+		if !ok {
+			return nil, fmt.Errorf("avgpool-fwd variants: standard, im2col")
+		}
+		out, st, err := fn(core, in, p)
+		if err != nil {
+			return nil, err
+		}
+		return st, check(out, ref.AvgPoolForward(in, p), "output")
+	case "avgpool-bwd":
+		useCol2im := variant == "col2im"
+		if !useCol2im && variant != "standard" {
+			return nil, fmt.Errorf("avgpool-bwd variants: standard, col2im")
+		}
+		grad := intGradient(p)
+		out, st, err := ops.AvgPoolBackward(core, grad, p, useCol2im)
+		if err != nil {
+			return nil, err
+		}
+		return st, check(out, ref.AvgPoolBackward(grad, p, p.Ih, p.Iw), "gradient")
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}
+
+// intGradient builds a small-integer-valued gradient tensor. Integer
+// values keep Float16 accumulation exact, so the backward kernels verify
+// bit-identically against the reference regardless of band boundaries
+// (Float16 addition is not associative; schedules with different band
+// splits legitimately differ by ULPs on arbitrary values, on real hardware
+// as much as here).
+func intGradient(p isa.ConvParams) *tensor.Tensor {
+	oh, ow := p.OutDims()
+	grad := tensor.New(1, 1, oh, ow, tensor.C0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < grad.Len(); i++ {
+		grad.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(8))))
+	}
+	return grad
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "davinci-sim: %v\n", err)
+	os.Exit(1)
+}

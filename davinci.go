@@ -1,0 +1,154 @@
+// Package davinci is a functional and cycle-timing simulator of Huawei's
+// DaVinci AI-accelerator architecture, built to reproduce the IPDPSW 2021
+// paper "Pooling Acceleration in the DaVinci Architecture Using Im2col and
+// Col2im Instructions" (Rohwedder et al.).
+//
+// It provides:
+//
+//   - a simulated Ascend-910-class device (32 AI Cores with Cube, Vector
+//     and Scalar units, scratch-pad buffers, and the Storage Conversion
+//     Unit's Im2Col and Col2Im instructions);
+//   - every pooling kernel variant the paper evaluates — standard,
+//     Im2col-based, expansion-based, X-Y split, argmax-saving forward, and
+//     vadd- or Col2Im-based backward — plus convolution on the Cube unit;
+//   - deterministic cycle counts from a calibrated cost model, so the
+//     paper's figures can be regenerated (see cmd/davinci-bench).
+//
+// Quick start:
+//
+//	dev := davinci.NewDevice(davinci.ChipConfig{})
+//	in := davinci.NewInput(1, 64, 147, 147) // N, C, H, W
+//	p := davinci.Pooling2D(3, 2, 0)         // kernel 3, stride 2, no pad
+//	p.Ih, p.Iw = 147, 147
+//	out, stats, err := dev.MaxPoolForward("im2col", in, p)
+//
+// Tensors use the fractal NC1HWC0 layout (paper §III-B); convert from and
+// to NCHW with FromNCHW and ToNCHW.
+package davinci
+
+import (
+	"math/rand"
+
+	"davinci/internal/chip"
+	"davinci/internal/isa"
+	"davinci/internal/nn"
+	"davinci/internal/ops"
+	"davinci/internal/tensor"
+)
+
+// Re-exported core types. They alias internal types so that the whole
+// simulator surface (methods, fields) is usable through this package.
+type (
+	// Tensor is a dense Float16 tensor in one of the DaVinci layouts.
+	Tensor = tensor.Tensor
+	// PoolParams describes a pooling (or convolution) layer: input size,
+	// padding, strides and kernel (paper §III-C).
+	PoolParams = isa.ConvParams
+	// ChipConfig configures the simulated device; the zero value is an
+	// Ascend 910 (32 cores, 1 MiB L1, 256 KiB UB, ...).
+	ChipConfig = chip.Config
+	// Stats reports a run's simulated timing.
+	Stats = chip.Stats
+	// CostModel is the cycle-cost model; override ChipConfig.Cost with a
+	// modified copy for sensitivity studies.
+	CostModel = isa.CostModel
+)
+
+// C0 is the fractal channel-split length for Float16 (16 elements).
+const C0 = tensor.C0
+
+// Device is a simulated DaVinci device.
+type Device struct {
+	*chip.Chip
+}
+
+// NewDevice creates a device; zero-valued config fields take Ascend 910
+// defaults.
+func NewDevice(cfg ChipConfig) *Device {
+	return &Device{Chip: chip.New(cfg)}
+}
+
+// DefaultCostModel returns a copy of the calibrated cycle-cost model.
+func DefaultCostModel() *CostModel { return isa.DefaultCostModel() }
+
+// Pooling2D builds PoolParams for a square kernel/stride/padding; set
+// Ih/Iw (the input size) before use, or use WithInput.
+func Pooling2D(kernel, stride, pad int) PoolParams {
+	return PoolParams{
+		Kh: kernel, Kw: kernel,
+		Sh: stride, Sw: stride,
+		Pt: pad, Pb: pad, Pl: pad, Pr: pad,
+	}
+}
+
+// WithInput returns p with the input size set.
+func WithInput(p PoolParams, h, w int) PoolParams {
+	p.Ih, p.Iw = h, w
+	return p
+}
+
+// NewInput allocates a zero NC1HWC0 input tensor for c logical channels.
+func NewInput(n, c, h, w int) *Tensor { return tensor.NewFractal(n, c, h, w) }
+
+// NewRandomInput allocates an NC1HWC0 input filled with uniform values in
+// [-scale, scale].
+func NewRandomInput(rng *rand.Rand, n, c, h, w int, scale float64) *Tensor {
+	t := tensor.NewFractal(n, c, h, w)
+	t.FillRandom(rng, scale)
+	return t
+}
+
+// FromNCHW converts an NCHW tensor to the fractal NC1HWC0 layout,
+// zero-padding channels to a multiple of 16.
+func FromNCHW(t *Tensor) *Tensor { return tensor.ToFractal(t) }
+
+// ToNCHW converts an NC1HWC0 tensor back to NCHW with c logical channels.
+func ToNCHW(t *Tensor, c int) *Tensor { return tensor.FromFractal(t, c) }
+
+// NewNCHW allocates a zero NCHW tensor.
+func NewNCHW(n, c, h, w int) *Tensor { return tensor.NewNCHW(n, c, h, w) }
+
+// ForwardVariants lists the forward Maxpool implementations ("standard",
+// "im2col", "expansion", "xysplit") in a stable order.
+func ForwardVariants() []string { return []string{"standard", "im2col", "expansion", "xysplit"} }
+
+// ArgmaxVariants lists the forward-with-mask implementations.
+func ArgmaxVariants() []string { return []string{"standard", "im2col"} }
+
+// BackwardVariants lists the backward implementations.
+func BackwardVariants() []string { return []string{"standard", "col2im"} }
+
+// AvgVariants lists the Avgpool forward implementations.
+func AvgVariants() []string { return []string{"standard", "im2col", "cube"} }
+
+// PackWeightsFractal converts (Co, C, Kh, Kw) convolution weights into the
+// Cube unit's fractal operand layout (done offline by frameworks).
+func PackWeightsFractal(w *Tensor, p PoolParams) *Tensor {
+	return ops.PackWeightsFractal(w, p)
+}
+
+// Network building blocks (see internal/nn): a Sequential stack of
+// convolution and pooling layers with per-layer cycle accounting.
+type (
+	// Layer is one network stage.
+	Layer = nn.Layer
+	// Sequential is a linear layer stack.
+	Sequential = nn.Sequential
+	// Conv2DLayer is a Cube-unit convolution layer.
+	Conv2DLayer = nn.Conv2D
+	// MaxPool2DLayer is a max pooling layer with a selectable variant.
+	MaxPool2DLayer = nn.MaxPool2D
+	// AvgPool2DLayer is an average pooling layer with a selectable variant.
+	AvgPool2DLayer = nn.AvgPool2D
+	// ParallelLayer runs branches on the same input and concatenates
+	// their outputs along the channel dimension (Inception blocks).
+	ParallelLayer = nn.Parallel
+	// LayerReport records one layer's execution.
+	LayerReport = nn.LayerReport
+)
+
+// RunModel executes a sequential model on the device, returning the final
+// activation, per-layer reports and the total cycles.
+func (d *Device) RunModel(m *Sequential, in *Tensor) (*Tensor, []LayerReport, int64, error) {
+	return m.Forward(d.Chip, in)
+}

@@ -1,0 +1,78 @@
+package davinci_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"davinci"
+)
+
+// The quickstart: one Maxpool layer on a simulated Ascend 910, comparing
+// the standard lowering against the Im2col-based one.
+func Example() {
+	dev := davinci.NewDevice(davinci.ChipConfig{})
+	rng := rand.New(rand.NewSource(1))
+	in := davinci.NewRandomInput(rng, 1, 64, 35, 35, 8) // N, C, H, W
+	p := davinci.WithInput(davinci.Pooling2D(3, 2, 0), 35, 35)
+
+	_, std, err := dev.MaxPoolForward("standard", in, p)
+	if err != nil {
+		panic(err)
+	}
+	out, im, err := dev.MaxPoolForward("im2col", in, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("output shape:", out.Shape)
+	fmt.Println("im2col faster:", im.Cycles < std.Cycles)
+	// Output:
+	// output shape: [1 4 17 17 16]
+	// im2col faster: true
+}
+
+// Training needs the argmax mask from the forward pass and the Col2Im
+// backward kernel (the paper's Fig. 7b and 7c paths).
+func ExampleDevice_MaxPoolBackward() {
+	dev := davinci.NewDevice(davinci.ChipConfig{Cores: 1})
+	rng := rand.New(rand.NewSource(2))
+	in := davinci.NewRandomInput(rng, 1, 16, 14, 14, 4)
+	p := davinci.WithInput(davinci.Pooling2D(3, 2, 0), 14, 14)
+
+	out, mask, _, err := dev.MaxPoolForwardArgmax("im2col", in, p)
+	if err != nil {
+		panic(err)
+	}
+	grad := davinci.NewInput(1, 16, out.Shape[2], out.Shape[3])
+	grad.Fill(0x3c00) // 1.0
+	dx, _, err := dev.MaxPoolBackward("col2im", mask, grad, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("gradient shape:", dx.Shape)
+	// Output:
+	// gradient shape: [1 1 14 14 16]
+}
+
+// Whole models run through the Sequential container with per-layer cycle
+// accounting.
+func ExampleSequential() {
+	dev := davinci.NewDevice(davinci.ChipConfig{Cores: 1})
+	rng := rand.New(rand.NewSource(3))
+	weights := davinci.NewNCHW(16, 16, 3, 3)
+	weights.FillRandom(rng, 0.2)
+
+	model := &davinci.Sequential{Layers: []davinci.Layer{
+		&davinci.Conv2DLayer{Weights: weights, Stride: 1, Pad: 1},
+		&davinci.MaxPool2DLayer{Kernel: 2, Stride: 2},
+	}}
+	in := davinci.NewRandomInput(rng, 1, 16, 8, 8, 1)
+	out, reports, _, err := dev.RunModel(model, in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("layers run:", len(reports))
+	fmt.Println("final shape:", out.Shape)
+	// Output:
+	// layers run: 2
+	// final shape: [1 1 4 4 16]
+}

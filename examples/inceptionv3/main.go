@@ -1,0 +1,91 @@
+// InceptionV3: run every Maxpool layer of the CNNs in Table I through the
+// simulated device — forward, forward-with-argmax and backward, standard
+// vs accelerated — and print a per-layer report like the one a model
+// profiler would produce. Layers whose working set exceeds the simulated
+// L1 (the VGG16 224x224 input) stream through rotating L1 row windows —
+// the "further tiling" the real schedules need for such sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"davinci"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+	"davinci/internal/workloads"
+)
+
+func main() {
+	dev := davinci.NewDevice(davinci.ChipConfig{})
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("Maxpool layers of Table I on the simulated Ascend 910 (cycles):")
+	fmt.Printf("%-28s %10s %10s %8s | %10s %10s %8s\n",
+		"layer", "fwd std", "fwd im2col", "speedup", "bwd std", "bwd col2im", "speedup")
+	fmt.Println(strings.Repeat("-", 96))
+
+	var net string
+	for _, layer := range workloads.TableI {
+		if layer.Network != net {
+			net = layer.Network
+			fmt.Printf("%s\n", net)
+		}
+		label := fmt.Sprintf("  input %d: %dx%dx%d k%d s%d", layer.Index, layer.H, layer.W, layer.C, layer.Kernel, layer.Stride)
+		p := layer.Params()
+		in := layer.Input(rng)
+
+		fwdStd, err1 := run(dev, "standard", in, p)
+		fwdIm, err2 := run(dev, "im2col", in, p)
+		if err1 != nil || err2 != nil {
+			fmt.Printf("%-28s needs further tiling on this device (%v)\n", label, firstErr(err1, err2))
+			continue
+		}
+
+		// Backward: build the mask once with the reference model.
+		mask := ref.ArgmaxMask(in, p)
+		oh, ow := p.OutDims()
+		grad := tensor.New(1, layer.C1(), oh, ow, tensor.C0)
+		grad.FillRandom(rng, 1)
+		bwdStd, err1 := runBwd(dev, "standard", mask, grad, p)
+		bwdCi, err2 := runBwd(dev, "col2im", mask, grad, p)
+		if err1 != nil || err2 != nil {
+			fmt.Printf("%-28s backward needs further tiling (%v)\n", label, firstErr(err1, err2))
+			continue
+		}
+		fmt.Printf("%-28s %10d %10d %7.2fx | %10d %10d %7.2fx\n",
+			label, fwdStd, fwdIm, float64(fwdStd)/float64(fwdIm),
+			bwdStd, bwdCi, float64(bwdStd)/float64(bwdCi))
+	}
+	fmt.Println()
+	fmt.Println("The bold Table-I rows (InceptionV3 inputs 1-3) are the Fig. 7 workloads;")
+	fmt.Println("run cmd/davinci-bench for the full figure series.")
+}
+
+func run(dev *davinci.Device, variant string, in *davinci.Tensor, p davinci.PoolParams) (int64, error) {
+	_, st, err := dev.MaxPoolForward(variant, in, p)
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, nil
+}
+
+func runBwd(dev *davinci.Device, variant string, mask, grad *davinci.Tensor, p davinci.PoolParams) (int64, error) {
+	_, st, err := dev.MaxPoolBackward(variant, mask, grad, p)
+	if err != nil {
+		return 0, err
+	}
+	return st.Cycles, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	log.Fatal("firstErr called without error")
+	return nil
+}

@@ -1,0 +1,3 @@
+module davinci
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package aicore simulates one DaVinci AI Core executing a CCE program:
+// functionally (instructions transform bytes in the simulated buffers) and
+// temporally (a timing model charges cycles per instruction and overlaps
+// the Scalar, Vector, Cube and MTE pipelines subject to data hazards,
+// mirroring the synchronized multi-pipeline execution of §III-A).
+package aicore
+
+import (
+	"fmt"
+	"sort"
+
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+// Core is one AI Core: a memory system plus a timing configuration.
+type Core struct {
+	Mem  *buffer.Set
+	Cost *isa.CostModel
+	// Serialize disables pipeline overlap (every instruction waits for
+	// the previous one); used by the scheduling ablation benchmarks.
+	Serialize bool
+	// Trace, when non-nil, records every scheduled instruction for
+	// timeline visualization.
+	Trace *Trace
+}
+
+// New creates a core with the given buffer configuration and cost model.
+// A nil cost model takes the calibrated default.
+func New(cfg buffer.Config, cost *isa.CostModel) *Core {
+	if cost == nil {
+		cost = isa.DefaultCostModel()
+	}
+	return &Core{Mem: buffer.NewSet(cfg), Cost: cost}
+}
+
+// Stats aggregates the timing outcome of one or more program runs.
+type Stats struct {
+	// Cycles is the makespan: the completion time of the last instruction.
+	Cycles int64
+	// PipeBusy is the total busy time per pipeline.
+	PipeBusy [isa.NumPipes]int64
+	// PipeInstrs is the instruction count per pipeline.
+	PipeInstrs [isa.NumPipes]int64
+	// Instrs is the total instruction count.
+	Instrs int64
+	// BytesIn is the global-memory read traffic (MTE2 payload).
+	BytesIn int64
+	// BytesOut is the global-memory write traffic (MTE3 payload).
+	BytesOut int64
+}
+
+// AddSerial accumulates o as if it ran after s (cycles add).
+func (s *Stats) AddSerial(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Instrs += o.Instrs
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	for i := range s.PipeBusy {
+		s.PipeBusy[i] += o.PipeBusy[i]
+		s.PipeInstrs[i] += o.PipeInstrs[i]
+	}
+}
+
+// AddParallel accumulates o as if it ran concurrently with s on another
+// core (cycles take the maximum, work adds).
+func (s *Stats) AddParallel(o *Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.Instrs += o.Instrs
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	for i := range s.PipeBusy {
+		s.PipeBusy[i] += o.PipeBusy[i]
+		s.PipeInstrs[i] += o.PipeInstrs[i]
+	}
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d instrs=%d vec=%d(%dcyc) mte1=%d mte2=%d mte3=%d cube=%d",
+		s.Cycles, s.Instrs,
+		s.PipeInstrs[isa.PipeVector], s.PipeBusy[isa.PipeVector],
+		s.PipeInstrs[isa.PipeMTE1], s.PipeInstrs[isa.PipeMTE2],
+		s.PipeInstrs[isa.PipeMTE3], s.PipeInstrs[isa.PipeCube])
+}
+
+// interval is a byte range with the completion time of its last accessor.
+type interval struct {
+	off, end int
+	t        int64
+}
+
+// bufTimes tracks recent reads and writes of one buffer for hazard
+// resolution. Histories are bounded: old entries fold into a floor time
+// that conservatively applies to the whole buffer (by then execution has
+// advanced past it, so precision is only needed for recent accesses).
+type bufTimes struct {
+	writes, reads  []interval
+	floorW, floorR int64
+}
+
+const historyCap = 96
+
+func foldOldest(list []interval, floor *int64) []interval {
+	// Fold the older half (by completion time) into the floor.
+	sort.Slice(list, func(i, j int) bool { return list[i].t < list[j].t })
+	half := len(list) / 2
+	for _, iv := range list[:half] {
+		if iv.t > *floor {
+			*floor = iv.t
+		}
+	}
+	return append(list[:0], list[half:]...)
+}
+
+func (b *bufTimes) lastOverlap(list []interval, r isa.Region) int64 {
+	var t int64
+	for _, iv := range list {
+		if iv.off < r.End && r.Off < iv.end && iv.t > t {
+			t = iv.t
+		}
+	}
+	return t
+}
+
+// Run validates, executes and times prog, returning its stats. Functional
+// state (buffer contents) reflects the completed program.
+func (c *Core) Run(prog *cce.Program) (*Stats, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	var pipeFree [isa.NumPipes]int64
+	bufs := make([]bufTimes, isa.NumBufs)
+
+	for idx, in := range prog.Instrs {
+		// Functional execution in program order. In-order issue per pipe
+		// plus hazard-respecting start times make this equivalent to the
+		// timed order for data.
+		if err := c.exec(in); err != nil {
+			return nil, fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
+		}
+
+		pipe := in.Pipe()
+		cost := in.Cycles(c.Cost)
+
+		var ready int64
+		if _, isBarrier := in.(*isa.BarrierInstr); isBarrier || c.Serialize {
+			// Wait for everything issued so far.
+			if stats.Cycles > ready {
+				ready = stats.Cycles
+			}
+			for _, f := range pipeFree {
+				if f > ready {
+					ready = f
+				}
+			}
+		} else {
+			reads, writes := in.Reads(), in.Writes()
+			for _, r := range reads { // RAW
+				b := &bufs[r.Buf]
+				if t := b.lastOverlap(b.writes, r); t > ready {
+					ready = t
+				}
+				if b.floorW > ready {
+					ready = b.floorW
+				}
+			}
+			for _, w := range writes { // WAW and WAR
+				b := &bufs[w.Buf]
+				if t := b.lastOverlap(b.writes, w); t > ready {
+					ready = t
+				}
+				if t := b.lastOverlap(b.reads, w); t > ready {
+					ready = t
+				}
+				if b.floorW > ready {
+					ready = b.floorW
+				}
+				if b.floorR > ready {
+					ready = b.floorR
+				}
+			}
+		}
+
+		start := pipeFree[pipe]
+		if ready > start {
+			start = ready
+		}
+		end := start + cost
+		pipeFree[pipe] = end
+		if _, isBarrier := in.(*isa.BarrierInstr); isBarrier {
+			// Nothing may start before the barrier completes.
+			for i := range pipeFree {
+				pipeFree[i] = end
+			}
+		}
+
+		// Record accesses for later hazards.
+		if _, isBarrier := in.(*isa.BarrierInstr); !isBarrier {
+			for _, r := range in.Reads() {
+				b := &bufs[r.Buf]
+				b.reads = append(b.reads, interval{r.Off, r.End, end})
+				if len(b.reads) > historyCap {
+					b.reads = foldOldest(b.reads, &b.floorR)
+				}
+			}
+			for _, w := range in.Writes() {
+				b := &bufs[w.Buf]
+				b.writes = append(b.writes, interval{w.Off, w.End, end})
+				if len(b.writes) > historyCap {
+					b.writes = foldOldest(b.writes, &b.floorW)
+				}
+			}
+		}
+
+		if c.Trace != nil {
+			c.Trace.record(idx, in, start, end)
+		}
+		stats.PipeBusy[pipe] += cost
+		stats.PipeInstrs[pipe]++
+		stats.Instrs++
+		if cp, ok := in.(*isa.CopyInstr); ok {
+			switch pipe {
+			case isa.PipeMTE2:
+				stats.BytesIn += int64(cp.Bytes())
+			case isa.PipeMTE3:
+				stats.BytesOut += int64(cp.Bytes())
+			}
+		}
+		if end > stats.Cycles {
+			stats.Cycles = end
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,178 @@
+package aicore
+
+import (
+	"fmt"
+
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+// RunExplicit executes prog under explicit synchronization semantics, the
+// way real CCE C programs run: pipelines are ordered only by their own
+// in-order issue, by pipe barriers, and by set_flag/wait_flag tokens — the
+// implicit hazard scoreboard of Run is NOT consulted for timing. After
+// scheduling, a race detector verifies that every data dependency in the
+// program is ordered by the explicit schedule; a missing flag surfaces as
+// a race error, exactly the bug class real CCE kernels suffer.
+//
+// Functional execution still happens in program order, which is valid for
+// any race-free program.
+func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// Functional pass (program order).
+	for idx, in := range prog.Instrs {
+		if err := c.exec(in); err != nil {
+			return nil, fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
+		}
+	}
+
+	// Timing pass: event-driven over per-pipe queues.
+	type item struct {
+		idx int
+		in  isa.Instr
+	}
+	var pipes [isa.NumPipes][]item
+	for idx, in := range prog.Instrs {
+		p := in.Pipe()
+		pipes[p] = append(pipes[p], item{idx, in})
+	}
+	var heads [isa.NumPipes]int
+	var pipeFree [isa.NumPipes]int64
+	start := make([]int64, len(prog.Instrs))
+	end := make([]int64, len(prog.Instrs))
+	tokens := map[[3]int][]int64{} // (src, dst, event) -> availability times
+	completed := 0
+	stats := &Stats{}
+	var barrierFloor int64
+
+	for completed < len(prog.Instrs) {
+		progress := false
+		for p := isa.Pipe(0); p < isa.NumPipes; p++ {
+			for heads[p] < len(pipes[p]) {
+				it := pipes[p][heads[p]]
+				var ready int64 = barrierFloor
+				switch v := it.in.(type) {
+				case *isa.WaitFlagInstr:
+					key := [3]int{int(v.SrcPipe), int(v.DstPipe), v.Event}
+					q := tokens[key]
+					if len(q) == 0 {
+						goto nextPipe // blocked on a token
+					}
+					if q[0] > ready {
+						ready = q[0]
+					}
+					tokens[key] = q[1:]
+				case *isa.BarrierInstr:
+					// A barrier waits for every earlier instruction.
+					if completed < it.idx {
+						goto nextPipe
+					}
+					for _, f := range pipeFree {
+						if f > ready {
+							ready = f
+						}
+					}
+				}
+				s := pipeFree[p]
+				if ready > s {
+					s = ready
+				}
+				e := s + it.in.Cycles(c.Cost)
+				pipeFree[p] = e
+				start[it.idx], end[it.idx] = s, e
+				if c.Trace != nil {
+					c.Trace.record(it.idx, it.in, s, e)
+				}
+				if sf, ok := it.in.(*isa.SetFlagInstr); ok {
+					key := [3]int{int(sf.SrcPipe), int(sf.DstPipe), sf.Event}
+					tokens[key] = append(tokens[key], e)
+				}
+				if _, ok := it.in.(*isa.BarrierInstr); ok {
+					barrierFloor = e
+				}
+				stats.PipeBusy[p] += it.in.Cycles(c.Cost)
+				stats.PipeInstrs[p]++
+				stats.Instrs++
+				if cp, ok := it.in.(*isa.CopyInstr); ok {
+					switch p {
+					case isa.PipeMTE2:
+						stats.BytesIn += int64(cp.Bytes())
+					case isa.PipeMTE3:
+						stats.BytesOut += int64(cp.Bytes())
+					}
+				}
+				if e > stats.Cycles {
+					stats.Cycles = e
+				}
+				completed++
+				heads[p]++
+				progress = true
+			}
+		nextPipe:
+		}
+		if !progress {
+			return nil, fmt.Errorf("aicore: %s deadlocked: a wait_flag has no matching set_flag", prog.Name)
+		}
+	}
+
+	// Race detection: every data dependency must be ordered by the
+	// explicit schedule.
+	if idx, prod, err := findRace(prog.Instrs, start, end); err != nil {
+		return nil, fmt.Errorf("aicore: %s: data race between instr %d (%s) and instr %d (%s): %w",
+			prog.Name, prod, prog.Instrs[prod], idx, prog.Instrs[idx], err)
+	}
+	return stats, nil
+}
+
+// findRace scans dependencies in program order and checks that the
+// producer completed before the consumer started. Same-pipe pairs are
+// ordered by in-order issue and skipped.
+func findRace(instrs []isa.Instr, start, end []int64) (consumer, producer int, err error) {
+	type access struct {
+		idx    int
+		pipe   isa.Pipe
+		region isa.Region
+	}
+	var writes, reads []access
+	for idx, in := range instrs {
+		if _, ok := in.(*isa.BarrierInstr); ok {
+			// Barriers order everything before them.
+			writes, reads = nil, nil
+			continue
+		}
+		pipe := in.Pipe()
+		check := func(list []access, r isa.Region) (int, bool) {
+			for k := len(list) - 1; k >= 0; k-- {
+				a := list[k]
+				if a.pipe != pipe && a.region.Overlaps(r) {
+					if end[a.idx] > start[idx] {
+						return a.idx, true
+					}
+				}
+			}
+			return 0, false
+		}
+		for _, r := range in.Reads() { // RAW
+			if p, bad := check(writes, r); bad {
+				return idx, p, fmt.Errorf("read of %v not ordered after write", r)
+			}
+		}
+		for _, w := range in.Writes() { // WAW, WAR
+			if p, bad := check(writes, w); bad {
+				return idx, p, fmt.Errorf("write of %v not ordered after write", w)
+			}
+			if p, bad := check(reads, w); bad {
+				return idx, p, fmt.Errorf("write of %v not ordered after read", w)
+			}
+		}
+		for _, r := range in.Reads() {
+			reads = append(reads, access{idx, pipe, r})
+		}
+		for _, w := range in.Writes() {
+			writes = append(writes, access{idx, pipe, w})
+		}
+	}
+	return 0, 0, nil
+}

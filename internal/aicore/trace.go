@@ -1,0 +1,107 @@
+package aicore
+
+import (
+	"fmt"
+	"io"
+
+	"davinci/internal/isa"
+)
+
+// TraceEntry records one scheduled instruction.
+type TraceEntry struct {
+	Idx        int
+	Pipe       isa.Pipe
+	Start, End int64
+	Text       string
+}
+
+// Trace collects the schedule of a run for visualization — the software
+// counterpart of the per-unit hardware counters the paper reads (§VI).
+// Attach one to Core.Trace before Run.
+type Trace struct {
+	Entries []TraceEntry
+}
+
+func (t *Trace) record(idx int, in isa.Instr, start, end int64) {
+	t.Entries = append(t.Entries, TraceEntry{Idx: idx, Pipe: in.Pipe(), Start: start, End: end, Text: in.String()})
+}
+
+// Makespan returns the completion time of the last instruction.
+func (t *Trace) Makespan() int64 {
+	var m int64
+	for _, e := range t.Entries {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// Utilization returns per-pipe busy fractions of the makespan.
+func (t *Trace) Utilization() [isa.NumPipes]float64 {
+	var busy [isa.NumPipes]int64
+	for _, e := range t.Entries {
+		busy[e.Pipe] += e.End - e.Start
+	}
+	var out [isa.NumPipes]float64
+	if m := t.Makespan(); m > 0 {
+		for p := range out {
+			out[p] = float64(busy[p]) / float64(m)
+		}
+	}
+	return out
+}
+
+// Gantt renders a character timeline per pipe: '#' for busy columns, '.'
+// for idle, compressed to the given width.
+func (t *Trace) Gantt(w io.Writer, width int) {
+	if width < 8 {
+		width = 8
+	}
+	m := t.Makespan()
+	if m == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	util := t.Utilization()
+	for p := isa.Pipe(0); p < isa.NumPipes; p++ {
+		cols := make([]byte, width)
+		for i := range cols {
+			cols[i] = '.'
+		}
+		any := false
+		for _, e := range t.Entries {
+			if e.Pipe != p {
+				continue
+			}
+			any = true
+			lo := int(e.Start * int64(width) / m)
+			hi := int((e.End*int64(width) + m - 1) / m)
+			if hi > width {
+				hi = width
+			}
+			if lo == hi && lo < width {
+				hi = lo + 1
+			}
+			for i := lo; i < hi; i++ {
+				cols[i] = '#'
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(w, "%-6s |%s| %5.1f%%\n", p, cols, 100*util[p])
+	}
+	fmt.Fprintf(w, "%-6s  0%scycles %d\n", "", spaces(width-8), m)
+}
+
+func spaces(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return string(b)
+}

@@ -1,0 +1,100 @@
+package aicore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+func TestGlobalMemoryTrafficAccounting(t *testing.T) {
+	c := New(buffer.Config{}, nil)
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	b := ub.MustAlloc(4096)
+	p := cce.New("traffic")
+	p.EmitCopy(isa.GM, 0, isa.UB, a, 4096)    // in: 4096
+	p.EmitCopy(isa.GM, 8192, isa.L1, 0, 1024) // in: 1024
+	p.EmitCopy(isa.UB, a, isa.UB, b, 2048)    // local: not GM traffic
+	p.EmitCopy(isa.UB, b, isa.GM, 16384, 512) // out: 512
+	st, err := c.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesIn != 5120 {
+		t.Errorf("BytesIn = %d, want 5120", st.BytesIn)
+	}
+	if st.BytesOut != 512 {
+		t.Errorf("BytesOut = %d, want 512", st.BytesOut)
+	}
+
+	// Aggregation carries traffic.
+	sum := &Stats{}
+	sum.AddSerial(st)
+	sum.AddParallel(st)
+	if sum.BytesIn != 2*st.BytesIn || sum.BytesOut != 2*st.BytesOut {
+		t.Errorf("aggregated traffic wrong: %+v", sum)
+	}
+}
+
+// The im2col forward kernel's defining property versus the standard one is
+// that its extra data movement happens between local buffers (L1 -> UB via
+// the SCU), not against global memory: both variants read the input once
+// and write the output once.
+func TestTrafficSymmetryAcrossVariants(t *testing.T) {
+	// Exercised at ops level; here we just confirm bursty copies count
+	// full payloads.
+	c := New(buffer.Config{}, nil)
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(8192)
+	p := cce.New("bursts")
+	p.Emit(&isa.CopyInstr{SrcBuf: isa.GM, SrcAddr: 0, DstBuf: isa.UB, DstAddr: a,
+		NBurst: 4, BurstBytes: 2048, SrcGap: 512})
+	st, err := c.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesIn != 4*2048 {
+		t.Errorf("bursty BytesIn = %d", st.BytesIn)
+	}
+}
+
+func TestTraceRecordsSchedule(t *testing.T) {
+	c := New(buffer.Config{}, nil)
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	p := cce.New("traced")
+	p.EmitCopy(isa.GM, 0, isa.UB, a, 4096)
+	p.EmitDup(isa.UB, a, 1024, 0x3c00)
+	st, err := c.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Trace.Entries) != 2 {
+		t.Fatalf("trace entries: %d", len(c.Trace.Entries))
+	}
+	if c.Trace.Makespan() != st.Cycles {
+		t.Errorf("trace makespan %d vs stats %d", c.Trace.Makespan(), st.Cycles)
+	}
+	util := c.Trace.Utilization()
+	if util[isa.PipeMTE2] <= 0 || util[isa.PipeVector] <= 0 {
+		t.Errorf("utilization %v", util)
+	}
+	var buf bytes.Buffer
+	c.Trace.Gantt(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "MTE2") || !strings.Contains(out, "#") {
+		t.Errorf("gantt output:\n%s", out)
+	}
+	// Empty trace renders gracefully.
+	var empty Trace
+	buf.Reset()
+	empty.Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not handled")
+	}
+}

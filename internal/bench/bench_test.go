@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/chip"
+)
+
+// smallOpts shrinks the device so the full experiment suite runs quickly
+// in unit tests; the real figures use the defaults via cmd/davinci-bench.
+func smallOpts() Options {
+	return Options{
+		Chip: chip.Config{Cores: 4, Buffers: buffer.Config{UBSize: 64 << 10}},
+		Seed: 1,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4 networks", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	for _, want := range []string{"InceptionV3", "147,147,64", "VGG16", "224,224,64"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestFig8SmallDevice(t *testing.T) {
+	for _, stride := range []int{1, 2, 3} {
+		tab, err := Fig8(stride, smallOpts())
+		if err != nil {
+			t.Fatalf("stride %d: %v", stride, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("stride %d: empty sweep", stride)
+		}
+		wantCols := 3
+		if stride == 2 {
+			wantCols = 4
+		}
+		if len(tab.Columns) != wantCols {
+			t.Errorf("stride %d: %d columns", stride, len(tab.Columns))
+		}
+		// Cycle counts grow with input size for every variant.
+		last := tab.Rows[len(tab.Rows)-1]
+		first := tab.Rows[0]
+		for i := range tab.Columns {
+			if last.Values[i] <= first.Values[i] {
+				t.Errorf("stride %d col %s: cycles not increasing (%v .. %v)",
+					stride, tab.Columns[i], first.Values[i], last.Values[i])
+			}
+		}
+	}
+}
+
+// The paper's qualitative Fig. 8 conclusions at the largest swept size:
+// stride (1,1) favors the direct implementation; strides (2,2) and (3,3)
+// favor Im2col.
+func TestFig8Shape(t *testing.T) {
+	o := smallOpts()
+	col := func(tab *Table, name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %s", name)
+		return -1
+	}
+	s1, err := Fig8(1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := s1.Rows[len(s1.Rows)-1]
+	if last.Values[col(s1, "standard")] >= last.Values[col(s1, "im2col")] {
+		t.Errorf("stride 1: standard (%v) must beat im2col (%v)",
+			last.Values[col(s1, "standard")], last.Values[col(s1, "im2col")])
+	}
+	for _, stride := range []int{2, 3} {
+		tab, err := Fig8(stride, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		if last.Values[col(tab, "im2col")] >= last.Values[col(tab, "standard")] {
+			t.Errorf("stride %d: im2col must beat standard", stride)
+		}
+		if last.Values[col(tab, "im2col")] >= last.Values[col(tab, "expansion")] {
+			t.Errorf("stride %d: im2col must beat expansion", stride)
+		}
+	}
+}
+
+func TestFig7RunnersSmall(t *testing.T) {
+	// Use a modest synthetic input set by shrinking the chip but keep the
+	// real runner code paths: this exercises fig7a/b/c end to end.
+	o := smallOpts()
+	o.Reps = 2 // also verifies determinism via measure()
+	for name, fn := range map[string]func(Options) (*Table, error){
+		"fig7a": Fig7a, "fig7b": Fig7b, "fig7c": Fig7c,
+	} {
+		tab, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) != 3 {
+			t.Fatalf("%s: %d rows, want 3 InceptionV3 inputs", name, len(tab.Rows))
+		}
+		for _, r := range tab.Rows {
+			speedup := r.Values[len(r.Values)-1]
+			if speedup <= 1 {
+				t.Errorf("%s %s: accelerated variant not faster (%.2fx)", name, r.Label, speedup)
+			}
+		}
+		// The full-device trend (speedup growing with input size) is pinned
+		// by ops.TestHeadlineRatios147 and the root-level benchmarks; on
+		// this shrunken test device banding effects can reorder it.
+	}
+}
+
+func TestMeasureDetectsNondeterminism(t *testing.T) {
+	o := Options{Reps: 2}
+	n := int64(0)
+	_, err := measure(o, func() (int64, error) {
+		n++
+		return n, nil
+	})
+	if err == nil {
+		t.Error("non-deterministic measurement not detected")
+	}
+}
+
+func TestAvgPoolExtension(t *testing.T) {
+	tab, err := AvgPool(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Columns) != 4 {
+		t.Fatalf("avgpool table %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	for _, r := range tab.Rows {
+		std, im, cube := r.Values[0], r.Values[1], r.Values[2]
+		if im >= std {
+			t.Errorf("%s: im2col avgpool (%v) not faster than standard (%v)", r.Label, im, std)
+		}
+		if cube <= 0 {
+			t.Errorf("%s: cube avgpool did not run", r.Label)
+		}
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	tab := &Table{
+		Experiment: "x",
+		Columns:    []string{"a", "b speedup"},
+		Rows:       []Row{{Label: "10,10,16", Values: []float64{100, 2.5}}},
+	}
+	var buf bytes.Buffer
+	tab.FormatCSV(&buf)
+	got := buf.String()
+	want := "input,a,b speedup\n10;10;16,100,2.5\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,107 @@
+package cce
+
+import (
+	"davinci/internal/isa"
+)
+
+// AutoSync returns a copy of prog with explicit set_flag / wait_flag
+// instructions inserted wherever a cross-pipeline data dependency exists —
+// the synchronization-insertion pass a DaVinci compiler (AKG) performs
+// when lowering to CCE C, where pipelines are only ordered by explicit
+// events. The result runs correctly under aicore.RunExplicit.
+//
+// Algorithm: scan instructions in program order, tracking the byte regions
+// each one reads and writes. For every RAW/WAW/WAR dependency whose
+// endpoints sit on different pipes, record an edge from the latest such
+// producer per pipe; then rebuild the stream with a set_flag directly
+// after each producer and the matching wait_flag directly before the
+// consumer. Events are allocated round-robin per ordered pipe pair:
+// because both pipes issue in program order, counting-token semantics stay
+// correct even when event ids are reused. Pipe barriers cut the analysis
+// (they already order everything across them).
+//
+// The scan is quadratic in program length; it is intended for the
+// kernel-sized programs this repository emits.
+func AutoSync(prog *Program) *Program {
+	type access struct {
+		idx    int
+		pipe   isa.Pipe
+		region isa.Region
+	}
+	var writes, reads []access
+	// edges[i] = producer indices instruction i must wait for.
+	edges := make(map[int][]int)
+	for idx, in := range prog.Instrs {
+		if _, ok := in.(*isa.BarrierInstr); ok {
+			writes, reads = nil, nil
+			continue
+		}
+		pipe := in.Pipe()
+		// Latest cross-pipe producer per producing pipe.
+		latest := map[isa.Pipe]int{}
+		scan := func(list []access, r isa.Region) {
+			for _, a := range list {
+				if a.pipe != pipe && a.region.Overlaps(r) {
+					if cur, ok := latest[a.pipe]; !ok || a.idx > cur {
+						latest[a.pipe] = a.idx
+					}
+				}
+			}
+		}
+		for _, r := range in.Reads() {
+			scan(writes, r)
+		}
+		for _, w := range in.Writes() {
+			scan(writes, w)
+			scan(reads, w)
+		}
+		for _, p := range latest {
+			edges[idx] = append(edges[idx], p)
+		}
+		for _, r := range in.Reads() {
+			reads = append(reads, access{idx, pipe, r})
+		}
+		for _, w := range in.Writes() {
+			writes = append(writes, access{idx, pipe, w})
+		}
+	}
+
+	// Rebuild with flags. setsAfter[j] lists the consumers of producer j.
+	setsAfter := make(map[int][]int)
+	for consumer, producers := range edges {
+		for _, p := range producers {
+			setsAfter[p] = append(setsAfter[p], consumer)
+		}
+	}
+	out := New(prog.Name + "+sync")
+	eventCounter := map[[2]isa.Pipe]int{}
+	// Event id assigned to each (producer, consumer) edge, in producer
+	// program order so set/wait sequences agree.
+	edgeEvent := map[[2]int]int{}
+	for j := range prog.Instrs {
+		for _, consumer := range setsAfter[j] {
+			pair := [2]isa.Pipe{prog.Instrs[j].Pipe(), prog.Instrs[consumer].Pipe()}
+			ev := eventCounter[pair] % isa.EventsPerPair
+			eventCounter[pair]++
+			edgeEvent[[2]int{j, consumer}] = ev
+		}
+	}
+	for idx, in := range prog.Instrs {
+		for _, p := range edges[idx] {
+			out.Emit(&isa.WaitFlagInstr{
+				SrcPipe: prog.Instrs[p].Pipe(),
+				DstPipe: in.Pipe(),
+				Event:   edgeEvent[[2]int{p, idx}],
+			})
+		}
+		out.Emit(in)
+		for _, consumer := range setsAfter[idx] {
+			out.Emit(&isa.SetFlagInstr{
+				SrcPipe: in.Pipe(),
+				DstPipe: prog.Instrs[consumer].Pipe(),
+				Event:   edgeEvent[[2]int{idx, consumer}],
+			})
+		}
+	}
+	return out
+}

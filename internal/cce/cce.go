@@ -1,0 +1,224 @@
+// Package cce represents lowered kernel code for the simulated DaVinci AI
+// Core: a Program is the instruction stream a CCE C kernel would issue
+// (paper §IV). Kernels in internal/ops build Programs through the helpers
+// here, which encapsulate the hardware's repeat-count cap and the common
+// long-vector emission patterns.
+package cce
+
+import (
+	"fmt"
+
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+)
+
+// Program is an ordered AI Core instruction stream.
+type Program struct {
+	Name   string
+	Instrs []isa.Instr
+}
+
+// New creates an empty program.
+func New(name string) *Program { return &Program{Name: name} }
+
+// Emit appends one instruction.
+func (p *Program) Emit(in isa.Instr) { p.Instrs = append(p.Instrs, in) }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Validate checks every instruction, reporting the first failure with its
+// position.
+func (p *Program) Validate() error {
+	for i, in := range p.Instrs {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("cce: %s instr %d (%s): %w", p.Name, i, in, err)
+		}
+	}
+	return nil
+}
+
+// EmitVec emits a vector instruction for totalRepeat repeat iterations,
+// splitting into multiple instructions when the hardware repeat cap is
+// exceeded and advancing every operand by its repeat stride. This is how a
+// compiler lowers "one instruction operates over an entire tile" (§V) onto
+// the real 8-bit repeat field.
+func (p *Program) EmitVec(op isa.VecOp, dst, src0, src1 isa.Operand, scalar fp16.Float16, mask isa.Mask, totalRepeat int) {
+	done := 0
+	for _, rep := range isa.SplitRepeat(totalRepeat) {
+		adv := func(o isa.Operand) isa.Operand {
+			o.Addr += done * o.RepStride * isa.BlockBytes
+			return o
+		}
+		p.Emit(&isa.VecInstr{
+			Op:     op,
+			Dst:    adv(dst),
+			Src0:   adv(src0),
+			Src1:   adv(src1),
+			Scalar: scalar,
+			Mask:   mask,
+			Repeat: rep,
+		})
+		done += rep
+	}
+}
+
+// EmitDup fills count 32-byte-aligned contiguous Float16 elements at
+// (buf, addr) with v. count must be a multiple of ElemsPerBlock.
+func (p *Program) EmitDup(buf isa.BufID, addr, count int, v fp16.Float16) {
+	if count%isa.ElemsPerBlock != 0 {
+		panic(fmt.Sprintf("cce: dup count %d not block aligned", count))
+	}
+	blocks := count / isa.ElemsPerBlock
+	full := blocks / isa.BlocksPerRepeat
+	if full > 0 {
+		p.EmitVec(isa.VDup, isa.Contig(buf, addr), isa.Operand{}, isa.Operand{}, v, isa.FullMask(), full)
+	}
+	if tail := blocks % isa.BlocksPerRepeat; tail != 0 {
+		p.EmitVec(isa.VDup, isa.Contig(buf, addr+full*isa.LanesPerRepeat*fp16.Bytes),
+			isa.Operand{}, isa.Operand{}, v, isa.MaskFirstN(tail*isa.ElemsPerBlock), 1)
+	}
+}
+
+// EmitElementwise emits dst = op(src0, src1) over count contiguous Float16
+// elements (count must be a multiple of ElemsPerBlock; tiles in the UB
+// always are). A full-mask instruction covers whole repeats; a masked tail
+// instruction covers the remainder.
+func (p *Program) EmitElementwise(op isa.VecOp, buf isa.BufID, dstAddr, src0Addr, src1Addr, count int) {
+	p.EmitElementwiseScalar(op, buf, dstAddr, src0Addr, src1Addr, count, 0)
+}
+
+// EmitElementwiseScalar is EmitElementwise for ops that take a scalar.
+func (p *Program) EmitElementwiseScalar(op isa.VecOp, buf isa.BufID, dstAddr, src0Addr, src1Addr, count int, scalar fp16.Float16) {
+	if count%isa.ElemsPerBlock != 0 {
+		panic(fmt.Sprintf("cce: elementwise count %d not block aligned", count))
+	}
+	blocks := count / isa.ElemsPerBlock
+	full := blocks / isa.BlocksPerRepeat
+	bytesDone := full * isa.LanesPerRepeat * fp16.Bytes
+	if full > 0 {
+		p.EmitVec(op, isa.Contig(buf, dstAddr), isa.Contig(buf, src0Addr), isa.Contig(buf, src1Addr),
+			scalar, isa.FullMask(), full)
+	}
+	if tail := blocks % isa.BlocksPerRepeat; tail != 0 {
+		p.EmitVec(op, isa.Contig(buf, dstAddr+bytesDone), isa.Contig(buf, src0Addr+bytesDone),
+			isa.Contig(buf, src1Addr+bytesDone), scalar, isa.MaskFirstN(tail*isa.ElemsPerBlock), 1)
+	}
+}
+
+// EmitCopy emits a contiguous DMA of n bytes.
+func (p *Program) EmitCopy(srcBuf isa.BufID, srcAddr int, dstBuf isa.BufID, dstAddr, n int) {
+	p.Emit(&isa.CopyInstr{SrcBuf: srcBuf, SrcAddr: srcAddr, DstBuf: dstBuf, DstAddr: dstAddr, NBurst: 1, BurstBytes: n})
+}
+
+// EmitBarrier emits a full pipe barrier.
+func (p *Program) EmitBarrier() { p.Emit(&isa.BarrierInstr{}) }
+
+// EmitScalar charges scalar-unit bookkeeping work.
+func (p *Program) EmitScalar(ops int, note string) {
+	p.Emit(&isa.ScalarInstr{Ops: ops, Note: note})
+}
+
+// EmitIm2Col emits the Im2Col loads that materialize the full
+// (C1Len, Kh, Kw, OhOw16, C0) im2col tensor at dstAddr in dstBuf from the
+// NC1HWC0 tile at srcAddr in L1, using repeat mode 1 with the loop order
+// [c1, (xk, yk), (x, y)] described at the end of §III-C: one instruction
+// per (c1, xk, yk) covering all patches (split on the repeat cap).
+func (p *Program) EmitIm2Col(srcAddr int, dstBuf isa.BufID, dstAddr int, cp isa.ConvParams, c1Len int) {
+	fracs := cp.Fractals()
+	dst := dstAddr
+	for c1 := 0; c1 < c1Len; c1++ {
+		for xk := 0; xk < cp.Kh; xk++ {
+			for yk := 0; yk < cp.Kw; yk++ {
+				patch0 := 0
+				for _, rep := range isa.SplitRepeat(fracs) {
+					p.Emit(&isa.Im2ColInstr{
+						SrcBuf: isa.L1, SrcAddr: srcAddr,
+						DstBuf: dstBuf, DstAddr: dst,
+						P: cp, C1Len: c1Len, C1Idx: c1, Xk: xk, Yk: yk,
+						Patch0: patch0, RepeatMode: isa.Im2ColRepeatPatches, Repeat: rep,
+					})
+					patch0 += rep * isa.FractalPatches
+					dst += rep * isa.FractalBytes
+				}
+			}
+		}
+	}
+}
+
+// EmitIm2ColRange is EmitIm2Col restricted to one c1 slice and to the
+// fractal-aligned patch range [patch0, patch0+fracs*16): the unit of work a
+// patch-banded schedule processes per iteration. Destination fractals for
+// each (xk, yk) are written fracs apart, i.e. into a
+// (Kh, Kw, fracs*16, C0) band tensor at dstAddr.
+// rowBase/rows describe the image-row band present in the L1 tile at
+// srcAddr (0, 0 for the whole image).
+func (p *Program) EmitIm2ColRange(srcAddr int, dstBuf isa.BufID, dstAddr int, cp isa.ConvParams, c1Len, c1, patch0, fracs, rowBase, rows int) {
+	dst := dstAddr
+	for xk := 0; xk < cp.Kh; xk++ {
+		for yk := 0; yk < cp.Kw; yk++ {
+			pt := patch0
+			for _, rep := range isa.SplitRepeat(fracs) {
+				p.Emit(&isa.Im2ColInstr{
+					SrcBuf: isa.L1, SrcAddr: srcAddr,
+					DstBuf: dstBuf, DstAddr: dst,
+					P: cp, C1Len: c1Len, C1Idx: c1, Xk: xk, Yk: yk,
+					Patch0: pt, RowBase: rowBase, Rows: rows,
+					RepeatMode: isa.Im2ColRepeatPatches, Repeat: rep,
+				})
+				pt += rep * isa.FractalPatches
+				dst += rep * isa.FractalBytes
+			}
+		}
+	}
+}
+
+// EmitCol2ImRange merges a (Kh, Kw, fracs*16, C0) band tensor at srcAddr
+// into an output row band: a UB tile holding image rows
+// [rowBase, rowBase+rows) that the caller has initialized (zero, or partial
+// sums re-loaded from global memory at band boundaries).
+func (p *Program) EmitCol2ImRange(srcAddr, dstAddr int, cp isa.ConvParams, patch0, fracs, rowBase, rows int) {
+	src := srcAddr
+	for xk := 0; xk < cp.Kh; xk++ {
+		for yk := 0; yk < cp.Kw; yk++ {
+			pt := patch0
+			for _, rep := range isa.SplitRepeat(fracs) {
+				p.Emit(&isa.Col2ImInstr{
+					SrcBuf: isa.UB, SrcAddr: src,
+					DstBuf: isa.UB, DstAddr: dstAddr,
+					P: cp, C1Len: 1, C1Idx: 0, Xk: xk, Yk: yk,
+					Patch0: pt, RowBase: rowBase, Rows: rows, Repeat: rep,
+				})
+				pt += rep * isa.FractalPatches
+				src += rep * isa.FractalBytes
+			}
+		}
+	}
+}
+
+// EmitCol2Im emits the Col2Im instructions that merge a full
+// (C1Len, Kh, Kw, OhOw16, C0) fractal tensor at srcAddr into the
+// zero-initialized NC1HWC0 tile at dstAddr (both in the UB): one
+// instruction per (c1, xk, yk), repeat mode 1 over the patches (§V-B:
+// "a Col2Im instruction needs to be issued Kh*Kw times").
+func (p *Program) EmitCol2Im(srcAddr, dstAddr int, cp isa.ConvParams, c1Len int) {
+	fracs := cp.Fractals()
+	src := srcAddr
+	for c1 := 0; c1 < c1Len; c1++ {
+		for xk := 0; xk < cp.Kh; xk++ {
+			for yk := 0; yk < cp.Kw; yk++ {
+				patch0 := 0
+				for _, rep := range isa.SplitRepeat(fracs) {
+					p.Emit(&isa.Col2ImInstr{
+						SrcBuf: isa.UB, SrcAddr: src,
+						DstBuf: isa.UB, DstAddr: dstAddr,
+						P: cp, C1Len: c1Len, C1Idx: c1, Xk: xk, Yk: yk,
+						Patch0: patch0, Repeat: rep,
+					})
+					patch0 += rep * isa.FractalPatches
+					src += rep * isa.FractalBytes
+				}
+			}
+		}
+	}
+}

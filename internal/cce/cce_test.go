@@ -1,0 +1,145 @@
+package cce
+
+import (
+	"testing"
+
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+)
+
+func TestEmitVecSplitsOnRepeatCap(t *testing.T) {
+	p := New("t")
+	p.EmitVec(isa.VAdd, isa.Contig(isa.UB, 0), isa.Contig(isa.UB, 1<<16), isa.Contig(isa.UB, 1<<17),
+		0, isa.FullMask(), 600)
+	if p.Len() != 3 {
+		t.Fatalf("600 repeats -> %d instructions, want 3", p.Len())
+	}
+	// Second chunk starts 255 repeats further along each operand.
+	v := p.Instrs[1].(*isa.VecInstr)
+	if v.Dst.Addr != 255*isa.BlocksPerRepeat*isa.BlockBytes {
+		t.Errorf("second chunk dst addr %d", v.Dst.Addr)
+	}
+	if v.Repeat != 255 {
+		t.Errorf("second chunk repeat %d", v.Repeat)
+	}
+	last := p.Instrs[2].(*isa.VecInstr)
+	if last.Repeat != 90 {
+		t.Errorf("last chunk repeat %d", last.Repeat)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitVecRespectsRepeatStrideZero(t *testing.T) {
+	// Reduction addressing: chunks must NOT advance a stride-0 operand.
+	p := New("t")
+	dst := isa.Operand{Buf: isa.UB, Addr: 0, BlkStride: 1, RepStride: 0}
+	p.EmitVec(isa.VMax, dst, isa.Contig(isa.UB, 1024), dst, 0, isa.FullMask(), 300)
+	second := p.Instrs[1].(*isa.VecInstr)
+	if second.Dst.Addr != 0 {
+		t.Errorf("stride-0 dst advanced to %d", second.Dst.Addr)
+	}
+	if second.Src0.Addr != 1024+255*isa.BlocksPerRepeat*isa.BlockBytes {
+		t.Errorf("contiguous src advanced to %d", second.Src0.Addr)
+	}
+}
+
+func TestEmitDupTail(t *testing.T) {
+	p := New("t")
+	p.EmitDup(isa.UB, 0, 128+48, fp16.One) // one full repeat + 3 blocks
+	if p.Len() != 2 {
+		t.Fatalf("instructions = %d", p.Len())
+	}
+	tail := p.Instrs[1].(*isa.VecInstr)
+	if tail.Mask.Count() != 48 {
+		t.Errorf("tail mask %d lanes", tail.Mask.Count())
+	}
+	if tail.Dst.Addr != 128*2 {
+		t.Errorf("tail addr %d", tail.Dst.Addr)
+	}
+}
+
+func TestEmitDupPanicsOnMisalignment(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned dup accepted")
+		}
+	}()
+	New("t").EmitDup(isa.UB, 0, 17, fp16.One)
+}
+
+func TestEmitElementwiseCounts(t *testing.T) {
+	p := New("t")
+	p.EmitElementwise(isa.VMul, isa.UB, 0, 4096, 8192, 1000*16)
+	// 1000 blocks = 125 full repeats (1 instr) + 0 tail.
+	if p.Len() != 1 {
+		t.Fatalf("instructions = %d", p.Len())
+	}
+	p2 := New("t2")
+	p2.EmitElementwise(isa.VMul, isa.UB, 0, 4096, 8192, 1003*16)
+	if p2.Len() != 2 {
+		t.Fatalf("with tail: instructions = %d", p2.Len())
+	}
+}
+
+func TestEmitIm2ColCoverage(t *testing.T) {
+	cp := isa.ConvParams{Ih: 20, Iw: 20, Kh: 2, Kw: 3, Sh: 2, Sw: 2}
+	p := New("t")
+	p.EmitIm2Col(0, isa.UB, 0, cp, 2)
+	// One instruction per (c1, xk, yk) since fracs <= 255.
+	if want := 2 * 2 * 3; p.Len() != want {
+		t.Fatalf("instructions = %d, want %d", p.Len(), want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Destinations tile contiguously: fracs fractals apart.
+	fr := cp.Fractals()
+	for i, in := range p.Instrs {
+		im := in.(*isa.Im2ColInstr)
+		if im.DstAddr != i*fr*isa.FractalBytes {
+			t.Errorf("instr %d dst %d", i, im.DstAddr)
+		}
+	}
+}
+
+func TestEmitCol2ImRange(t *testing.T) {
+	cp := isa.ConvParams{Ih: 20, Iw: 20, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	p := New("t")
+	p.EmitCol2ImRange(0, 1<<14, cp, 16, 4, 2, 10)
+	if p.Len() != 9 {
+		t.Fatalf("instructions = %d, want 9", p.Len())
+	}
+	for _, in := range p.Instrs {
+		ci := in.(*isa.Col2ImInstr)
+		if ci.RowBase != 2 || ci.Rows != 10 || ci.Patch0 != 16 || ci.Repeat != 4 {
+			t.Errorf("col2im fields wrong: %+v", ci)
+		}
+		if err := ci.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestValidateReportsPosition(t *testing.T) {
+	p := New("prog")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 64)
+	p.Emit(&isa.VecInstr{Op: isa.VAdd, Repeat: 0}) // invalid
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if got := err.Error(); !contains(got, "instr 1") {
+		t.Errorf("error lacks position: %v", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

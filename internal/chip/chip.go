@@ -1,0 +1,365 @@
+// Package chip models a whole Ascend-910-class device: a set of AI Cores
+// sharing global memory. The outer (N, C1) loops of pooling are
+// parallelized between the AI Cores available on the device (paper §IV-A:
+// "the outer loops are parallelized between the AI Cores"), each core
+// processing whole (H, W, C0) tiles; chip time is the maximum over cores.
+//
+// Each simulated core is independent, so host-side execution fans tiles
+// out across goroutines — one worker per simulated core.
+package chip
+
+import (
+	"fmt"
+	"sync"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/ops"
+	"davinci/internal/tensor"
+)
+
+// DefaultCores is the AI Core count of the Ascend 910 (§VI).
+const DefaultCores = 32
+
+// Config describes the simulated device.
+type Config struct {
+	// Cores is the number of AI Cores; 0 means DefaultCores.
+	Cores int
+	// Buffers configures each core's scratch-pads; zero fields take the
+	// Ascend 910 defaults.
+	Buffers buffer.Config
+	// Cost overrides the cycle-cost model; nil takes the calibrated
+	// default.
+	Cost *isa.CostModel
+	// Serialize disables intra-core pipeline overlap (ablation).
+	Serialize bool
+}
+
+// Chip is a simulated multi-core device.
+type Chip struct {
+	cfg Config
+}
+
+// New creates a chip. Zero-valued config fields take Ascend 910 defaults.
+func New(cfg Config) *Chip {
+	if cfg.Cores == 0 {
+		cfg.Cores = DefaultCores
+	}
+	return &Chip{cfg: cfg}
+}
+
+// Cores returns the AI Core count.
+func (c *Chip) Cores() int { return c.cfg.Cores }
+
+func (c *Chip) newCore() *aicore.Core {
+	core := aicore.New(c.cfg.Buffers, c.cfg.Cost)
+	core.Serialize = c.cfg.Serialize
+	return core
+}
+
+// Stats aggregates a chip-level run.
+type Stats struct {
+	// Cycles is the device makespan: the busiest core's cycle count.
+	Cycles int64
+	// CoreCycles holds each core's total cycles (length Cores).
+	CoreCycles []int64
+	// Tiles is the number of (n, c1) tiles processed.
+	Tiles int
+	// Work sums per-pipe activity over all cores.
+	Work aicore.Stats
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("chip cycles=%d tiles=%d instrs=%d", s.Cycles, s.Tiles, s.Work.Instrs)
+}
+
+// tileResult carries one tile's outputs back to the assembler.
+type tileResult struct {
+	n, c1 int
+	outs  []*tensor.Tensor
+	stats *aicore.Stats
+	err   error
+}
+
+// runTiles fans the (n, c1) tile grid across simulated cores round-robin
+// and host goroutines, then aggregates stats: serial within a core,
+// parallel across cores.
+func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error)) ([][]tileResult, *Stats, error) {
+	type job struct{ n, c1 int }
+	jobs := make([]job, 0, n*c1)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c1; ci++ {
+			jobs = append(jobs, job{ni, ci})
+		}
+	}
+	perCore := make([][]job, c.cfg.Cores)
+	for i, j := range jobs {
+		perCore[i%c.cfg.Cores] = append(perCore[i%c.cfg.Cores], j)
+	}
+
+	results := make([][]tileResult, c.cfg.Cores)
+	var wg sync.WaitGroup
+	for coreIdx := 0; coreIdx < c.cfg.Cores; coreIdx++ {
+		if len(perCore[coreIdx]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			core := c.newCore()
+			for _, j := range perCore[idx] {
+				outs, st, err := run(core, j.n, j.c1)
+				results[idx] = append(results[idx], tileResult{n: j.n, c1: j.c1, outs: outs, stats: st, err: err})
+				if err != nil {
+					return
+				}
+			}
+		}(coreIdx)
+	}
+	wg.Wait()
+
+	stats := &Stats{CoreCycles: make([]int64, c.cfg.Cores), Tiles: len(jobs)}
+	for idx, rs := range results {
+		coreTotal := &aicore.Stats{}
+		for _, r := range rs {
+			if r.err != nil {
+				return nil, nil, fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, r.n, r.c1, r.err)
+			}
+			coreTotal.AddSerial(r.stats)
+		}
+		stats.CoreCycles[idx] = coreTotal.Cycles
+		stats.Work.AddParallel(coreTotal)
+	}
+	stats.Cycles = stats.Work.Cycles
+	return results, stats, nil
+}
+
+func checkFractalInput(in *tensor.Tensor) (n, c1 int, err error) {
+	if len(in.Shape) != 5 || in.Shape[4] != tensor.C0 {
+		return 0, 0, fmt.Errorf("chip: want an NC1HWC0 tensor, got %v", in.Shape)
+	}
+	return in.Shape[0], in.Shape[1], nil
+}
+
+// MaxPoolForward runs a forward Maxpool variant ("standard", "im2col",
+// "expansion" or "xysplit") over a full NC1HWC0 tensor.
+func (c *Chip) MaxPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	fn, ok := ops.MaxForward[variant]
+	if !ok {
+		return nil, nil, fmt.Errorf("chip: unknown forward variant %q", variant)
+	}
+	return c.poolForward(fn, in, p)
+}
+
+// AvgPoolForward runs a forward Avgpool variant ("standard" or "im2col").
+func (c *Chip) AvgPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	fn, ok := ops.AvgForward[variant]
+	if !ok {
+		return nil, nil, fmt.Errorf("chip: unknown avgpool variant %q", variant)
+	}
+	return c.poolForward(fn, in, p)
+}
+
+func (c *Chip) poolForward(fn ops.ForwardFunc, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	n, c1, err := checkFractalInput(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	oh, ow := p.OutDims()
+	out := tensor.New(n, c1, oh, ow, tensor.C0)
+	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		tile := tensor.SliceC1(in, ni, ci)
+		o, st, err := fn(core, tile, p)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			tensor.StoreC1(out, r.outs[0], r.n, r.c1)
+		}
+	}
+	return out, stats, nil
+}
+
+// MaxPoolForwardArgmax runs a Fig. 7b variant ("standard" or "im2col"),
+// returning the pooled output and the argmax mask in the Im2Col shape
+// (N, C1, Kh, Kw, OhOw16, C0).
+func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *Stats, err error) {
+	fn, ok := ops.MaxForwardArgmax[variant]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("chip: unknown argmax variant %q", variant)
+	}
+	n, c1, err := checkFractalInput(in)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	oh, ow := p.OutDims()
+	out = tensor.New(n, c1, oh, ow, tensor.C0)
+	mask = tensor.New(n, c1, p.Kh, p.Kw, p.PaddedPatches(), tensor.C0)
+	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		tile := tensor.SliceC1(in, ni, ci)
+		o, m, st, err := fn(core, tile, p)
+		return []*tensor.Tensor{o, m}, st, err
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			tensor.StoreC1(out, r.outs[0], r.n, r.c1)
+			tensor.StoreOuter2(mask, r.outs[1], r.n, r.c1)
+		}
+	}
+	return out, mask, stats, nil
+}
+
+// MaxPoolBackward runs a Fig. 7c variant ("standard" or "col2im"). mask is
+// the saved argmax mask; grad has the output shape (N, C1, Oh, Ow, C0).
+// The result has the input shape (N, C1, Ih, Iw, C0).
+func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	fn, ok := ops.MaxBackward[variant]
+	if !ok {
+		return nil, nil, fmt.Errorf("chip: unknown backward variant %q", variant)
+	}
+	if len(mask.Shape) != 6 {
+		return nil, nil, fmt.Errorf("chip: want a 6-d argmax mask, got %v", mask.Shape)
+	}
+	n, c1 := mask.Shape[0], mask.Shape[1]
+	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		mt := tensor.SliceOuter2(mask, ni, ci)
+		gt := tensor.SliceC1(grad, ni, ci)
+		o, st, err := fn(core, mt, gt, p)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			tensor.StoreC1(out, r.outs[0], r.n, r.c1)
+		}
+	}
+	return out, stats, nil
+}
+
+// AvgPoolBackward propagates Avgpool gradients (useCol2im selects the
+// accelerated merge, §V-C).
+func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *Stats, error) {
+	n, c1, err := checkFractalInput(grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		gt := tensor.SliceC1(grad, ni, ci)
+		o, st, err := ops.AvgPoolBackward(core, gt, p, useCol2im)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			tensor.StoreC1(out, r.outs[0], r.n, r.c1)
+		}
+	}
+	return out, stats, nil
+}
+
+// Conv2D runs convolution on the Cube unit. The channel reduction needs
+// the whole C1 extent on one core, so parallelization is across the batch
+// dimension only.
+func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	n, _, err := checkFractalInput(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	co1 := tensor.C1Of(weights.Shape[0])
+	oh, ow := p.OutDims()
+	out := tensor.New(n, co1, oh, ow, tensor.C0)
+	imgBytes := in.Shape[1] * p.Ih * p.Iw * tensor.C0 * 2
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		img := tensor.New(1, in.Shape[1], p.Ih, p.Iw, tensor.C0)
+		copy(img.Data, in.Data[ni*imgBytes:(ni+1)*imgBytes])
+		o, st, err := ops.Conv2DIm2colCube(core, img, weights, p)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			off := r.n * r.outs[0].Bytes()
+			copy(out.Data[off:off+r.outs[0].Bytes()], r.outs[0].Data)
+		}
+	}
+	return out, stats, nil
+}
+
+// Conv2DBackwardData propagates convolution gradients to the layer input
+// (batch-parallel across cores, like Conv2D). c is the logical input
+// channel count.
+func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams, channels int) (*tensor.Tensor, *Stats, error) {
+	n, _, err := checkFractalInput(grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	c1 := tensor.C1Of(channels)
+	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	oh, ow := p.OutDims()
+	gradBytes := grad.Shape[1] * oh * ow * tensor.C0 * 2
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		g := tensor.New(1, grad.Shape[1], oh, ow, tensor.C0)
+		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
+		o, st, err := ops.Conv2DBackwardData(core, g, weights, p, channels)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			off := r.n * r.outs[0].Bytes()
+			copy(out.Data[off:off+r.outs[0].Bytes()], r.outs[0].Data)
+		}
+	}
+	return out, stats, nil
+}
+
+// Conv2DBackwardWeights computes the convolution weight gradient
+// dW = dY^T x im2col(x), summing contributions over the batch. co and
+// channels are the logical output/input channel counts.
+func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, co, channels int) (*tensor.Tensor, *Stats, error) {
+	n, _, err := checkFractalInput(grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	oh, ow := p.OutDims()
+	gradBytes := grad.Shape[1] * oh * ow * tensor.C0 * 2
+	xBytes := x.Shape[1] * p.Ih * p.Iw * tensor.C0 * 2
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		g := tensor.New(1, grad.Shape[1], oh, ow, tensor.C0)
+		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
+		xi := tensor.New(1, x.Shape[1], p.Ih, p.Iw, tensor.C0)
+		copy(xi.Data, x.Data[ni*xBytes:(ni+1)*xBytes])
+		o, st, err := ops.Conv2DBackwardWeights(core, g, xi, p, co, channels)
+		return []*tensor.Tensor{o}, st, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dw := tensor.New(co, channels, p.Kh, p.Kw)
+	for _, rs := range results {
+		for _, r := range rs {
+			for i := 0; i < dw.Len(); i++ {
+				dw.SetFlat(i, fp16.Add(dw.AtFlat(i), r.outs[0].AtFlat(i)))
+			}
+		}
+	}
+	return dw, stats, nil
+}

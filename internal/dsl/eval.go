@@ -1,0 +1,122 @@
+package dsl
+
+import (
+	"fmt"
+
+	"davinci/internal/fp16"
+	"davinci/internal/tensor"
+)
+
+// Eval interprets a computation directly — the semantics the lowered
+// kernels must reproduce. Out-of-bounds accesses read zero, matching the
+// zero-padding convention of the Im2Col instruction.
+func Eval(c *Computation, inputs map[*Placeholder]*tensor.Tensor) (*tensor.Tensor, error) {
+	for p, t := range inputs {
+		if len(t.Shape) != len(p.Shape) {
+			return nil, fmt.Errorf("dsl: input %s rank mismatch: %v vs %v", p.Name, t.Shape, p.Shape)
+		}
+		for i := range p.Shape {
+			if t.Shape[i] != p.Shape[i] {
+				return nil, fmt.Errorf("dsl: input %s shape mismatch: %v vs %v", p.Name, t.Shape, p.Shape)
+			}
+		}
+	}
+	out := tensor.New(c.Shape...)
+	env := map[*Axis]int{}
+	idx := make([]int, len(c.Shape))
+	var walk func(d int) error
+	walk = func(d int) error {
+		if d == len(c.Shape) {
+			v, err := evalExpr(c.Body, env, inputs)
+			if err != nil {
+				return err
+			}
+			out.Set(v, idx...)
+			return nil
+		}
+		for i := 0; i < c.Shape[d]; i++ {
+			idx[d] = i
+			env[c.Vars[d]] = i
+			if err := walk(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func evalExpr(e Expr, env map[*Axis]int, inputs map[*Placeholder]*tensor.Tensor) (fp16.Float16, error) {
+	switch x := e.(type) {
+	case Access:
+		return evalAccess(x, env, inputs)
+	case Reduce:
+		acc := x.Op.Identity()
+		var loop func(d int) error
+		loop = func(d int) error {
+			if d == len(x.Axes) {
+				v, err := evalAccess(x.Body, env, inputs)
+				if err != nil {
+					return err
+				}
+				acc = x.Op.Apply(acc, v)
+				return nil
+			}
+			for i := 0; i < x.Axes[d].Extent; i++ {
+				env[x.Axes[d]] = i
+				if err := loop(d + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := loop(0); err != nil {
+			return 0, err
+		}
+		return acc, nil
+	case Scale:
+		v, err := evalExpr(x.Inner, env, inputs)
+		if err != nil {
+			return 0, err
+		}
+		return fp16.Mul(v, x.Factor), nil
+	case Bin:
+		a, err := evalAccess(x.A, env, inputs)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalAccess(x.B, env, inputs)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Kind {
+		case BinAdd:
+			return fp16.Add(a, b), nil
+		case BinMul:
+			return fp16.Mul(a, b), nil
+		default:
+			return fp16.Max(a, b), nil
+		}
+	default:
+		return 0, fmt.Errorf("dsl: cannot evaluate expression of type %T", e)
+	}
+}
+
+func evalAccess(a Access, env map[*Axis]int, inputs map[*Placeholder]*tensor.Tensor) (fp16.Float16, error) {
+	t, ok := inputs[a.T]
+	if !ok {
+		return 0, fmt.Errorf("dsl: no binding for placeholder %s", a.T.Name)
+	}
+	flat := 0
+	for d, ix := range a.Idx {
+		v := ix.eval(env)
+		if v < 0 || v >= t.Shape[d] {
+			return fp16.Zero, nil // zero padding convention
+		}
+		flat = flat*t.Shape[d] + v
+	}
+	return t.AtFlat(flat), nil
+}

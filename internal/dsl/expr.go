@@ -1,0 +1,235 @@
+// Package dsl is a miniature TVM-style tensor-expression language — the
+// software stack of paper §IV. Like TVM/AKG it decouples the algorithm
+// (Placeholder / Compute / ReduceAxis expressions, exactly the Listings 1
+// and 2 of the paper) from the execution strategy (a Schedule selecting
+// which lowering runs on the simulated AI Core).
+//
+// The package contains a reference interpreter (Eval) and a lowering pass
+// (Build) that analyses the affine access pattern of a windowed reduction
+// — extracting kernel size and strides from the index expressions — and
+// emits the corresponding CCE instruction stream. Schedules choose among
+// the paper's lowerings: standard, Im2col-based (via the Im2Col custom
+// intrinsic, §VI: "they are declared and manually added to the code as
+// custom intrinsics"), expansion-based, or X-Y split.
+//
+// Scope: forward pooling patterns and elementwise maps. Backward pooling
+// requires the Col2Im instruction, which — as the paper notes for AKG's
+// polyhedral framework — the automatic path does not support; backward
+// kernels live in internal/ops as hand-written intrinsic code.
+package dsl
+
+import (
+	"fmt"
+
+	"davinci/internal/fp16"
+)
+
+// Axis is a named iteration variable: either a data-parallel output axis
+// or a reduction axis (ReduceAxis of the paper's listings).
+type Axis struct {
+	Name   string
+	Extent int
+	Reduce bool
+}
+
+// ReduceAxis declares a reduction axis of the given extent (Listing 1,
+// lines 3-4).
+func ReduceAxis(name string, extent int) *Axis {
+	return &Axis{Name: name, Extent: extent, Reduce: true}
+}
+
+// Index is an affine index expression: a linear combination of axes plus a
+// constant. Affine indices are what make the paper's loop nests DOALL
+// loops amenable to the schedule transformations of §IV-A.
+type Index struct {
+	terms map[*Axis]int
+	c     int
+}
+
+// IdxOf wraps an axis as an index expression.
+func IdxOf(a *Axis) Index { return Index{terms: map[*Axis]int{a: 1}} }
+
+// Const builds a constant index.
+func Const(c int) Index { return Index{c: c} }
+
+// Mul scales the index by a constant.
+func (ix Index) Mul(k int) Index {
+	out := Index{terms: map[*Axis]int{}, c: ix.c * k}
+	for a, v := range ix.terms {
+		out.terms[a] = v * k
+	}
+	return out
+}
+
+// Add sums two index expressions.
+func (ix Index) Add(o Index) Index {
+	out := Index{terms: map[*Axis]int{}, c: ix.c + o.c}
+	for a, v := range ix.terms {
+		out.terms[a] += v
+	}
+	for a, v := range o.terms {
+		out.terms[a] += v
+	}
+	return out
+}
+
+// AddAxis is shorthand for ix.Add(IdxOf(a)).
+func (ix Index) AddAxis(a *Axis) Index { return ix.Add(IdxOf(a)) }
+
+// Coeff returns the coefficient of axis a.
+func (ix Index) Coeff(a *Axis) int { return ix.terms[a] }
+
+// ConstTerm returns the constant term.
+func (ix Index) ConstTerm() int { return ix.c }
+
+// axes returns the axes with non-zero coefficients.
+func (ix Index) axes() []*Axis {
+	var out []*Axis
+	for a, v := range ix.terms {
+		if v != 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// eval computes the index value under an axis assignment.
+func (ix Index) eval(env map[*Axis]int) int {
+	v := ix.c
+	for a, k := range ix.terms {
+		v += k * env[a]
+	}
+	return v
+}
+
+// Expr is a scalar expression over tensor accesses.
+type Expr interface{ isExpr() }
+
+// Access reads a placeholder at affine indices.
+type Access struct {
+	T   *Placeholder
+	Idx []Index
+}
+
+func (Access) isExpr() {}
+
+// ReduceOp is the reduction operator.
+type ReduceOp int
+
+const (
+	// ReduceMax selects the maximum (MaxPool).
+	ReduceMax ReduceOp = iota
+	// ReduceSum sums (AvgPool before scaling).
+	ReduceSum
+)
+
+func (o ReduceOp) String() string {
+	if o == ReduceMax {
+		return "max"
+	}
+	return "sum"
+}
+
+// Identity returns the reduction's identity element.
+func (o ReduceOp) Identity() fp16.Float16 {
+	if o == ReduceMax {
+		return fp16.NegativeInfinity
+	}
+	return fp16.Zero
+}
+
+// Apply combines two values.
+func (o ReduceOp) Apply(a, b fp16.Float16) fp16.Float16 {
+	if o == ReduceMax {
+		return fp16.Max(a, b)
+	}
+	return fp16.Add(a, b)
+}
+
+// Reduce reduces Body over Axes (in declaration order, innermost last).
+type Reduce struct {
+	Op   ReduceOp
+	Body Access
+	Axes []*Axis
+}
+
+func (Reduce) isExpr() {}
+
+// Max builds a max reduction (Listing 1, lines 6-11).
+func Max(body Access, axes ...*Axis) Reduce {
+	return Reduce{Op: ReduceMax, Body: body, Axes: axes}
+}
+
+// Sum builds a sum reduction (§V-C).
+func Sum(body Access, axes ...*Axis) Reduce {
+	return Reduce{Op: ReduceSum, Body: body, Axes: axes}
+}
+
+// Scale multiplies a sub-expression by a constant (AvgPool's element-wise
+// division, expressed as a multiply by 1/(Kh*Kw)).
+type Scale struct {
+	Factor fp16.Float16
+	Inner  Expr
+}
+
+func (Scale) isExpr() {}
+
+// BinKind is an elementwise binary operator.
+type BinKind int
+
+const (
+	// BinAdd is elementwise addition.
+	BinAdd BinKind = iota
+	// BinMul is elementwise multiplication.
+	BinMul
+	// BinMax is elementwise maximum.
+	BinMax
+)
+
+// Bin is an elementwise combination of two accesses.
+type Bin struct {
+	Kind BinKind
+	A, B Access
+}
+
+func (Bin) isExpr() {}
+
+// Placeholder is an input tensor (Listing 1, line 1).
+type Placeholder struct {
+	Name  string
+	Shape []int
+}
+
+// NewPlaceholder declares an input.
+func NewPlaceholder(name string, shape ...int) *Placeholder {
+	return &Placeholder{Name: name, Shape: shape}
+}
+
+// At builds an access with the given index expressions.
+func (p *Placeholder) At(idx ...Index) Access {
+	if len(idx) != len(p.Shape) {
+		panic(fmt.Sprintf("dsl: %s expects %d indices, got %d", p.Name, len(p.Shape), len(idx)))
+	}
+	return Access{T: p, Idx: idx}
+}
+
+// Computation is an output tensor defined by an expression over its output
+// axes (Listing 1, lines 5-11).
+type Computation struct {
+	Name  string
+	Shape []int
+	Vars  []*Axis // one data-parallel axis per output dimension
+	Body  Expr
+}
+
+// Compute declares an output tensor: fn receives one Index per output
+// dimension and returns the defining expression.
+func Compute(name string, shape []int, fn func(ix ...Index) Expr) *Computation {
+	vars := make([]*Axis, len(shape))
+	idx := make([]Index, len(shape))
+	for i, d := range shape {
+		vars[i] = &Axis{Name: fmt.Sprintf("%s_i%d", name, i), Extent: d}
+		idx[i] = IdxOf(vars[i])
+	}
+	return &Computation{Name: name, Shape: shape, Vars: vars, Body: fn(idx...)}
+}

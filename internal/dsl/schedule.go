@@ -1,0 +1,73 @@
+package dsl
+
+import "fmt"
+
+// Strategy selects the lowering of a pooling computation — the choice the
+// paper's schedules make by declaring custom intrinsics (§VI).
+type Strategy int
+
+const (
+	// StrategyStandard is the default TVM lowering (Listing 1).
+	StrategyStandard Strategy = iota
+	// StrategyIm2col tensorizes the input load with the Im2Col intrinsic
+	// (Listing 2).
+	StrategyIm2col
+	// StrategyExpansion rearranges the input with plain vector copies
+	// inside the Unified Buffer ("Maxpool with expansion", §VI-B).
+	StrategyExpansion
+	// StrategyXYSplit reduces width then height with an intermediate
+	// tensor (Lai et al., §VI-B).
+	StrategyXYSplit
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyStandard:
+		return "standard"
+	case StrategyIm2col:
+		return "im2col"
+	case StrategyExpansion:
+		return "expansion"
+	case StrategyXYSplit:
+		return "xysplit"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Schedule is an execution strategy for one computation. Like a TVM
+// schedule it never changes results, only performance (§IV-A: "the
+// programmer is free to test multiple optimization strategies by rewriting
+// a schedule without changing the algorithm").
+type Schedule struct {
+	Out      *Computation
+	strategy Strategy
+}
+
+// CreateSchedule starts a default (standard-lowering) schedule. The C1
+// tiling and AI-core parallelization of §IV-A are applied automatically by
+// the lowering, as AKG does.
+func CreateSchedule(c *Computation) *Schedule {
+	return &Schedule{Out: c, strategy: StrategyStandard}
+}
+
+// TensorizeIm2col declares the Im2Col custom intrinsic for the input load,
+// switching to the accelerated lowering of Listing 2.
+func (s *Schedule) TensorizeIm2col() *Schedule {
+	s.strategy = StrategyIm2col
+	return s
+}
+
+// Expand selects the vector-copy expansion lowering.
+func (s *Schedule) Expand() *Schedule {
+	s.strategy = StrategyExpansion
+	return s
+}
+
+// SplitXY selects the X-Y split lowering.
+func (s *Schedule) SplitXY() *Schedule {
+	s.strategy = StrategyXYSplit
+	return s
+}
+
+// Strategy reports the selected lowering.
+func (s *Schedule) Strategy() Strategy { return s.strategy }

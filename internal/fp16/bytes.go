@@ -1,0 +1,43 @@
+package fp16
+
+import "encoding/binary"
+
+// Bytes is the size of one binary16 element in memory.
+const Bytes = 2
+
+// Load reads the binary16 element at byte offset off from b (little endian,
+// matching the simulated scratchpad memories).
+func Load(b []byte, off int) Float16 {
+	return Float16(binary.LittleEndian.Uint16(b[off : off+2]))
+}
+
+// Store writes h at byte offset off in b.
+func Store(b []byte, off int, h Float16) {
+	binary.LittleEndian.PutUint16(b[off:off+2], uint16(h))
+}
+
+// EncodeSlice converts a float32 slice to packed binary16 bytes.
+func EncodeSlice(src []float32) []byte {
+	out := make([]byte, len(src)*Bytes)
+	for i, f := range src {
+		Store(out, i*Bytes, FromFloat32(f))
+	}
+	return out
+}
+
+// DecodeSlice converts packed binary16 bytes to a float32 slice.
+// len(b) must be even.
+func DecodeSlice(b []byte) []float32 {
+	out := make([]float32, len(b)/Bytes)
+	for i := range out {
+		out[i] = ToFloat32(Load(b, i*Bytes))
+	}
+	return out
+}
+
+// Fill writes n copies of h starting at byte offset off.
+func Fill(b []byte, off int, n int, h Float16) {
+	for i := 0; i < n; i++ {
+		Store(b, off+i*Bytes, h)
+	}
+}

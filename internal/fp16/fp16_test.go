@@ -1,0 +1,257 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownConversions(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},
+		{-65504, 0xfbff},
+		{65536, 0x7c00},  // overflow -> +Inf
+		{-65536, 0xfc00}, // overflow -> -Inf
+		{5.9604645e-08, 0x0001},
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{0.333251953125, 0x3555}, // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.h {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+	}
+}
+
+func TestToFloat32Known(t *testing.T) {
+	cases := []struct {
+		h Float16
+		f float32
+	}{
+		{0x3c00, 1},
+		{0xc000, -2},
+		{0x7bff, 65504},
+		{0x0001, 5.9604645e-08}, // smallest subnormal
+		{0x03ff, 6.097555e-05},  // largest subnormal
+		{0x0400, 6.1035156e-05}, // smallest normal
+	}
+	for _, c := range cases {
+		if got := ToFloat32(c.h); got != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.h, got, c.f)
+		}
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	if !NaN.IsNaN() {
+		t.Fatal("NaN constant is not NaN")
+	}
+	if !FromFloat32(float32(math.NaN())).IsNaN() {
+		t.Error("FromFloat32(NaN) not NaN")
+	}
+	if f := ToFloat32(NaN); !math.IsNaN(float64(f)) {
+		t.Error("ToFloat32(NaN) not NaN")
+	}
+	// maxnum semantics: max(NaN, x) == x.
+	if got := Max(NaN, One); got != One {
+		t.Errorf("Max(NaN, 1) = %#04x, want 1.0", got)
+	}
+	if got := Min(One, NaN); got != One {
+		t.Errorf("Min(1, NaN) = %#04x, want 1.0", got)
+	}
+	if Less(NaN, One) || Less(One, NaN) || Equal(NaN, NaN) {
+		t.Error("NaN comparisons must be false")
+	}
+}
+
+func TestInfPredicates(t *testing.T) {
+	if !PositiveInfinity.IsInf(0) || !PositiveInfinity.IsInf(1) || PositiveInfinity.IsInf(-1) {
+		t.Error("+Inf predicate wrong")
+	}
+	if !NegativeInfinity.IsInf(0) || !NegativeInfinity.IsInf(-1) || NegativeInfinity.IsInf(1) {
+		t.Error("-Inf predicate wrong")
+	}
+	if MaxValue.IsInf(0) {
+		t.Error("finite value reported infinite")
+	}
+}
+
+// Property: every binary16 bit pattern survives a round trip through float32.
+func TestRoundTripAllValues(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := Float16(i)
+		f := ToFloat32(h)
+		back := FromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("NaN %#04x did not round trip to NaN (got %#04x)", h, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("%#04x -> %v -> %#04x round trip failed", h, f, back)
+		}
+	}
+}
+
+// Property: conversion from float32 picks a nearest representable value.
+func TestQuickNearest(t *testing.T) {
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		if math.IsNaN(float64(x)) {
+			return FromFloat32(x).IsNaN()
+		}
+		h := FromFloat32(x)
+		y := ToFloat32(h)
+		if math.IsInf(float64(y), 0) {
+			// Overflow is allowed only past the halfway point to 65536.
+			return float32(math.Abs(float64(x))) >= 65520
+		}
+		// |x-y| must not exceed one ULP step to either neighbour.
+		up := ToFloat32(h + 1)
+		var down float32
+		if h&0x7fff == 0 {
+			down = ToFloat32((h ^ 0x8000) + 1)
+		} else {
+			down = ToFloat32(h - 1)
+		}
+		lo, hi := down, up
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mid1 := (float64(lo) + float64(y)) / 2
+		mid2 := (float64(hi) + float64(y)) / 2
+		return float64(x) >= mid1-1e-12 && float64(x) <= mid2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ordering of finite halves matches float32 ordering.
+func TestQuickOrdering(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Float16(a), Float16(b)
+		if x.IsNaN() || y.IsNaN() {
+			return !Less(x, y) && !Less(y, x)
+		}
+		return Less(x, y) == (ToFloat32(x) < ToFloat32(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Max/Min are commutative (up to zero signs) and pick an operand.
+func TestQuickMaxMin(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Float16(a), Float16(b)
+		mx, mn := Max(x, y), Min(x, y)
+		pick := func(v Float16) bool { return v == x || v == y }
+		if !pick(mx) || !pick(mn) {
+			return false
+		}
+		if x.IsNaN() || y.IsNaN() {
+			return true
+		}
+		return !Less(mx, mn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := FromFloat32(1.5), FromFloat32(2.25)
+	if got := ToFloat32(Add(a, b)); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := ToFloat32(Sub(a, b)); got != -0.75 {
+		t.Errorf("1.5-2.25 = %v", got)
+	}
+	if got := ToFloat32(Mul(a, b)); got != 3.375 {
+		t.Errorf("1.5*2.25 = %v", got)
+	}
+	if got := ToFloat32(Div(b, a)); got != 1.5 {
+		t.Errorf("2.25/1.5 = %v", got)
+	}
+	if got := Neg(One); ToFloat32(got) != -1 {
+		t.Errorf("Neg(1) = %v", ToFloat32(got))
+	}
+	if got := Abs(FromFloat32(-3)); ToFloat32(got) != 3 {
+		t.Errorf("Abs(-3) = %v", ToFloat32(got))
+	}
+}
+
+func TestAdditionSaturatesToInf(t *testing.T) {
+	if got := Add(MaxValue, MaxValue); !got.IsInf(1) {
+		t.Errorf("65504+65504 = %#04x, want +Inf", got)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	src := []float32{0, 1, -2, 0.5, 65504}
+	b := EncodeSlice(src)
+	if len(b) != len(src)*Bytes {
+		t.Fatalf("encoded length %d", len(b))
+	}
+	got := DecodeSlice(b)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Errorf("slice[%d] = %v, want %v", i, got[i], src[i])
+		}
+	}
+	Fill(b, 2, 3, One)
+	got = DecodeSlice(b)
+	want := []float32{0, 1, 1, 1, 65504}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("after Fill, slice[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadStoreRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := make([]byte, 64)
+	for i := 0; i < 1000; i++ {
+		off := rng.Intn(31) * 2
+		h := Float16(rng.Intn(0x10000))
+		Store(b, off, h)
+		if got := Load(b, off); got != h {
+			t.Fatalf("Load(Store(%#04x)) = %#04x", h, got)
+		}
+	}
+}
+
+// FuzzRoundTrip feeds arbitrary float32 bit patterns through the
+// conversion pair; run with `go test -fuzz=FuzzRoundTrip ./internal/fp16`
+// for continuous fuzzing (the seed corpus runs in normal `go test`).
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range []uint32{0, 0x3f800000, 0x7f800000, 0x7fc00000, 0x00000001, 0x38800000, 0xb335432d, 0x103e5db0} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		x := math.Float32frombits(bits)
+		h := FromFloat32(x)
+		y := ToFloat32(h)
+		// The half value must itself be a fixed point of the conversion.
+		if !h.IsNaN() && FromFloat32(y) != h {
+			t.Fatalf("fixed point violated: %#08x -> %#04x -> %v", bits, h, y)
+		}
+		if math.IsNaN(float64(x)) != h.IsNaN() {
+			t.Fatalf("NaN not preserved for %#08x", bits)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package isa
+
+import "fmt"
+
+// ConvParams carries the image-constant parameters shared by all Im2Col and
+// Col2Im instructions that load or store the same input (paper §III-C):
+// input size, zero padding, strides and kernel size.
+type ConvParams struct {
+	Ih, Iw         int // input height and width
+	Pt, Pb, Pl, Pr int // top/bottom/left/right zero padding
+	Sh, Sw         int // strides
+	Kh, Kw         int // kernel size
+}
+
+// OutDims returns the number of patches (Oh, Ow) in the input's height and
+// width, per Equation 1 of the paper.
+func (p ConvParams) OutDims() (oh, ow int) {
+	oh = (p.Ih+p.Pb+p.Pt-p.Kh)/p.Sh + 1
+	ow = (p.Iw+p.Pl+p.Pr-p.Kw)/p.Sw + 1
+	return oh, ow
+}
+
+// Patches returns Oh*Ow, the total number of patches.
+func (p ConvParams) Patches() int {
+	oh, ow := p.OutDims()
+	return oh * ow
+}
+
+// Fractals returns the number of 16-patch fractals needed to cover all
+// patches for one (c1, xk, yk) combination: ceil(Oh*Ow / 16).
+func (p ConvParams) Fractals() int {
+	return (p.Patches() + FractalPatches - 1) / FractalPatches
+}
+
+// PaddedPatches returns the patch count rounded up to a whole number of
+// fractals; this is the Oh*Ow extent actually materialized in a target
+// buffer by repeated Im2Col loads.
+func (p ConvParams) PaddedPatches() int { return p.Fractals() * FractalPatches }
+
+// Validate reports malformed parameter combinations.
+func (p ConvParams) Validate() error {
+	switch {
+	case p.Ih <= 0 || p.Iw <= 0:
+		return fmt.Errorf("isa: non-positive input size (%d,%d)", p.Ih, p.Iw)
+	case p.Kh <= 0 || p.Kw <= 0:
+		return fmt.Errorf("isa: non-positive kernel (%d,%d)", p.Kh, p.Kw)
+	case p.Sh <= 0 || p.Sw <= 0:
+		return fmt.Errorf("isa: non-positive stride (%d,%d)", p.Sh, p.Sw)
+	case p.Pt < 0 || p.Pb < 0 || p.Pl < 0 || p.Pr < 0:
+		return fmt.Errorf("isa: negative padding (%d,%d,%d,%d)", p.Pt, p.Pb, p.Pl, p.Pr)
+	case p.Pt >= p.Kh || p.Pb >= p.Kh || p.Pl >= p.Kw || p.Pr >= p.Kw:
+		return fmt.Errorf("isa: padding must be smaller than the kernel")
+	}
+	oh, ow := p.OutDims()
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("isa: kernel (%d,%d) larger than padded input (%d,%d)",
+			p.Kh, p.Kw, p.Ih+p.Pt+p.Pb, p.Iw+p.Pl+p.Pr)
+	}
+	return nil
+}
+
+// FractalPatches is the number of patches one fractal covers: 16 rows of C0
+// elements (paper §III-C).
+const FractalPatches = 16
+
+// FractalC0 is the fractal's inner dimension length for Float16.
+const FractalC0 = 16
+
+// FractalBytes is the byte size of one data-fractal (4096 bits).
+const FractalBytes = FractalPatches * FractalC0 * 2

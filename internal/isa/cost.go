@@ -1,0 +1,108 @@
+package isa
+
+// MaxRepeat is the largest repeat count a single instruction supports;
+// longer streams must be split into multiple instructions, paying the issue
+// overhead again. This cap is what makes instruction-count reduction (the
+// paper's repeat-parameter argument, §V) matter even for huge tiles.
+const MaxRepeat = 255
+
+// CostModel holds the cycle costs charged by the timing simulator. The
+// defaults are calibrated so that the relative behaviour of the kernel
+// variants matches the paper's Ascend 910 measurements (see EXPERIMENTS.md);
+// absolute values are not meaningful, ratios are.
+type CostModel struct {
+	// VecIssue is the fixed overhead of issuing one vector instruction
+	// (fetch, decode, address generation, inter-instruction barrier).
+	VecIssue int64
+	// VecPerRepeat is the cost of one repeat iteration: the 128-lane
+	// datapath advances one step per cycle regardless of mask occupancy.
+	VecPerRepeat int64
+	// VecStridedPerRepeat is the cost of one repeat iteration when an
+	// operand uses a non-unit block stride: the access is split into
+	// per-block transactions (one per 32-byte block).
+	VecStridedPerRepeat int64
+	// MteIssue is the fixed overhead of a memory-transfer instruction.
+	MteIssue int64
+	// MteBurst is the extra descriptor cost per additional burst.
+	MteBurst int64
+	// DmaBytesPerCycle is the global-memory DMA bandwidth (MTE2/MTE3).
+	DmaBytesPerCycle int
+	// LocalBytesPerCycle is the local copy bandwidth (MTE1, UB-to-UB).
+	LocalBytesPerCycle int
+	// Im2ColFractal is the SCU cost of producing one fractal during an
+	// Im2Col load (gather of 16 patch elements x C0).
+	Im2ColFractal int64
+	// Col2ImFractal is the Vector Unit cost of one Col2Im fractal step:
+	// the load / add / scattered store of Fig. 6.
+	Col2ImFractal int64
+	// CubeIssue is the fixed overhead of an MMAD instruction.
+	CubeIssue int64
+	// CubeFractalPairs is the number of fractal pairs multiplied per cycle.
+	CubeFractalPairs int64
+	// ScalarOp is the cost of one Scalar Unit operation.
+	ScalarOp int64
+	// Barrier is the cost of a full pipe barrier.
+	Barrier int64
+	// Flag is the cost of a set_flag / wait_flag instruction (stall time
+	// from waiting comes out of the schedule, not this constant).
+	Flag int64
+}
+
+// DefaultCostModel returns the calibrated model used throughout the
+// benchmarks. Rationale for the key values:
+//
+//   - VecIssue 4 / VecPerRepeat 1: a vector instruction's overhead is a
+//     small multiple of its per-step cost, so kernels that issue one
+//     instruction per patch (Listing 1's lowering) are dominated by issue
+//     overhead while kernels that ride the repeat parameter amortize it.
+//   - VecStridedPerRepeat 8: non-unit block strides serialize the 8
+//     blocks of a repeat, so layout transforms done with plain vector
+//     copies pay for their gathers ("Maxpool with expansion", §VI-B).
+//   - DmaBytesPerCycle 64: a 512-bit bus transfer per cycle to global
+//     memory, so data movement is never free and kernels that save masks
+//     or gradients pay for the traffic.
+//   - Im2ColFractal 12: the SCU gathers one fractal (512 B) every twelve
+//     cycles — the transform happens "while data is transferred between
+//     buffers" (paper §III-A) rather than as vector work, but data
+//     duplication still costs SCU bandwidth, which is why the direct
+//     kernel wins at stride (1,1) where duplication is maximal (Fig. 8a).
+//   - Col2ImFractal 9: a read-modify-write of 16 scattered C0 rows costs
+//     an order of magnitude more than a streaming repeat but far less
+//     than the 16-lane vadd per patch it replaces.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		VecIssue:            4,
+		VecPerRepeat:        1,
+		VecStridedPerRepeat: 8,
+		MteIssue:            16,
+		MteBurst:            2,
+		DmaBytesPerCycle:    64,
+		LocalBytesPerCycle:  128,
+		Im2ColFractal:       12,
+		Col2ImFractal:       9,
+		CubeIssue:           8,
+		CubeFractalPairs:    2,
+		ScalarOp:            1,
+		Barrier:             16,
+		Flag:                2,
+	}
+}
+
+// SplitRepeat decomposes a total repeat count into chunks of at most
+// MaxRepeat, the way a compiler lowers long loops onto the repeat
+// parameter. It returns the per-instruction repeat counts.
+func SplitRepeat(total int) []int {
+	if total <= 0 {
+		return nil
+	}
+	var out []int
+	for total > 0 {
+		n := total
+		if n > MaxRepeat {
+			n = MaxRepeat
+		}
+		out = append(out, n)
+		total -= n
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"davinci/internal/chip"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+)
+
+func TestTapeRecordsAndBackpropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dev := chip.New(chip.Config{Cores: 1})
+	model := &Sequential{Layers: []Layer{
+		&Conv2D{Weights: randWeights(rng, 16, 16, 3), Stride: 1, Pad: 1},
+		&MaxPool2D{Kernel: 2, Stride: 2},
+	}}
+	in := tensor.New(1, 1, 12, 12, tensor.C0)
+	in.FillRandom(rng, 0.5)
+
+	tape, err := model.ForwardTape(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tape.Out.Shape[2] != 6 || tape.Out.Shape[3] != 6 {
+		t.Fatalf("tape out shape %v", tape.Out.Shape)
+	}
+	if tape.masks[1] == nil {
+		t.Fatal("maxpool mask not recorded")
+	}
+	if tape.Cycles <= 0 || len(tape.Reports) != 2 {
+		t.Fatalf("tape stats: cycles=%d reports=%d", tape.Cycles, len(tape.Reports))
+	}
+
+	grad := tensor.New(1, 1, 6, 6, tensor.C0)
+	grad.FillRandom(rng, 0.5)
+	wgrads, dIn, cycles, err := tape.Backward(dev, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wgrads) != 1 {
+		t.Fatalf("weight grads: %d", len(wgrads))
+	}
+	if wgrads[0].Grad.Shape[0] != 16 || wgrads[0].Grad.Shape[2] != 3 {
+		t.Errorf("dW shape %v", wgrads[0].Grad.Shape)
+	}
+	// The first layer's dX is skipped (not needed), so dIn is the gradient
+	// entering the conv layer, i.e. the pool backward result.
+	poolP := isa.ConvParams{Ih: 12, Iw: 12, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	want := ref.MaxPoolBackward(tape.masks[1], grad, poolP, 12, 12)
+	if tensor.MaxAbsDiff(dIn, want) != 0 {
+		t.Error("pool backward through the tape diverges")
+	}
+	if cycles <= 0 {
+		t.Error("no backward cycles")
+	}
+}
+
+// End-to-end training through the nn API: the loss against a fixed target
+// decreases.
+func TestTrainingThroughTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dev := chip.New(chip.Config{Cores: 1})
+	conv := &Conv2D{Weights: randWeights(rng, 16, 16, 3), Stride: 1, Pad: 1}
+	model := &Sequential{Layers: []Layer{
+		conv,
+		&MaxPool2D{Kernel: 2, Stride: 2},
+		&AvgPool2D{Kernel: 2, Stride: 2},
+	}}
+	in := tensor.New(1, 1, 8, 8, tensor.C0)
+	in.FillRandom(rng, 0.5)
+	target := tensor.New(1, 1, 2, 2, tensor.C0)
+	target.FillRandom(rng, 0.5)
+
+	const lr = 0.05
+	var first, last float64
+	prev := 1e30
+	for step := 0; step < 6; step++ {
+		tape, err := model.ForwardTape(dev, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loss float64
+		grad := tensor.New(target.Shape...)
+		for i := 0; i < tape.Out.Len(); i++ {
+			d := fp16.ToFloat64(tape.Out.AtFlat(i)) - fp16.ToFloat64(target.AtFlat(i))
+			loss += d * d
+			grad.SetFlat(i, fp16.FromFloat64(2*d/float64(tape.Out.Len())))
+		}
+		loss /= float64(tape.Out.Len())
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		if loss > prev*1.001 {
+			t.Fatalf("loss increased at step %d: %v -> %v", step, prev, loss)
+		}
+		prev = loss
+
+		wgrads, _, _, err := tape.Backward(dev, grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wg := range wgrads {
+			for i := 0; i < wg.Layer.Weights.Len(); i++ {
+				w := fp16.ToFloat64(wg.Layer.Weights.AtFlat(i)) - lr*fp16.ToFloat64(wg.Grad.AtFlat(i))
+				wg.Layer.Weights.SetFlat(i, fp16.FromFloat64(w))
+			}
+		}
+	}
+	if last >= first {
+		t.Errorf("training made no progress: %v -> %v", first, last)
+	}
+}
+
+func TestTapeDeepModelDX(t *testing.T) {
+	// Two conv layers: the inner layer's dX must flow to the outer one.
+	rng := rand.New(rand.NewSource(3))
+	dev := chip.New(chip.Config{Cores: 1})
+	model := &Sequential{Layers: []Layer{
+		&Conv2D{Weights: randWeights(rng, 16, 16, 3), Stride: 1, Pad: 1},
+		&Conv2D{Weights: randWeights(rng, 16, 16, 3), Stride: 1, Pad: 1},
+	}}
+	in := tensor.New(1, 1, 8, 8, tensor.C0)
+	in.FillRandom(rng, 0.5)
+	tape, err := model.ForwardTape(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := tensor.New(1, 1, 8, 8, tensor.C0)
+	grad.FillRandom(rng, 0.5)
+	wgrads, _, _, err := tape.Backward(dev, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wgrads) != 2 {
+		t.Fatalf("want 2 weight grads, got %d", len(wgrads))
+	}
+	// Backward order is last layer first.
+	if wgrads[0].Layer != model.Layers[1] {
+		t.Error("weight grads not in reverse layer order")
+	}
+}

@@ -1,0 +1,163 @@
+// Package nn runs small CNN graphs on the simulated device: a Sequential
+// model of convolution and pooling layers with per-layer cycle accounting.
+// It is the integration layer a framework would put on top of the kernels
+// — the paper's operators slot into real networks like the Table I CNNs,
+// and this package is how the examples execute multi-layer stems end to
+// end.
+package nn
+
+import (
+	"fmt"
+
+	"davinci/internal/chip"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// Layer is one network stage executable on the simulated device. Layers
+// are shape-polymorphic: spatial input extents are taken from the incoming
+// tensor at execution time.
+type Layer interface {
+	// Name identifies the layer in reports.
+	Name() string
+	// Forward runs the layer.
+	Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, *chip.Stats, error)
+}
+
+// Conv2D is a convolution layer on the Cube unit.
+type Conv2D struct {
+	// Tag is an optional display name.
+	Tag string
+	// Weights has shape (Co, C, Kh, Kw).
+	Weights *tensor.Tensor
+	// Stride and Pad apply symmetrically.
+	Stride, Pad int
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string {
+	if l.Tag != "" {
+		return l.Tag
+	}
+	return fmt.Sprintf("conv%dx%d/%d", l.Weights.Shape[2], l.Weights.Shape[3], l.Stride)
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, *chip.Stats, error) {
+	if len(in.Shape) != 5 {
+		return nil, nil, fmt.Errorf("nn: %s: want NC1HWC0 input, got %v", l.Name(), in.Shape)
+	}
+	p := isa.ConvParams{
+		Ih: in.Shape[2], Iw: in.Shape[3],
+		Kh: l.Weights.Shape[2], Kw: l.Weights.Shape[3],
+		Sh: l.Stride, Sw: l.Stride,
+		Pt: l.Pad, Pb: l.Pad, Pl: l.Pad, Pr: l.Pad,
+	}
+	if tensor.C1Of(l.Weights.Shape[1]) != in.Shape[1] {
+		return nil, nil, fmt.Errorf("nn: %s: weights expect %d channels, input has C1=%d",
+			l.Name(), l.Weights.Shape[1], in.Shape[1])
+	}
+	return dev.Conv2D(in, l.Weights, p)
+}
+
+// MaxPool2D is a max pooling layer; Variant selects the implementation
+// ("standard", "im2col", "expansion", "xysplit").
+type MaxPool2D struct {
+	Kernel, Stride, Pad int
+	Variant             string
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string {
+	return fmt.Sprintf("maxpool%dx%d/%d[%s]", l.Kernel, l.Kernel, l.Stride, l.variant())
+}
+
+func (l *MaxPool2D) variant() string {
+	if l.Variant == "" {
+		return "im2col"
+	}
+	return l.Variant
+}
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, *chip.Stats, error) {
+	if len(in.Shape) != 5 {
+		return nil, nil, fmt.Errorf("nn: %s: want NC1HWC0 input, got %v", l.Name(), in.Shape)
+	}
+	p := isa.ConvParams{
+		Ih: in.Shape[2], Iw: in.Shape[3],
+		Kh: l.Kernel, Kw: l.Kernel, Sh: l.Stride, Sw: l.Stride,
+		Pt: l.Pad, Pb: l.Pad, Pl: l.Pad, Pr: l.Pad,
+	}
+	return dev.MaxPoolForward(l.variant(), in, p)
+}
+
+// AvgPool2D is an average pooling layer; Variant selects "standard",
+// "im2col" or "cube".
+type AvgPool2D struct {
+	Kernel, Stride, Pad int
+	Variant             string
+}
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string {
+	return fmt.Sprintf("avgpool%dx%d/%d[%s]", l.Kernel, l.Kernel, l.Stride, l.variant())
+}
+
+func (l *AvgPool2D) variant() string {
+	if l.Variant == "" {
+		return "im2col"
+	}
+	return l.Variant
+}
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, *chip.Stats, error) {
+	if len(in.Shape) != 5 {
+		return nil, nil, fmt.Errorf("nn: %s: want NC1HWC0 input, got %v", l.Name(), in.Shape)
+	}
+	p := isa.ConvParams{
+		Ih: in.Shape[2], Iw: in.Shape[3],
+		Kh: l.Kernel, Kw: l.Kernel, Sh: l.Stride, Sw: l.Stride,
+		Pt: l.Pad, Pb: l.Pad, Pl: l.Pad, Pr: l.Pad,
+	}
+	return dev.AvgPoolForward(l.variant(), in, p)
+}
+
+// LayerReport is one layer's execution record.
+type LayerReport struct {
+	Name     string
+	OutShape []int
+	Cycles   int64
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Sequential is a linear stack of layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward runs the model, returning the final activation, per-layer
+// reports, and the total device cycles (layers execute back to back).
+func (s *Sequential) Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, []LayerReport, int64, error) {
+	var reports []LayerReport
+	var total int64
+	x := in
+	for i, l := range s.Layers {
+		out, st, err := l.Forward(dev, x)
+		if err != nil {
+			return nil, reports, total, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+		reports = append(reports, LayerReport{
+			Name:     l.Name(),
+			OutShape: append([]int(nil), out.Shape...),
+			Cycles:   st.Cycles,
+			BytesIn:  st.Work.BytesIn,
+			BytesOut: st.Work.BytesOut,
+		})
+		total += st.Cycles
+		x = out
+	}
+	return x, reports, total, nil
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"davinci/internal/chip"
+	"davinci/internal/isa"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+)
+
+func randWeights(rng *rand.Rand, co, c, k int) *tensor.Tensor {
+	w := tensor.New(co, c, k, k)
+	w.FillRandom(rng, 0.2)
+	return w
+}
+
+func stemModel(rng *rand.Rand, poolVariant string) *Sequential {
+	return &Sequential{Layers: []Layer{
+		&Conv2D{Weights: randWeights(rng, 32, 16, 3), Stride: 2},
+		&Conv2D{Weights: randWeights(rng, 32, 32, 3), Stride: 1, Pad: 1},
+		&MaxPool2D{Kernel: 3, Stride: 2, Variant: poolVariant},
+		&AvgPool2D{Kernel: 2, Stride: 2, Variant: "im2col"},
+	}}
+}
+
+func TestSequentialShapesAndStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dev := chip.New(chip.Config{Cores: 2})
+	in := tensor.New(1, 1, 33, 33, tensor.C0)
+	in.FillRandom(rng, 1)
+
+	model := stemModel(rng, "im2col")
+	out, reports, total, err := model.Forward(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports: %d", len(reports))
+	}
+	// conv s2: 33 -> 16; conv s1 pad1: 16 -> 16; maxpool k3 s2: 16 -> 7;
+	// avgpool k2 s2: 7 -> 3.
+	wantShapes := [][2]int{{16, 16}, {16, 16}, {7, 7}, {3, 3}}
+	for i, r := range reports {
+		if r.OutShape[2] != wantShapes[i][0] || r.OutShape[3] != wantShapes[i][1] {
+			t.Errorf("layer %d (%s): shape %v, want %v", i, r.Name, r.OutShape, wantShapes[i])
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("layer %d: zero cycles", i)
+		}
+	}
+	if out.Shape[1] != 2 { // 32 channels = C1 2
+		t.Errorf("final C1 = %d", out.Shape[1])
+	}
+	var sum int64
+	for _, r := range reports {
+		sum += r.Cycles
+	}
+	if sum != total {
+		t.Errorf("total %d != sum %d", total, sum)
+	}
+}
+
+// The pooling variant choice changes timing, never results.
+func TestVariantsChangeTimingNotResults(t *testing.T) {
+	dev := chip.New(chip.Config{Cores: 2})
+	in := tensor.New(1, 1, 33, 33, tensor.C0)
+	in.FillRandom(rand.New(rand.NewSource(2)), 1)
+
+	run := func(variant string) (*tensor.Tensor, int64) {
+		rng := rand.New(rand.NewSource(3)) // same weights both runs
+		out, _, total, err := stemModel(rng, variant).Forward(dev, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, total
+	}
+	outStd, cycStd := run("standard")
+	outIm, cycIm := run("im2col")
+	if tensor.MaxAbsDiff(outStd, outIm) != 0 {
+		t.Error("pooling variant changed network output")
+	}
+	if cycIm >= cycStd {
+		t.Errorf("im2col network (%d) not faster than standard (%d)", cycIm, cycStd)
+	}
+}
+
+// A single-pool model must agree with the reference model end to end.
+func TestSingleLayerAgainstReference(t *testing.T) {
+	dev := chip.New(chip.Config{Cores: 1})
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.New(1, 2, 20, 20, tensor.C0)
+	in.FillRandom(rng, 4)
+	model := &Sequential{Layers: []Layer{&MaxPool2D{Kernel: 3, Stride: 2}}}
+	out, _, _, err := model.Forward(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := isa.ConvParams{Ih: 20, Iw: 20, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	if tensor.MaxAbsDiff(out, ref.MaxPoolForward(in, p)) != 0 {
+		t.Error("network pooling diverges from reference")
+	}
+}
+
+func TestLayerErrors(t *testing.T) {
+	dev := chip.New(chip.Config{Cores: 1})
+	rng := rand.New(rand.NewSource(5))
+	// Channel mismatch: weights want 32 channels, input has 16.
+	model := &Sequential{Layers: []Layer{
+		&Conv2D{Weights: randWeights(rng, 16, 32, 3), Stride: 1},
+	}}
+	in := tensor.New(1, 1, 8, 8, tensor.C0)
+	if _, _, _, err := model.Forward(dev, in); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	// Non-fractal input.
+	if _, _, err := (&MaxPool2D{Kernel: 2, Stride: 2}).Forward(dev, tensor.New(4, 4)); err == nil {
+		t.Error("non-fractal input accepted")
+	}
+	if _, _, err := (&AvgPool2D{Kernel: 2, Stride: 2}).Forward(dev, tensor.New(4, 4)); err == nil {
+		t.Error("non-fractal input accepted")
+	}
+	if _, _, err := (&Conv2D{Weights: randWeights(rng, 16, 16, 3), Stride: 1}).Forward(dev, tensor.New(4, 4)); err == nil {
+		t.Error("non-fractal input accepted")
+	}
+}
+
+func TestLayerNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := map[Layer]string{
+		&Conv2D{Weights: randWeights(rng, 8, 16, 3), Stride: 2}:              "conv3x3/2",
+		&Conv2D{Tag: "stem", Weights: randWeights(rng, 8, 16, 1), Stride: 1}: "stem",
+		&MaxPool2D{Kernel: 3, Stride: 2}:                                     "maxpool3x3/2[im2col]",
+		&MaxPool2D{Kernel: 2, Stride: 2, Variant: "xysplit"}:                 "maxpool2x2/2[xysplit]",
+		&AvgPool2D{Kernel: 7, Stride: 7, Variant: "cube"}:                    "avgpool7x7/7[cube]",
+	}
+	for l, want := range cases {
+		if got := l.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+// An Inception-style block: three branches over the same input, outputs
+// concatenated along the channel dimension.
+func TestParallelInceptionBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dev := chip.New(chip.Config{Cores: 2})
+	block := &Parallel{Tag: "mixed0", Branches: []*Sequential{
+		{Layers: []Layer{&Conv2D{Weights: randWeights(rng, 16, 16, 1), Stride: 1}}},
+		{Layers: []Layer{&Conv2D{Weights: randWeights(rng, 32, 16, 3), Stride: 1, Pad: 1}}},
+		{Layers: []Layer{&MaxPool2D{Kernel: 3, Stride: 1, Pad: 1}}},
+	}}
+	in := tensor.New(1, 1, 10, 10, tensor.C0)
+	in.FillRandom(rng, 0.5)
+	out, st, err := block.Forward(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channels: 16 + 32 + 16 = 64 -> C1 = 4; spatial preserved.
+	if out.Shape[1] != 4 || out.Shape[2] != 10 || out.Shape[3] != 10 {
+		t.Fatalf("block output shape %v", out.Shape)
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles accounted")
+	}
+	// The maxpool branch occupies the last C1 slice; cross-check it.
+	p := isa.ConvParams{Ih: 10, Iw: 10, Kh: 3, Kw: 3, Sh: 1, Sw: 1, Pt: 1, Pb: 1, Pl: 1, Pr: 1}
+	want := ref.MaxPoolForward(in, p)
+	got := tensor.SliceC1(out, 0, 3)
+	if tensor.MaxAbsDiff(got, want) != 0 {
+		t.Error("concatenated pool branch diverges")
+	}
+	// It composes inside Sequential too.
+	model := &Sequential{Layers: []Layer{block, &MaxPool2D{Kernel: 2, Stride: 2}}}
+	out2, _, _, err := model.Forward(dev, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Shape[1] != 4 || out2.Shape[2] != 5 {
+		t.Errorf("block+pool shape %v", out2.Shape)
+	}
+	if block.Name() != "mixed0" {
+		t.Error("tag not used")
+	}
+	if (&Parallel{}).Name() != "parallel[0 branches]" {
+		t.Error("default name")
+	}
+	if _, _, err := (&Parallel{}).Forward(dev, in); err == nil {
+		t.Error("empty parallel accepted")
+	}
+	// Mismatched branch shapes rejected.
+	bad := &Parallel{Branches: []*Sequential{
+		{Layers: []Layer{&MaxPool2D{Kernel: 2, Stride: 2}}},
+		{Layers: []Layer{&MaxPool2D{Kernel: 2, Stride: 1}}},
+	}}
+	if _, _, err := bad.Forward(dev, in); err == nil {
+		t.Error("mismatched branches accepted")
+	}
+}

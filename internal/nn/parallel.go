@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"fmt"
+
+	"davinci/internal/aicore"
+	"davinci/internal/cce"
+	"davinci/internal/chip"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// Parallel runs several branches on the same input and concatenates their
+// outputs along the channel dimension — the Inception-block topology of
+// the CNNs whose pooling layers the paper evaluates (InceptionV3/Xception,
+// Table I). Branch outputs must share batch and spatial extents.
+//
+// The concatenation itself is data movement: each branch's activation is
+// streamed through a core's Unified Buffer into its channel slot of the
+// output, and the copies are charged to the simulated MTE pipes like any
+// other transfer.
+type Parallel struct {
+	Tag      string
+	Branches []*Sequential
+}
+
+// Name implements Layer.
+func (l *Parallel) Name() string {
+	if l.Tag != "" {
+		return l.Tag
+	}
+	return fmt.Sprintf("parallel[%d branches]", len(l.Branches))
+}
+
+// Forward implements Layer: branches execute one after another on the
+// device (each already parallelizes its tiles across the cores), then the
+// concat streams every branch output into place.
+func (l *Parallel) Forward(dev *chip.Chip, in *tensor.Tensor) (*tensor.Tensor, *chip.Stats, error) {
+	if len(l.Branches) == 0 {
+		return nil, nil, fmt.Errorf("nn: %s has no branches", l.Name())
+	}
+	var outs []*tensor.Tensor
+	total := &chip.Stats{}
+	for i, b := range l.Branches {
+		out, _, cycles, err := b.Forward(dev, in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("nn: %s branch %d: %w", l.Name(), i, err)
+		}
+		if len(outs) > 0 {
+			prev := outs[0]
+			if out.Shape[0] != prev.Shape[0] || out.Shape[2] != prev.Shape[2] || out.Shape[3] != prev.Shape[3] {
+				return nil, nil, fmt.Errorf("nn: %s branch %d shape %v incompatible with %v",
+					l.Name(), i, out.Shape, prev.Shape)
+			}
+		}
+		outs = append(outs, out)
+		total.Cycles += cycles
+	}
+	cat, st, err := concatC1(dev, outs)
+	if err != nil {
+		return nil, nil, err
+	}
+	total.Cycles += st.Cycles
+	total.Tiles += st.Tiles
+	total.Work.AddSerial(&st.Work)
+	return cat, total, nil
+}
+
+// concatC1 concatenates NC1HWC0 tensors along C1 by streaming each tile
+// through a core (GM -> UB -> GM), charging the DMA like the real device
+// would.
+func concatC1(dev *chip.Chip, parts []*tensor.Tensor) (*tensor.Tensor, *chip.Stats, error) {
+	n, h, w := parts[0].Shape[0], parts[0].Shape[2], parts[0].Shape[3]
+	totalC1 := 0
+	for _, p := range parts {
+		totalC1 += p.Shape[1]
+	}
+	out := tensor.New(n, totalC1, h, w, tensor.C0)
+	stats := &chip.Stats{Work: aicore.Stats{}}
+
+	core := aicore.New(chip.Config{}.Buffers, nil)
+	tileBytes := h * w * tensor.C0 * 2
+	c1Off := 0
+	for _, part := range parts {
+		for ni := 0; ni < n; ni++ {
+			for ci := 0; ci < part.Shape[1]; ci++ {
+				core.Mem.ResetLocal()
+				tile := tensor.SliceC1(part, ni, ci)
+				srcGM, err := core.Mem.PlaceTensor(isa.GM, tile)
+				if err != nil {
+					return nil, nil, err
+				}
+				dstGM, err := core.Mem.Space(isa.GM).Alloc(tileBytes)
+				if err != nil {
+					return nil, nil, err
+				}
+				ub := core.Mem.Space(isa.UB)
+				chunk := min(tileBytes, ub.Free()/2/isa.BlockBytes*isa.BlockBytes)
+				stage := ub.MustAlloc(chunk)
+				prog := cce.New("concat")
+				for off := 0; off < tileBytes; off += chunk {
+					nn := min(chunk, tileBytes-off)
+					prog.EmitCopy(isa.GM, srcGM+off, isa.UB, stage, nn)
+					prog.EmitCopy(isa.UB, stage, isa.GM, dstGM+off, nn)
+				}
+				st, err := core.Run(prog)
+				if err != nil {
+					return nil, nil, err
+				}
+				stats.Work.AddSerial(st)
+				stats.Tiles++
+				tensor.StoreC1(out, core.Mem.ReadTensor(isa.GM, dstGM, 1, 1, h, w, tensor.C0), ni, c1Off+ci)
+			}
+		}
+		c1Off += part.Shape[1]
+	}
+	stats.Cycles = stats.Work.Cycles
+	return out, stats, nil
+}

@@ -1,0 +1,173 @@
+package ops
+
+import (
+	"davinci/internal/aicore"
+	"davinci/internal/cce"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// MaxPoolFwdArgmaxIm2col is the Fig. 7b accelerated implementation:
+// Im2col-based forward Maxpool that additionally saves the argmax mask for
+// training. The mask is produced by comparing each patch with its maximum
+// — one full-mask vcmp per (kh, kw) slice — and stored in the Im2Col
+// output shape, which keeps overlapping patches separated (§V-A).
+func MaxPoolFwdArgmaxIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
+	pl, err := planIm2col(core, in, p, "maxpool_fwd_argmax_im2col", 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kk := p.Kh * p.Kw
+	padded := p.PaddedPatches()
+	maskGM, err := core.Mem.Space(isa.GM).Alloc(kk * padded * Block)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	prog := cce.New("maxpool_fwd_argmax_im2col")
+	pl.emitInputLoad(prog, p, in.Bytes())
+
+	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
+		fb := min(pl.band, pl.fracs-f0)
+		colUB, outUB := pl.colUB[bi%pl.buffers], pl.outUB[bi%pl.buffers]
+		bandPatches := fb * isa.FractalPatches
+		valid := min(pl.patches, (f0+fb)*isa.FractalPatches) - f0*isa.FractalPatches
+
+		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
+		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
+		prog.EmitDup(isa.UB, outUB, bandPatches*tensor.C0, fp16.NegativeInfinity)
+		emitColReduce(prog, isa.VMax, colUB, outUB, kk, fb)
+
+		// Mask: compare each (kh, kw) slice against the broadcast maximum,
+		// overwriting the im2col data in place (it is no longer needed).
+		reps := fb * 2
+		for s := 0; s < kk; s++ {
+			slice := isa.Contig(isa.UB, colUB+s*fb*isa.FractalBytes)
+			prog.EmitVec(isa.VCmpEq, slice, slice, isa.Contig(isa.UB, outUB), 0, isa.FullMask(), reps)
+			if tail := bandPatches - valid; tail > 0 {
+				// The fractal tail compared 0 == 0; the saved mask keeps
+				// tail rows zero (they carry no patch).
+				prog.EmitDup(isa.UB, colUB+s*fb*isa.FractalBytes+valid*Block, tail*tensor.C0, fp16.Zero)
+			}
+		}
+		// Store output band and mask band (one strided DMA: Kh*Kw bursts).
+		prog.EmitCopy(isa.UB, outUB, isa.GM, pl.outGM+f0*isa.FractalPatches*Block, valid*Block)
+		prog.Emit(&isa.CopyInstr{
+			SrcBuf: isa.UB, SrcAddr: colUB,
+			DstBuf: isa.GM, DstAddr: maskGM + f0*isa.FractalPatches*Block,
+			NBurst: kk, BurstBytes: bandPatches * Block,
+			SrcGap: 0, DstGap: (padded - bandPatches) * Block,
+		})
+	}
+	st, err := core.Run(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0)
+	mask := core.Mem.ReadTensor(isa.GM, maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
+	return out, mask, st, nil
+}
+
+// MaxPoolFwdArgmaxStandard is the baseline of Fig. 7b: the standard
+// forward lowering followed by per-patch 16-lane comparisons to build the
+// argmax mask, which is stored in the same Im2Col shape as the accelerated
+// version ("saving this mask is independent of the use of Im2Col
+// instructions", §V-A) but costs one vcmp per (oh, ow, kh).
+func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
+	if err := checkTile(in, p); err != nil {
+		return nil, nil, nil, err
+	}
+	core.Mem.ResetLocal()
+	inP, pp := materializePadding(in, p)
+	oh, ow := pp.OutDims()
+	inRowB := pp.Iw * Block
+	outRowB := ow * Block
+	kk := pp.Kh * pp.Kw
+	padded := p.PaddedPatches()
+
+	gm := core.Mem.Space(isa.GM)
+	inGM, err := core.Mem.PlaceTensor(isa.GM, inP)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	outGM, err := gm.Alloc(oh * outRowB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	maskGM, err := gm.Alloc(kk * padded * Block)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
+	perBand := func(b int) int { return inRows(b)*inRowB + b*outRowB + kk*b*outRowB }
+	band := maxBand(ubAvail(core), oh, func(b int) int { return 2 * perBand(b) })
+	buffers := 2
+	if band == 0 {
+		band = maxBand(ubAvail(core), oh, perBand)
+		buffers = 1
+		if band == 0 {
+			return nil, nil, nil, errTooLarge("maxpool_fwd_argmax_standard", pp)
+		}
+	}
+	ub := core.Mem.Space(isa.UB)
+	var inUB, outUB, maskUB [2]int
+	for i := 0; i < buffers; i++ {
+		inUB[i] = ub.MustAlloc(inRows(band) * inRowB)
+		outUB[i] = ub.MustAlloc(band * outRowB)
+		maskUB[i] = ub.MustAlloc(kk * band * outRowB)
+	}
+
+	prog := cce.New("maxpool_fwd_argmax_standard")
+	for oh0, bi := 0, 0; oh0 < oh; oh0, bi = oh0+band, bi+1 {
+		b := min(band, oh-oh0)
+		iUB, oUB, mUB := inUB[bi%buffers], outUB[bi%buffers], maskUB[bi%buffers]
+		bandPatches := b * ow
+		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, isa.UB, iUB, inRows(b)*inRowB)
+		prog.EmitDup(isa.UB, oUB, bandPatches*tensor.C0, fp16.NegativeInfinity)
+		if pp.Sw == 1 {
+			emitReduceRowsSaturated(prog, isa.VMax, pp, iUB, oUB, b, ow)
+		} else {
+			emitReduceStrided(prog, isa.VMax, pp, iUB, oUB, b, ow)
+		}
+		// Mask: one 16-lane vcmp per (oh, ow, kh), repeating across kw
+		// (the mask slices are bandPatches apart, so the destination
+		// advances by bandPatches blocks per repeat).
+		for i := 0; i < b; i++ {
+			for owi := 0; owi < ow; owi++ {
+				pt := i*ow + owi
+				outBlk := isa.Operand{Buf: isa.UB, Addr: oUB + pt*Block, BlkStride: 1, RepStride: 0}
+				for kh := 0; kh < pp.Kh; kh++ {
+					dst := isa.Operand{
+						Buf:       isa.UB,
+						Addr:      mUB + ((kh*pp.Kw)*bandPatches+pt)*Block,
+						BlkStride: 1,
+						RepStride: bandPatches,
+					}
+					src := isa.Operand{
+						Buf:       isa.UB,
+						Addr:      iUB + ((i*pp.Sh+kh)*pp.Iw+owi*pp.Sw)*Block,
+						BlkStride: 1,
+						RepStride: 1,
+					}
+					prog.EmitVec(isa.VCmpEq, dst, src, outBlk, 0, isa.MaskFirstN(tensor.C0), pp.Kw)
+				}
+			}
+		}
+		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
+		prog.Emit(&isa.CopyInstr{
+			SrcBuf: isa.UB, SrcAddr: mUB,
+			DstBuf: isa.GM, DstAddr: maskGM + oh0*ow*Block,
+			NBurst: kk, BurstBytes: bandPatches * Block,
+			SrcGap: 0, DstGap: (padded - bandPatches) * Block,
+		})
+	}
+	st, err := core.Run(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0)
+	mask := core.Mem.ReadTensor(isa.GM, maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
+	return out, mask, st, nil
+}

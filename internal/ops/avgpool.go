@@ -1,0 +1,225 @@
+package ops
+
+import (
+	"davinci/internal/aicore"
+	"davinci/internal/cce"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/scu"
+	"davinci/internal/tensor"
+)
+
+// avgScale returns the binary16 value of 1/(Kh*Kw), the element-wise
+// division factor applied before saving the final output (§V-C).
+func avgScale(p isa.ConvParams) fp16.Float16 {
+	return fp16.FromFloat64(1 / float64(p.Kh*p.Kw))
+}
+
+// AvgPoolFwdStandard is the standard Avgpool forward: identical access
+// pattern to Maxpool but reducing with vadd instead of vmax, plus the
+// element-wise division epilogue (§V-C).
+func AvgPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	if err := checkTile(in, p); err != nil {
+		return nil, nil, err
+	}
+	core.Mem.ResetLocal()
+	in, pp := materializePadding(in, p)
+	oh, ow := pp.OutDims()
+	inRowB := pp.Iw * Block
+	outRowB := ow * Block
+
+	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	if err != nil {
+		return nil, nil, err
+	}
+	outGM, err := core.Mem.Space(isa.GM).Alloc(oh * outRowB)
+	if err != nil {
+		return nil, nil, err
+	}
+	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
+	need := func(b int) int { return 2 * (inRows(b)*inRowB + b*outRowB) }
+	band := maxBand(ubAvail(core), oh, need)
+	buffers := 2
+	if band == 0 {
+		band = maxBand(ubAvail(core), oh, func(b int) int { return need(b) / 2 })
+		buffers = 1
+		if band == 0 {
+			return nil, nil, errTooLarge("avgpool_fwd_standard", pp)
+		}
+	}
+	ub := core.Mem.Space(isa.UB)
+	var inUB, outUB [2]int
+	for i := 0; i < buffers; i++ {
+		inUB[i] = ub.MustAlloc(inRows(band) * inRowB)
+		outUB[i] = ub.MustAlloc(band * outRowB)
+	}
+
+	prog := cce.New("avgpool_fwd_standard")
+	for oh0, bi := 0, 0; oh0 < oh; oh0, bi = oh0+band, bi+1 {
+		b := min(band, oh-oh0)
+		iUB, oUB := inUB[bi%buffers], outUB[bi%buffers]
+		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, isa.UB, iUB, inRows(b)*inRowB)
+		prog.EmitDup(isa.UB, oUB, b*ow*tensor.C0, fp16.Zero)
+		if pp.Sw == 1 {
+			emitReduceRowsSaturated(prog, isa.VAdd, pp, iUB, oUB, b, ow)
+		} else {
+			emitReduceStrided(prog, isa.VAdd, pp, iUB, oUB, b, ow)
+		}
+		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, oUB, oUB, 0, b*ow*tensor.C0, avgScale(pp))
+		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
+	}
+	st, err := core.Run(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0), st, nil
+}
+
+// AvgPoolFwdIm2col is the Im2col-based Avgpool forward: the same schedule
+// as MaxPoolFwdIm2col with vadd reductions and the division epilogue
+// ("the access pattern stays the same and can benefit from using Im2Col",
+// §V-C).
+func AvgPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := planIm2col(core, in, p, "avgpool_fwd_im2col", 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := cce.New("avgpool_fwd_im2col")
+	pl.emitInputLoad(prog, p, in.Bytes())
+	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
+		fb := min(pl.band, pl.fracs-f0)
+		colUB, outUB := pl.colUB[bi%pl.buffers], pl.outUB[bi%pl.buffers]
+		bandPatches := fb * isa.FractalPatches
+		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
+		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
+		prog.EmitDup(isa.UB, outUB, bandPatches*tensor.C0, fp16.Zero)
+		emitColReduce(prog, isa.VAdd, colUB, outUB, p.Kh*p.Kw, fb)
+		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, outUB, outUB, 0, bandPatches*tensor.C0, avgScale(p))
+		valid := min(pl.patches, (f0+fb)*isa.FractalPatches) - f0*isa.FractalPatches
+		prog.EmitCopy(isa.UB, outUB, isa.GM, pl.outGM+f0*isa.FractalPatches*Block, valid*Block)
+	}
+	st, err := core.Run(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0), st, nil
+}
+
+// AvgPoolBackward computes the Avgpool backward pass. The equivalent mask
+// contains 1 in all positions (every input contributes to a sum, §V-C), so
+// the kernel scales the incoming gradients by 1/(Kh*Kw) and merges them —
+// with 16-lane vadds when useCol2im is false (the standard lowering) or
+// with Col2Im instructions when true.
+func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *aicore.Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	oh, ow := p.OutDims()
+	patches := p.Patches()
+	fracs := p.Fractals()
+	if len(grad.Shape) != 5 || grad.Shape[2] != oh || grad.Shape[3] != ow {
+		return nil, nil, errTooLarge("avgpool_bwd", p)
+	}
+	core.Mem.ResetLocal()
+	gradGM, err := core.Mem.PlaceTensor(isa.GM, grad)
+	if err != nil {
+		return nil, nil, err
+	}
+	outGM, err := core.Mem.Space(isa.GM).Alloc(p.Ih * p.Iw * Block)
+	if err != nil {
+		return nil, nil, err
+	}
+	inRowB := p.Iw * Block
+	rowsFor := func(b int) int {
+		patchRows := (b*isa.FractalPatches+ow-1)/ow + 1
+		return min(p.Ih, (patchRows-1)*p.Sh+p.Kh)
+	}
+	need := func(b int) int { return 2*b*isa.FractalBytes + rowsFor(b)*inRowB }
+	band := maxBand(ubAvail(core), fracs, need)
+	buffers := 2
+	if band == 0 {
+		band = maxBand(ubAvail(core), fracs, func(b int) int { return b*isa.FractalBytes + rowsFor(b)*inRowB })
+		buffers = 1
+		if band == 0 {
+			return nil, nil, errTooLarge("avgpool_bwd", p)
+		}
+	}
+	ub := core.Mem.Space(isa.UB)
+	var gradUB [2]int
+	for i := 0; i < buffers; i++ {
+		gradUB[i] = ub.MustAlloc(band * isa.FractalBytes)
+	}
+	outUB := ub.MustAlloc(rowsFor(band) * inRowB)
+
+	name := "avgpool_bwd_standard"
+	if useCol2im {
+		name = "avgpool_bwd_col2im"
+	}
+	prog := cce.New(name)
+	prevHi := 0
+	for f0, bi := 0, 0; f0 < fracs; f0, bi = f0+band, bi+1 {
+		fb := min(band, fracs-f0)
+		gUB := gradUB[bi%buffers]
+		pa := f0 * isa.FractalPatches
+		bandPatches := fb * isa.FractalPatches
+		valid := min(patches, pa+bandPatches) - pa
+
+		prog.EmitCopy(isa.GM, gradGM+pa*Block, isa.UB, gUB, valid*Block)
+		if tail := bandPatches - valid; tail > 0 {
+			prog.EmitDup(isa.UB, gUB+valid*Block, tail*tensor.C0, fp16.Zero)
+		}
+		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, gUB, gUB, 0, bandPatches*tensor.C0, avgScale(p))
+
+		// Output row band with boundary accumulation (as in backward max).
+		lo, hi := patchRowRange(p, ow, patches, pa, pa+bandPatches)
+		overlap := max(0, prevHi-lo)
+		if overlap > 0 {
+			prog.EmitCopy(isa.GM, outGM+lo*inRowB, isa.UB, outUB, overlap*inRowB)
+		}
+		if fresh := hi - lo - overlap; fresh > 0 {
+			prog.EmitDup(isa.UB, outUB+overlap*inRowB, fresh*p.Iw*tensor.C0, fp16.Zero)
+		}
+
+		if useCol2im {
+			// The same scaled gradient band merges once per (kh, kw): the
+			// Col2Im source is identical for every kernel position.
+			for xk := 0; xk < p.Kh; xk++ {
+				for yk := 0; yk < p.Kw; yk++ {
+					pt := pa
+					src := gUB
+					for _, rep := range isa.SplitRepeat(fb) {
+						prog.Emit(&isa.Col2ImInstr{
+							SrcBuf: isa.UB, SrcAddr: src,
+							DstBuf: isa.UB, DstAddr: outUB,
+							P: p, C1Len: 1, Xk: xk, Yk: yk,
+							Patch0: pt, RowBase: lo, Rows: hi - lo, Repeat: rep,
+						})
+						pt += rep * isa.FractalPatches
+						src += rep * isa.FractalBytes
+					}
+				}
+			}
+		} else {
+			for xk := 0; xk < p.Kh; xk++ {
+				for yk := 0; yk < p.Kw; yk++ {
+					for pt := pa; pt < pa+valid; pt++ {
+						h, w, pad := scu.SourceCoord(p, pt, xk, yk)
+						if pad {
+							continue
+						}
+						dst := isa.Operand{Buf: isa.UB, Addr: outUB + ((h-lo)*p.Iw+w)*Block, BlkStride: 1, RepStride: 0}
+						src := isa.Operand{Buf: isa.UB, Addr: gUB + (pt-pa)*Block, BlkStride: 1, RepStride: 0}
+						prog.EmitVec(isa.VAdd, dst, dst, src, 0, isa.MaskFirstN(tensor.C0), 1)
+					}
+				}
+			}
+		}
+		prog.EmitCopy(isa.UB, outUB, isa.GM, outGM+lo*inRowB, (hi-lo)*inRowB)
+		prevHi = hi
+	}
+	st, err := core.Run(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, p.Ih, p.Iw, tensor.C0), st, nil
+}

@@ -1,0 +1,43 @@
+package ops
+
+import (
+	"davinci/internal/aicore"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// AvgPoolFwdCube computes average pooling on the Cube unit by mapping it to
+// convolution — the paper's §VIII future-work direction, following the
+// Suita et al. observation (§VII) that Avgpool "can be mapped to
+// convolution where the kernel's weights are equal to 1/(Kh*Kw)". Each C0
+// channel uses a diagonal weight matrix, so channels stay independent; the
+// Im2Col loads feed L0A in repeat mode 0 and the MMAD accumulates in fp32,
+// which makes this variant *more* accurate than the Float16 vector-sum
+// reduction (results may differ from the vector kernels by final-rounding
+// ULPs).
+//
+// Unlike the vector variants this one cannot produce Maxpool ("CNNs tend
+// to use Maxpool, which cannot be fused in the same way", §VII), so it
+// complements rather than replaces the Im2col vector kernel.
+func AvgPoolFwdCube(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	if err := checkTile(in, p); err != nil {
+		return nil, nil, err
+	}
+	// Diagonal 16x16-channel weights scaled by 1/(Kh*Kw).
+	w := tensor.New(tensor.C0, tensor.C0, p.Kh, p.Kw)
+	inv := avgScale(p)
+	for ch := 0; ch < tensor.C0; ch++ {
+		for xk := 0; xk < p.Kh; xk++ {
+			for yk := 0; yk < p.Kw; yk++ {
+				w.Set(inv, ch, ch, xk, yk)
+			}
+		}
+	}
+	return Conv2DIm2colCube(core, in, w, p)
+}
+
+// init registers the Cube variant alongside the vector implementations so
+// benchmarks and the CLI can select it by name.
+func init() {
+	AvgForward["cube"] = AvgPoolFwdCube
+}

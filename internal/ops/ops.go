@@ -1,0 +1,125 @@
+// Package ops implements the paper's contribution: DaVinci pooling kernels
+// in every variant evaluated in §V–§VI, plus convolution on the Cube unit
+// as the substrate the Im2Col/Col2Im instructions were designed for.
+//
+// Every kernel operates on one (1, 1, Ih, Iw, C0) fractal tile — the unit
+// the paper's schedules assign to one AI Core after dividing the
+// computation on the C1 dimension (§V-A). internal/chip parallelizes tiles
+// across cores. Kernels build a cce.Program (the lowered CCE C instruction
+// stream described in the paper for each variant), run it on the simulated
+// core, and return the result plus timing stats.
+//
+// All variants share the zero-padding convention of the Im2Col instruction:
+// padded positions contribute zeros (see internal/ref).
+package ops
+
+import (
+	"fmt"
+
+	"davinci/internal/aicore"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// Block is the byte size of one C0 row (16 Float16 elements).
+const Block = isa.ElemsPerBlock * fp16.Bytes
+
+// ForwardFunc is a forward pooling kernel over one tile.
+type ForwardFunc func(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error)
+
+// ArgmaxFunc is a forward pooling kernel that also produces the argmax
+// mask in the Im2Col shape (1, 1, Kh, Kw, OhOw16, C0).
+type ArgmaxFunc func(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *aicore.Stats, err error)
+
+// BackwardFunc is a backward pooling kernel: mask is in the Im2Col shape,
+// grad has shape (1, 1, Oh, Ow, C0), the result has shape (1, 1, Ih, Iw, C0).
+type BackwardFunc func(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error)
+
+// Registries of the evaluated implementations, keyed by the names used in
+// the figures (§VI).
+var (
+	// MaxForward holds the four forward Maxpool implementations of Fig. 8.
+	MaxForward = map[string]ForwardFunc{
+		"standard":  MaxPoolFwdStandard,
+		"im2col":    MaxPoolFwdIm2col,
+		"expansion": MaxPoolFwdExpansion,
+		"xysplit":   MaxPoolFwdXYSplit,
+	}
+	// MaxForwardArgmax holds the Fig. 7b implementations (forward +
+	// argmax mask).
+	MaxForwardArgmax = map[string]ArgmaxFunc{
+		"standard": MaxPoolFwdArgmaxStandard,
+		"im2col":   MaxPoolFwdArgmaxIm2col,
+	}
+	// MaxBackward holds the Fig. 7c implementations.
+	MaxBackward = map[string]BackwardFunc{
+		"standard": MaxPoolBwdStandard,
+		"col2im":   MaxPoolBwdCol2im,
+	}
+	// AvgForward holds the Avgpool forward implementations (§V-C).
+	AvgForward = map[string]ForwardFunc{
+		"standard": AvgPoolFwdStandard,
+		"im2col":   AvgPoolFwdIm2col,
+	}
+)
+
+// checkTile validates the single-tile input convention.
+func checkTile(in *tensor.Tensor, p isa.ConvParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(in.Shape) != 5 || in.Shape[0] != 1 || in.Shape[1] != 1 || in.Shape[4] != tensor.C0 {
+		return fmt.Errorf("ops: want a (1,1,H,W,%d) tile, got %v", tensor.C0, in.Shape)
+	}
+	if in.Shape[2] != p.Ih || in.Shape[3] != p.Iw {
+		return fmt.Errorf("ops: tile %v does not match params (%d,%d)", in.Shape, p.Ih, p.Iw)
+	}
+	return nil
+}
+
+// materializePadding returns the input with spatial zero padding written
+// out, plus the equivalent padding-free parameters. Direct (non-Im2Col)
+// kernels consume padded tiles, because only the Im2Col/Col2Im
+// instructions can synthesize padding during the load (§III-C: "it is also
+// possible to add padding during the Im2Col load").
+func materializePadding(in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, isa.ConvParams) {
+	if p.Pt == 0 && p.Pb == 0 && p.Pl == 0 && p.Pr == 0 {
+		return in, p
+	}
+	padded := tensor.PadFractalHW(in, p.Pt, p.Pb, p.Pl, p.Pr)
+	pp := p
+	pp.Ih += p.Pt + p.Pb
+	pp.Iw += p.Pl + p.Pr
+	pp.Pt, pp.Pb, pp.Pl, pp.Pr = 0, 0, 0, 0
+	return padded, pp
+}
+
+// maxBand returns the largest b in [1, limit] with need(b) <= avail, where
+// need is non-decreasing. It returns 0 when even b == 1 does not fit.
+func maxBand(avail, limit int, need func(int) int) int {
+	if limit < 1 || need(1) > avail {
+		return 0
+	}
+	lo, hi := 1, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if need(mid) <= avail {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ubAvail returns the allocatable UB bytes with headroom for alignment.
+func ubAvail(core *aicore.Core) int {
+	return core.Mem.Space(isa.UB).Free() - 8*Block
+}
+
+// errTooLarge builds the error returned when a tile cannot be scheduled.
+func errTooLarge(kernel string, p isa.ConvParams) error {
+	return fmt.Errorf("ops: %s: tile (%d,%d) kernel (%d,%d) does not fit the Unified Buffer even at band size 1; tile the input further",
+		kernel, p.Ih, p.Iw, p.Kh, p.Kw)
+}

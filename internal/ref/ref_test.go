@@ -1,0 +1,277 @@
+package ref
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// fig3Params is the Fig. 3 example: two horizontally overlapping 3x3-ish
+// patches. We use 1D-style 2-patch setups for hand-checkable numbers.
+func fig3Input() (*tensor.Tensor, isa.ConvParams) {
+	p := isa.ConvParams{Ih: 3, Iw: 5, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	in := tensor.New(1, 1, 3, 5, tensor.C0)
+	vals := [][]float32{
+		{1, 2, 3, 4, 5},
+		{6, 7, 8, 9, 10},
+		{11, 12, 13, 14, 15},
+	}
+	for h := 0; h < 3; h++ {
+		for w := 0; w < 5; w++ {
+			in.Set(fp16.FromFloat32(vals[h][w]), 0, 0, h, w, 0)
+		}
+	}
+	return in, p
+}
+
+func TestMaxPoolForwardFig3(t *testing.T) {
+	in, p := fig3Input()
+	out := MaxPoolForward(in, p)
+	if out.Shape[2] != 1 || out.Shape[3] != 2 {
+		t.Fatalf("out shape %v", out.Shape)
+	}
+	// Patch 0 covers cols 0..2 -> max 13; patch 1 covers cols 2..4 -> 15.
+	if got := out.At(0, 0, 0, 0, 0).Float32(); got != 13 {
+		t.Errorf("patch 0 max = %v, want 13", got)
+	}
+	if got := out.At(0, 0, 0, 1, 0).Float32(); got != 15 {
+		t.Errorf("patch 1 max = %v, want 15", got)
+	}
+}
+
+func TestAvgPoolForwardFig3(t *testing.T) {
+	in, p := fig3Input()
+	out := AvgPoolForward(in, p)
+	// Patch 0: cols 0..2 of each row: (1+2+3+6+7+8+11+12+13)/9 = 63/9 = 7.
+	if got := out.At(0, 0, 0, 0, 0).Float32(); got != 7 {
+		t.Errorf("patch 0 avg = %v, want 7", got)
+	}
+	// Patch 1: (3+4+5+8+9+10+13+14+15)/9 = 81/9 = 9.
+	if got := out.At(0, 0, 0, 1, 0).Float32(); got != 9 {
+		t.Errorf("patch 1 avg = %v, want 9", got)
+	}
+}
+
+func TestArgmaxMaskOneHot(t *testing.T) {
+	in, p := fig3Input()
+	mask := ArgmaxMask(in, p)
+	// With strictly increasing values there are no ties: exactly one 1 per
+	// patch in channel 0.
+	for pt := 0; pt < 2; pt++ {
+		ones := 0
+		for xk := 0; xk < 3; xk++ {
+			for yk := 0; yk < 3; yk++ {
+				if mask.At(0, 0, xk, yk, pt, 0) == fp16.One {
+					ones++
+				}
+			}
+		}
+		if ones != 1 {
+			t.Errorf("patch %d has %d mask ones", pt, ones)
+		}
+	}
+	// The maximum of patch 0 (value 13) is at (xk,yk)=(2,2).
+	if mask.At(0, 0, 2, 2, 0, 0) != fp16.One {
+		t.Error("patch 0 argmax position wrong")
+	}
+}
+
+func TestMaxPoolBackwardFig3(t *testing.T) {
+	in, p := fig3Input()
+	mask := ArgmaxMask(in, p)
+	grad := tensor.New(1, 1, 1, 2, tensor.C0)
+	grad.Set(fp16.FromFloat32(2), 0, 0, 0, 0, 0) // d/d(patch0 max)
+	grad.Set(fp16.FromFloat32(5), 0, 0, 0, 1, 0) // d/d(patch1 max)
+	back := MaxPoolBackward(mask, grad, p, 3, 5)
+	// Patch 0 max was input (2,2)=13 -> grad 2; patch 1 max (2,4)=15 -> 5.
+	for h := 0; h < 3; h++ {
+		for w := 0; w < 5; w++ {
+			want := float32(0)
+			if h == 2 && w == 2 {
+				want = 2
+			}
+			if h == 2 && w == 4 {
+				want = 5
+			}
+			if got := back.At(0, 0, h, w, 0).Float32(); got != want {
+				t.Errorf("grad(%d,%d) = %v, want %v", h, w, got, want)
+			}
+		}
+	}
+}
+
+// Property: maxpool backward conserves gradient mass when there are no
+// ties: the sum of input gradients equals the sum of output gradients.
+func TestQuickBackwardConservesMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+		in := tensor.New(1, 1, 8, 8, tensor.C0)
+		// Distinct values per channel avoid ties.
+		perm := rng.Perm(8 * 8 * tensor.C0)
+		for i := 0; i < in.Len(); i++ {
+			in.SetFlat(i, fp16.FromFloat64(float64(perm[i]%2000)+1))
+		}
+		// Ties can still occur via %2000 clamp; rebuild without clamp.
+		for i := 0; i < in.Len(); i++ {
+			in.SetFlat(i, fp16.FromFloat64(float64(i%997)+1)) // deterministic distinct mod pattern
+		}
+		mask := ArgmaxMask(in, p)
+		oh, ow := p.OutDims()
+		grad := tensor.New(1, 1, oh, ow, tensor.C0)
+		for i := 0; i < grad.Len(); i++ {
+			grad.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(4))))
+		}
+		back := MaxPoolBackward(mask, grad, p, 8, 8)
+		var gs, bs float64
+		for i := 0; i < grad.Len(); i++ {
+			gs += fp16.ToFloat64(grad.AtFlat(i))
+		}
+		for i := 0; i < back.Len(); i++ {
+			bs += fp16.ToFloat64(back.AtFlat(i))
+		}
+		return gs == bs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: maxpool backward routes gradient only to positions that attain
+// the patch maximum.
+func TestBackwardOnlyToMaxima(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := isa.ConvParams{Ih: 6, Iw: 6, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	in := tensor.New(1, 1, 6, 6, tensor.C0)
+	in.FillRandom(rng, 4)
+	mask := ArgmaxMask(in, p)
+	oh, ow := p.OutDims()
+	grad := tensor.New(1, 1, oh, ow, tensor.C0)
+	grad.Fill(fp16.One)
+	back := MaxPoolBackward(mask, grad, p, 6, 6)
+	out := MaxPoolForward(in, p)
+	for h := 0; h < 6; h++ {
+		for w := 0; w < 6; w++ {
+			for c0 := 0; c0 < tensor.C0; c0++ {
+				g := back.At(0, 0, h, w, c0)
+				isMax := in.At(0, 0, h, w, c0) == out.At(0, 0, h/2, w/2, c0)
+				if (g != fp16.Zero) != isMax {
+					t.Fatalf("(%d,%d,%d): grad %v but isMax=%v", h, w, c0, g.Float32(), isMax)
+				}
+			}
+		}
+	}
+}
+
+// Property: avgpool backward conserves gradient mass exactly when values
+// are small integers scaled by 1/(Kh*Kw) with Kh*Kw a power of two.
+func TestAvgPoolBackwardMass(t *testing.T) {
+	p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	oh, ow := p.OutDims()
+	grad := tensor.New(1, 1, oh, ow, tensor.C0)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < grad.Len(); i++ {
+		grad.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(8))))
+	}
+	back := AvgPoolBackward(grad, p, 8, 8)
+	var gs, bs float64
+	for i := 0; i < grad.Len(); i++ {
+		gs += fp16.ToFloat64(grad.AtFlat(i))
+	}
+	for i := 0; i < back.Len(); i++ {
+		bs += fp16.ToFloat64(back.AtFlat(i))
+	}
+	if gs != bs {
+		t.Errorf("mass: grads %v, back %v", gs, bs)
+	}
+}
+
+func TestMaxPoolPaddingTreatsZeros(t *testing.T) {
+	// All-negative input with SAME padding: padded patches see zero, so
+	// border outputs are 0 (the documented zero-padding convention).
+	p := isa.ConvParams{Ih: 4, Iw: 4, Kh: 3, Kw: 3, Sh: 1, Sw: 1, Pt: 1, Pb: 1, Pl: 1, Pr: 1}
+	in := tensor.New(1, 1, 4, 4, tensor.C0)
+	in.Fill(fp16.FromFloat32(-5))
+	out := MaxPoolForward(in, p)
+	if got := out.At(0, 0, 0, 0, 0).Float32(); got != 0 {
+		t.Errorf("corner output %v, want 0 (zero padding wins)", got)
+	}
+	if got := out.At(0, 0, 1, 1, 0).Float32(); got != -5 {
+		t.Errorf("interior output %v, want -5", got)
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1x1 kernel with weight 1 on channel 0 copies channel 0.
+	p := isa.ConvParams{Ih: 4, Iw: 4, Kh: 1, Kw: 1, Sh: 1, Sw: 1}
+	rng := rand.New(rand.NewSource(41))
+	in := tensor.New(1, 1, 4, 4, tensor.C0)
+	in.FillRandom(rng, 2)
+	w := tensor.New(1, 1, 1, 1)
+	w.Set(fp16.One, 0, 0, 0, 0)
+	out := Conv2D(in, w, p)
+	for h := 0; h < 4; h++ {
+		for wi := 0; wi < 4; wi++ {
+			if out.At(0, 0, h, wi, 0) != in.At(0, 0, h, wi, 0) {
+				t.Fatalf("identity conv mismatch at (%d,%d)", h, wi)
+			}
+		}
+	}
+}
+
+func TestConv2DSumKernel(t *testing.T) {
+	// All-ones 2x2 kernel over an all-ones input sums 4 per output.
+	p := isa.ConvParams{Ih: 4, Iw: 4, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	in := tensor.New(1, 1, 4, 4, tensor.C0)
+	in.Fill(fp16.One)
+	w := tensor.New(3, 2, 2, 2) // 3 output channels over 2 input channels
+	w.Fill(fp16.One)
+	out := Conv2D(in, w, p)
+	if out.Shape[1] != 1 {
+		t.Fatalf("Co1 = %d", out.Shape[1])
+	}
+	// Each output = sum over 2 channels * 4 positions = 8.
+	for oc := 0; oc < 3; oc++ {
+		if got := out.At(0, 0, 1, 1, oc).Float32(); got != 8 {
+			t.Errorf("oc=%d out %v, want 8", oc, got)
+		}
+	}
+	// Output channel padding beyond Co is zero.
+	if got := out.At(0, 0, 0, 0, 5).Float32(); got != 0 {
+		t.Errorf("padded out channel = %v", got)
+	}
+}
+
+// AvgPool is the same as convolution with an all-1/(KhKw) kernel per
+// channel (the Suita et al. observation in §VII) — cross-check the two
+// reference models on channel 0.
+func TestAvgPoolEqualsUniformConv(t *testing.T) {
+	p := isa.ConvParams{Ih: 6, Iw: 6, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	rng := rand.New(rand.NewSource(51))
+	in := tensor.New(1, 1, 6, 6, tensor.C0)
+	for i := 0; i < in.Len(); i++ {
+		in.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(16))))
+	}
+	avg := AvgPoolForward(in, p)
+	w := tensor.New(1, 1, 2, 2)
+	w.Fill(fp16.FromFloat32(0.25))
+	conv := Conv2D(in, w, p)
+	oh, ow := p.OutDims()
+	for h := 0; h < oh; h++ {
+		for wi := 0; wi < ow; wi++ {
+			a := avg.At(0, 0, h, wi, 0).Float32()
+			c := conv.At(0, 0, h, wi, 0).Float32()
+			d := a - c
+			if d < 0 {
+				d = -d
+			}
+			if d > 0.5 { // different accumulation orders/precision
+				t.Errorf("(%d,%d): avg %v vs conv %v", h, wi, a, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package scu implements the layout mathematics of the Storage Conversion
+// Unit: the mapping between patches of an NC1HWC0 image and the fractal
+// rows produced by Im2Col / consumed by Col2Im (paper §III-C and §III-D).
+//
+// The whole-tensor functional transforms here are the specification that
+// the instruction-level execution in internal/aicore is tested against, and
+// they are also used directly by reference models and the layout
+// visualizer.
+package scu
+
+import (
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// PatchOrigin returns the top-left input coordinates of linear patch index
+// `patch` (row-major over the (Oh, Ow) grid). Coordinates may be negative
+// or exceed the input when padding is in use.
+func PatchOrigin(p isa.ConvParams, patch int) (h, w int) {
+	_, ow := p.OutDims()
+	ph, pw := patch/ow, patch%ow
+	return ph*p.Sh - p.Pt, pw*p.Sw - p.Pl
+}
+
+// SourceCoord returns the input coordinates read for element (xk, yk) of
+// `patch`, and whether that position falls in the zero padding (in which
+// case the Im2Col load deposits zeros).
+func SourceCoord(p isa.ConvParams, patch, xk, yk int) (h, w int, pad bool) {
+	oh, ow := PatchOrigin(p, patch)
+	h, w = oh+xk, ow+yk
+	pad = h < 0 || h >= p.Ih || w < 0 || w >= p.Iw
+	return h, w, pad
+}
+
+// Im2col applies the whole-tensor im2col transform to an NC1HWC0 tensor,
+// producing the (N, C1, Kh, Kw, OhOw16, C0) tensor that repeated Im2Col
+// loads in repeat mode 1 materialize, where OhOw16 is Oh*Ow rounded up to
+// whole fractals; rows beyond Oh*Ow are zero (§III-C).
+func Im2col(in *tensor.Tensor, p isa.ConvParams) *tensor.Tensor {
+	n, c1 := in.Shape[0], in.Shape[1]
+	padded := p.PaddedPatches()
+	out := tensor.New(n, c1, p.Kh, p.Kw, padded, tensor.C0)
+	patches := p.Patches()
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c1; ci++ {
+			for xk := 0; xk < p.Kh; xk++ {
+				for yk := 0; yk < p.Kw; yk++ {
+					for pt := 0; pt < patches; pt++ {
+						h, w, pad := SourceCoord(p, pt, xk, yk)
+						if pad {
+							continue // output is already zero
+						}
+						for c0 := 0; c0 < tensor.C0; c0++ {
+							out.Set(in.At(ni, ci, h, w, c0), ni, ci, xk, yk, pt, c0)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2im applies the whole-tensor col2im transform: the backward operator
+// of Im2col. Input has shape (N, C1, Kh, Kw, OhOw16, C0); rows that refer
+// to the same input position are summed; rows in the fractal tail beyond
+// Oh*Ow and rows that fall in padding are discarded (§II-B, §III-D).
+// Summation is performed in Float16, as the hardware's vector adds are.
+func Col2im(in *tensor.Tensor, p isa.ConvParams, ih, iw int) *tensor.Tensor {
+	n, c1 := in.Shape[0], in.Shape[1]
+	out := tensor.New(n, c1, ih, iw, tensor.C0)
+	patches := p.Patches()
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c1; ci++ {
+			for xk := 0; xk < p.Kh; xk++ {
+				for yk := 0; yk < p.Kw; yk++ {
+					for pt := 0; pt < patches; pt++ {
+						h, w, pad := SourceCoord(p, pt, xk, yk)
+						if pad {
+							continue
+						}
+						for c0 := 0; c0 < tensor.C0; c0++ {
+							sum := fp16.Add(out.At(ni, ci, h, w, c0), in.At(ni, ci, xk, yk, pt, c0))
+							out.Set(sum, ni, ci, h, w, c0)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KernelStep advances an (c1, xk, yk) iterator one position in the repeat
+// mode 0 order [c1, (xk, yk)]: (xk, yk) row-major innermost, c1 outermost
+// (§III-C).
+func KernelStep(p isa.ConvParams, c1, xk, yk int) (nc1, nxk, nyk int) {
+	yk++
+	if yk == p.Kw {
+		yk, xk = 0, xk+1
+		if xk == p.Kh {
+			xk, c1 = 0, c1+1
+		}
+	}
+	return c1, xk, yk
+}

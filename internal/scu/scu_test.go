@@ -1,0 +1,192 @@
+package scu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+func TestPatchOriginFig5(t *testing.T) {
+	// Fig. 5: 8x8 input, k=(2,2), s=(2,2) -> 16 patches on a 4x4 grid.
+	p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	cases := []struct{ patch, h, w int }{
+		{0, 0, 0}, {1, 0, 2}, {3, 0, 6}, {4, 2, 0}, {15, 6, 6},
+	}
+	for _, c := range cases {
+		h, w := PatchOrigin(p, c.patch)
+		if h != c.h || w != c.w {
+			t.Errorf("PatchOrigin(%d) = (%d,%d), want (%d,%d)", c.patch, h, w, c.h, c.w)
+		}
+	}
+}
+
+func TestSourceCoordPadding(t *testing.T) {
+	// 4x4 input with 1 pixel of padding everywhere, k=3, s=1.
+	p := isa.ConvParams{Ih: 4, Iw: 4, Kh: 3, Kw: 3, Sh: 1, Sw: 1, Pt: 1, Pb: 1, Pl: 1, Pr: 1}
+	oh, ow := p.OutDims()
+	if oh != 4 || ow != 4 {
+		t.Fatalf("OutDims (%d,%d)", oh, ow)
+	}
+	// Patch 0 origin is (-1,-1): its (0,0) element is padding.
+	if _, _, pad := SourceCoord(p, 0, 0, 0); !pad {
+		t.Error("patch 0 (0,0) must be padding")
+	}
+	if h, w, pad := SourceCoord(p, 0, 1, 1); pad || h != 0 || w != 0 {
+		t.Errorf("patch 0 (1,1) = (%d,%d,%v)", h, w, pad)
+	}
+	// Bottom-right patch's (2,2) element is padding.
+	if _, _, pad := SourceCoord(p, 15, 2, 2); !pad {
+		t.Error("patch 15 (2,2) must be padding")
+	}
+}
+
+// TestIm2colFig2 reproduces the overlap example of Fig. 2: elements shared
+// by two patches appear in both output rows.
+func TestIm2colFig2(t *testing.T) {
+	// 5-wide, 3-tall single-row-of-patches setup: k=(3,3), s=(2,2) over a
+	// 3x5 image gives 2 horizontally overlapping patches sharing a column.
+	p := isa.ConvParams{Ih: 3, Iw: 5, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	oh, ow := p.OutDims()
+	if oh != 1 || ow != 2 {
+		t.Fatalf("OutDims (%d,%d)", oh, ow)
+	}
+	in := tensor.New(1, 1, 3, 5, tensor.C0)
+	in.FillSeq()
+	out := Im2col(in, p)
+	// Patch 0 covers columns 0..2, patch 1 covers columns 2..4: the
+	// elements at column 2 (yk=2 of patch 0, yk=0 of patch 1) coincide.
+	for xk := 0; xk < 3; xk++ {
+		a := out.At(0, 0, xk, 2, 0, 0) // patch 0, last column
+		b := out.At(0, 0, xk, 0, 1, 0) // patch 1, first column
+		if a != b {
+			t.Errorf("xk=%d overlap elements differ: %#04x vs %#04x", xk, a, b)
+		}
+	}
+}
+
+func TestIm2colShapeAndTailZero(t *testing.T) {
+	// 7x7, k=2, s=2 -> 3x3=9 patches -> one fractal with a 7-row zero tail.
+	p := isa.ConvParams{Ih: 7, Iw: 7, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	in := tensor.New(1, 1, 7, 7, tensor.C0)
+	in.Fill(fp16.One)
+	out := Im2col(in, p)
+	want := []int{1, 1, 2, 2, 16, 16}
+	for i, d := range want {
+		if out.Shape[i] != d {
+			t.Fatalf("shape %v, want %v", out.Shape, want)
+		}
+	}
+	for pt := 9; pt < 16; pt++ {
+		for c0 := 0; c0 < 16; c0++ {
+			if got := out.At(0, 0, 0, 0, pt, c0); got != fp16.Zero {
+				t.Fatalf("tail row %d not zero", pt)
+			}
+		}
+	}
+	// Valid rows are all ones.
+	if got := out.At(0, 0, 1, 1, 8, 3); got != fp16.One {
+		t.Error("valid row lost data")
+	}
+}
+
+// TestCol2imSumsOverlaps reproduces the Fig. 2 col2im behaviour: gradients
+// for overlapping elements are summed.
+func TestCol2imSumsOverlaps(t *testing.T) {
+	p := isa.ConvParams{Ih: 3, Iw: 5, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	cols := tensor.New(1, 1, 3, 3, 16, tensor.C0)
+	cols.Fill(fp16.One)
+	out := Col2im(cols, p, 3, 5)
+	// Column 2 is covered by both patches -> 2; other covered cells -> 1.
+	for h := 0; h < 3; h++ {
+		if got := out.At(0, 0, h, 2, 0).Float32(); got != 2 {
+			t.Errorf("overlap cell (%d,2) = %v, want 2", h, got)
+		}
+		if got := out.At(0, 0, h, 0, 0).Float32(); got != 1 {
+			t.Errorf("cell (%d,0) = %v, want 1", h, got)
+		}
+	}
+}
+
+func TestCol2imIgnoresTailAndPadding(t *testing.T) {
+	p := isa.ConvParams{Ih: 4, Iw: 4, Kh: 3, Kw: 3, Sh: 1, Sw: 1, Pt: 1, Pb: 1, Pl: 1, Pr: 1}
+	cols := tensor.New(1, 1, 3, 3, p.PaddedPatches(), tensor.C0)
+	cols.Fill(fp16.One)
+	out := Col2im(cols, p, 4, 4)
+	// Interior cell (1,1) is covered by all 9 kernel positions of the
+	// patches that include it: count patches (oh,ow) with oh+xk-1==1 ->
+	// 9 contributions. Corner (0,0) only by 4.
+	if got := out.At(0, 0, 1, 1, 0).Float32(); got != 9 {
+		t.Errorf("interior sum = %v, want 9", got)
+	}
+	if got := out.At(0, 0, 0, 0, 0).Float32(); got != 4 {
+		t.Errorf("corner sum = %v, want 4", got)
+	}
+}
+
+// Property: adjointness <Im2col(x), y> == <x, Col2im(y)> with small-integer
+// values (exact in Float16).
+func TestQuickAdjointness(t *testing.T) {
+	f := func(seed int64, khRaw, swRaw uint8) bool {
+		kh := int(khRaw%3) + 1
+		sw := int(swRaw%3) + 1
+		p := isa.ConvParams{Ih: 6, Iw: 7, Kh: kh, Kw: 2, Sh: 1, Sw: sw}
+		if p.Validate() != nil {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.New(1, 1, 6, 7, tensor.C0)
+		for i := 0; i < x.Len(); i++ {
+			x.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(5))))
+		}
+		y := tensor.New(1, 1, kh, 2, p.PaddedPatches(), tensor.C0)
+		for i := 0; i < y.Len(); i++ {
+			y.SetFlat(i, fp16.FromFloat64(float64(rng.Intn(5))))
+		}
+		ax := Im2col(x, p)
+		aty := Col2im(y, p, 6, 7)
+		var lhs, rhs float64
+		for i := 0; i < ax.Len(); i++ {
+			lhs += fp16.ToFloat64(ax.AtFlat(i)) * fp16.ToFloat64(y.AtFlat(i))
+		}
+		for i := 0; i < x.Len(); i++ {
+			rhs += fp16.ToFloat64(x.AtFlat(i)) * fp16.ToFloat64(aty.AtFlat(i))
+		}
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with no overlap (stride == kernel) Col2im(Im2col(x)) == x.
+func TestQuickNoOverlapInverse(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%3) + 1
+		// Choose the input a multiple of k so every cell is covered.
+		p := isa.ConvParams{Ih: 2 * k, Iw: 3 * k, Kh: k, Kw: k, Sh: k, Sw: k}
+		rng := rand.New(rand.NewSource(seed))
+		x := tensor.New(1, 2, 2*k, 3*k, tensor.C0)
+		x.FillRandom(rng, 4)
+		back := Col2im(Im2col(x, p), p, 2*k, 3*k)
+		return tensor.MaxAbsDiff(x, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	c1, xk, yk := 0, 0, 0
+	want := [][3]int{{0, 0, 1}, {0, 1, 0}, {0, 1, 1}, {1, 0, 0}, {1, 0, 1}}
+	for i, w := range want {
+		c1, xk, yk = KernelStep(p, c1, xk, yk)
+		if c1 != w[0] || xk != w[1] || yk != w[2] {
+			t.Fatalf("step %d = (%d,%d,%d), want %v", i, c1, xk, yk, w)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+
+	"davinci/internal/fp16"
+)
+
+// C1Of returns C1 = ceil(c / C0), the channel-split count of the fractal
+// layout (paper §III-B).
+func C1Of(c int) int { return (c + C0 - 1) / C0 }
+
+// NewNCHW allocates an (N,C,H,W) tensor.
+func NewNCHW(n, c, h, w int) *Tensor { return New(n, c, h, w) }
+
+// NewFractal allocates an (N,C1,H,W,C0) tensor for c logical channels;
+// the C0 tail beyond c is zero padding.
+func NewFractal(n, c, h, w int) *Tensor { return New(n, C1Of(c), h, w, C0) }
+
+// ToFractal converts an NCHW tensor to the fractal NC1HWC0 layout, zero
+// padding the channel dimension up to a multiple of C0 (paper §III-B).
+func ToFractal(t *Tensor) *Tensor {
+	if len(t.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: ToFractal wants NCHW, got shape %v", t.Shape))
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	out := NewFractal(n, c, h, w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			c1, c0 := ci/C0, ci%C0
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					out.Set(t.At(ni, ci, hi, wi), ni, c1, hi, wi, c0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FromFractal converts an NC1HWC0 tensor back to NCHW with c logical
+// channels (dropping channel padding).
+func FromFractal(t *Tensor, c int) *Tensor {
+	if len(t.Shape) != 5 || t.Shape[4] != C0 {
+		panic(fmt.Sprintf("tensor: FromFractal wants NC1HWC0, got shape %v", t.Shape))
+	}
+	n, c1, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	if C1Of(c) != c1 {
+		panic(fmt.Sprintf("tensor: %d channels inconsistent with C1=%d", c, c1))
+	}
+	out := NewNCHW(n, c, h, w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					out.Set(t.At(ni, ci/C0, hi, wi, ci%C0), ni, ci, hi, wi)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NewIm2colFractal allocates the (N,C1,Kh,Kw,Oh,Ow,C0) tensor produced by
+// Im2Col loads in repeat mode 1 with loop order [c1,(xk,yk),(x,y)]
+// (paper §III-C, and the input-ub shape of Listing 2).
+func NewIm2colFractal(n, c1, kh, kw, oh, ow int) *Tensor {
+	return New(n, c1, kh, kw, oh, ow, C0)
+}
+
+// PadFractalHW returns a copy of an NC1HWC0 tensor zero padded in the
+// spatial dimensions: pt/pb rows on top/bottom and pl/pr columns
+// left/right. With all pads zero it returns a plain clone.
+func PadFractalHW(t *Tensor, pt, pb, pl, pr int) *Tensor {
+	if len(t.Shape) != 5 {
+		panic(fmt.Sprintf("tensor: PadFractalHW wants NC1HWC0, got shape %v", t.Shape))
+	}
+	if pt == 0 && pb == 0 && pl == 0 && pr == 0 {
+		return t.Clone()
+	}
+	n, c1, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	out := New(n, c1, h+pt+pb, w+pl+pr, C0)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c1; ci++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					for c0 := 0; c0 < C0; c0++ {
+						out.Set(t.At(ni, ci, hi, wi, c0), ni, ci, hi+pt, wi+pl, c0)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SliceC1 returns a copy of the (1,1,H,W,C0) tile at batch n, channel split
+// c1 of an NC1HWC0 tensor. AI Cores process one such tile at a time
+// (paper §V-A "this computation is divided in the C1 dimension").
+func SliceC1(t *Tensor, n, c1 int) *Tensor {
+	if len(t.Shape) != 5 {
+		panic(fmt.Sprintf("tensor: SliceC1 wants NC1HWC0, got shape %v", t.Shape))
+	}
+	h, w := t.Shape[2], t.Shape[3]
+	out := New(1, 1, h, w, C0)
+	stride := h * w * C0 * fp16.Bytes
+	off := (n*t.Shape[1] + c1) * stride
+	copy(out.Data, t.Data[off:off+stride])
+	return out
+}
+
+// SliceOuter2 returns a copy of the (1, 1, rest...) tile at indices (n, c1)
+// of the two outermost dimensions of any tensor of rank >= 2. It
+// generalizes SliceC1 to the Im2Col-shaped 6-d and 7-d tensors.
+func SliceOuter2(t *Tensor, n, c1 int) *Tensor {
+	if len(t.Shape) < 2 {
+		panic(fmt.Sprintf("tensor: SliceOuter2 wants rank >= 2, got %v", t.Shape))
+	}
+	shape := append([]int{1, 1}, t.Shape[2:]...)
+	out := New(shape...)
+	off := (n*t.Shape[1] + c1) * out.Bytes()
+	copy(out.Data, t.Data[off:off+out.Bytes()])
+	return out
+}
+
+// StoreOuter2 copies a (1, 1, rest...) tile into indices (n, c1) of the two
+// outermost dimensions of dst (the inverse of SliceOuter2).
+func StoreOuter2(dst *Tensor, tile *Tensor, n, c1 int) {
+	off := (n*dst.Shape[1] + c1) * tile.Bytes()
+	if off+tile.Bytes() > len(dst.Data) {
+		panic(fmt.Sprintf("tensor: StoreOuter2 tile %v at (%d,%d) exceeds %v", tile.Shape, n, c1, dst.Shape))
+	}
+	copy(dst.Data[off:off+tile.Bytes()], tile.Data)
+}
+
+// StoreC1 copies a (1,1,H,W,C0) tile into batch n, channel split c1 of an
+// NC1HWC0 tensor (the inverse of SliceC1).
+func StoreC1(dst *Tensor, tile *Tensor, n, c1 int) {
+	h, w := dst.Shape[2], dst.Shape[3]
+	if len(tile.Shape) != 5 || tile.Shape[2] != h || tile.Shape[3] != w {
+		panic(fmt.Sprintf("tensor: StoreC1 tile shape %v does not match %v", tile.Shape, dst.Shape))
+	}
+	stride := h * w * C0 * fp16.Bytes
+	off := (n*dst.Shape[1] + c1) * stride
+	copy(dst.Data[off:off+stride], tile.Data)
+}

@@ -1,0 +1,169 @@
+// Package tensor provides dense Float16 tensors and the memory layouts used
+// by the DaVinci architecture: the framework-facing NCHW layout and the
+// fractal NC1HWC0 layout consumed by the AI Core (paper §II-A and §III-B).
+//
+// All tensors are row-major contiguous over their Shape and store raw
+// binary16 bytes, exactly as the simulated scratchpad and global memories
+// do, so a Tensor's Data can be DMA'd into the simulator without copying
+// conversions.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"davinci/internal/fp16"
+)
+
+// C0 is the constant fractal channel-split length for Float16: a
+// data-fractal is 16 rows of C0 elements = 16*16*2 bytes = 4096 bits
+// (paper §III-B).
+const C0 = 16
+
+// FractalRows is the number of patches covered by one fractal (§III-C).
+const FractalRows = 16
+
+// FractalBytes is the size of one data-fractal in bytes.
+const FractalBytes = FractalRows * C0 * fp16.Bytes
+
+// Tensor is a dense row-major Float16 tensor.
+type Tensor struct {
+	// Shape holds the extent of each dimension, outermost first.
+	Shape []int
+	// Data is the packed binary16 storage, len = prod(Shape)*2.
+	Data []byte
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]byte, n*fp16.Bytes)}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) / fp16.Bytes }
+
+// Bytes returns the storage size in bytes.
+func (t *Tensor) Bytes() int { return len(t.Data) }
+
+// Index converts a multi-index to a flat element index.
+func (t *Tensor) Index(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d != shape rank %d", len(idx), len(t.Shape)))
+	}
+	flat := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		flat = flat*t.Shape[i] + x
+	}
+	return flat
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) fp16.Float16 {
+	return fp16.Load(t.Data, t.Index(idx...)*fp16.Bytes)
+}
+
+// Set stores v at the multi-index.
+func (t *Tensor) Set(v fp16.Float16, idx ...int) {
+	fp16.Store(t.Data, t.Index(idx...)*fp16.Bytes, v)
+}
+
+// AtFlat returns the element at flat index i.
+func (t *Tensor) AtFlat(i int) fp16.Float16 { return fp16.Load(t.Data, i*fp16.Bytes) }
+
+// SetFlat stores v at flat index i.
+func (t *Tensor) SetFlat(i int, v fp16.Float16) { fp16.Store(t.Data, i*fp16.Bytes, v) }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v fp16.Float16) { fp16.Fill(t.Data, 0, t.Len(), v) }
+
+// FillRandom fills the tensor with uniform values in [-scale, scale] drawn
+// from rng, rounded to binary16.
+func (t *Tensor) FillRandom(rng *rand.Rand, scale float64) {
+	for i := 0; i < t.Len(); i++ {
+		t.SetFlat(i, fp16.FromFloat64((rng.Float64()*2-1)*scale))
+	}
+}
+
+// FillSeq fills with 0,1,2,... useful for layout debugging (values above
+// 2048 lose integer precision in binary16; keep test tensors small).
+func (t *Tensor) FillSeq() {
+	for i := 0; i < t.Len(); i++ {
+		t.SetFlat(i, fp16.FromFloat64(float64(i)))
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]byte, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Float32s decodes the tensor to a float32 slice in flat order.
+func (t *Tensor) Float32s() []float32 { return fp16.DecodeSlice(t.Data) }
+
+// FromFloat32s builds a tensor of the given shape from float32 data.
+func FromFloat32s(data []float32, shape ...int) *Tensor {
+	t := New(shape...)
+	if len(data) != t.Len() {
+		panic(fmt.Sprintf("tensor: %d values for shape %v", len(data), shape))
+	}
+	copy(t.Data, fp16.EncodeSlice(data))
+	return t
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// same-shaped tensors (NaN if either holds a NaN where the other does not).
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	var max float64
+	for i := 0; i < a.Len(); i++ {
+		x, y := fp16.ToFloat64(a.AtFlat(i)), fp16.ToFloat64(b.AtFlat(i))
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		if d > max || d != d {
+			max = d
+			if d != d {
+				return d
+			}
+		}
+	}
+	return max
+}
+
+// String renders a compact description, e.g. "Tensor(1,4,8,8,16)".
+func (t *Tensor) String() string {
+	parts := make([]string, len(t.Shape))
+	for i, d := range t.Shape {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "Tensor(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"davinci/internal/fp16"
+)
+
+func TestNewAndIndex(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Bytes() != 48 {
+		t.Fatalf("Len=%d Bytes=%d", x.Len(), x.Bytes())
+	}
+	if got := x.Index(1, 2, 3); got != 23 {
+		t.Errorf("Index(1,2,3) = %d, want 23", got)
+	}
+	if got := x.Index(0, 0, 0); got != 0 {
+		t.Errorf("Index(0,0,0) = %d", got)
+	}
+	x.Set(fp16.One, 1, 0, 2)
+	if got := x.At(1, 0, 2); got != fp16.One {
+		t.Errorf("At = %#04x", got)
+	}
+	if got := x.AtFlat(x.Index(1, 0, 2)); got != fp16.One {
+		t.Errorf("AtFlat = %#04x", got)
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Index(%v) did not panic", idx)
+				}
+			}()
+			x.Index(idx...)
+		}()
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFillAndClone(t *testing.T) {
+	x := New(4)
+	x.Fill(fp16.FromFloat32(2.5))
+	c := x.Clone()
+	x.SetFlat(0, fp16.Zero)
+	if got := c.AtFlat(0).Float32(); got != 2.5 {
+		t.Errorf("clone mutated: %v", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := x.AtFlat(i).Float32(); got != 2.5 {
+			t.Errorf("fill[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestFromFloat32sRoundTrip(t *testing.T) {
+	vals := []float32{1, -2, 0.5, 1024}
+	x := FromFloat32s(vals, 2, 2)
+	got := x.Float32s()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromFloat32s([]float32{1, 2, 3}, 3)
+	b := FromFloat32s([]float32{1, 2.5, 2}, 3)
+	if got := MaxAbsDiff(a, b); got != 1 {
+		t.Errorf("MaxAbsDiff = %v, want 1", got)
+	}
+	if got := MaxAbsDiff(a, a.Clone()); got != 0 {
+		t.Errorf("self diff = %v", got)
+	}
+}
+
+func TestC1Of(t *testing.T) {
+	cases := map[int]int{1: 1, 15: 1, 16: 1, 17: 2, 32: 2, 64: 4, 192: 12, 288: 18, 768: 48}
+	for c, want := range cases {
+		if got := C1Of(c); got != want {
+			t.Errorf("C1Of(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestFractalRoundTrip(t *testing.T) {
+	for _, c := range []int{1, 7, 16, 17, 40} {
+		rng := rand.New(rand.NewSource(int64(c)))
+		x := NewNCHW(2, c, 5, 6)
+		x.FillRandom(rng, 4)
+		f := ToFractal(x)
+		wantC1 := C1Of(c)
+		if f.Shape[1] != wantC1 || f.Shape[4] != C0 {
+			t.Fatalf("c=%d fractal shape %v", c, f.Shape)
+		}
+		back := FromFractal(f, c)
+		if MaxAbsDiff(x, back) != 0 {
+			t.Errorf("c=%d round trip mismatch", c)
+		}
+	}
+}
+
+func TestFractalPaddingIsZero(t *testing.T) {
+	x := NewNCHW(1, 20, 3, 3)
+	x.Fill(fp16.One)
+	f := ToFractal(x)
+	// Channels 20..31 must be zero padding.
+	for hi := 0; hi < 3; hi++ {
+		for wi := 0; wi < 3; wi++ {
+			for c0 := 4; c0 < C0; c0++ {
+				if got := f.At(0, 1, hi, wi, c0); got != fp16.Zero {
+					t.Fatalf("padding at c0=%d not zero: %#04x", c0, got)
+				}
+			}
+		}
+	}
+}
+
+// Property: NCHW -> NC1HWC0 -> NCHW is the identity for any small shape.
+func TestQuickFractalRoundTrip(t *testing.T) {
+	f := func(cRaw, hRaw, wRaw uint8, seed int64) bool {
+		c := int(cRaw%37) + 1
+		h := int(hRaw%6) + 1
+		w := int(wRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := NewNCHW(1, c, h, w)
+		x.FillRandom(rng, 8)
+		return MaxAbsDiff(x, FromFractal(ToFractal(x), c)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadFractalHW(t *testing.T) {
+	x := New(1, 1, 2, 2, C0)
+	x.Fill(fp16.One)
+	p := PadFractalHW(x, 1, 2, 0, 1)
+	if p.Shape[2] != 5 || p.Shape[3] != 3 {
+		t.Fatalf("padded shape %v", p.Shape)
+	}
+	// Border must be zero, interior one.
+	for hi := 0; hi < 5; hi++ {
+		for wi := 0; wi < 3; wi++ {
+			want := fp16.Zero
+			if hi >= 1 && hi < 3 && wi < 2 {
+				want = fp16.One
+			}
+			if got := p.At(0, 0, hi, wi, 0); got != want {
+				t.Errorf("pad(%d,%d) = %#04x, want %#04x", hi, wi, got, want)
+			}
+		}
+	}
+	// Zero padding returns an independent clone.
+	q := PadFractalHW(x, 0, 0, 0, 0)
+	q.SetFlat(0, fp16.Zero)
+	if x.AtFlat(0) != fp16.One {
+		t.Error("PadFractalHW(0,0,0,0) aliased input")
+	}
+}
+
+func TestSliceStoreC1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(2, 3, 4, 5, C0)
+	x.FillRandom(rng, 2)
+	tile := SliceC1(x, 1, 2)
+	if tile.Shape[2] != 4 || tile.Shape[3] != 5 {
+		t.Fatalf("tile shape %v", tile.Shape)
+	}
+	for hi := 0; hi < 4; hi++ {
+		for wi := 0; wi < 5; wi++ {
+			for c0 := 0; c0 < C0; c0++ {
+				if tile.At(0, 0, hi, wi, c0) != x.At(1, 2, hi, wi, c0) {
+					t.Fatalf("tile mismatch at (%d,%d,%d)", hi, wi, c0)
+				}
+			}
+		}
+	}
+	y := New(2, 3, 4, 5, C0)
+	StoreC1(y, tile, 1, 2)
+	if MaxAbsDiff(SliceC1(y, 1, 2), tile) != 0 {
+		t.Error("StoreC1 round trip failed")
+	}
+	if y.At(0, 0, 0, 0, 0) != fp16.Zero {
+		t.Error("StoreC1 touched other tiles")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 4, 8, 8, 16).String(); got != "Tensor(1,4,8,8,16)" {
+		t.Errorf("String = %q", got)
+	}
+}

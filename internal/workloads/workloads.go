@@ -1,0 +1,114 @@
+// Package workloads encodes the evaluation workloads of §VI: the CNN
+// pooling-layer input sizes of Table I (gathered from Keras), the three
+// InceptionV3 configurations used in Fig. 7, and the synthetic sweep of
+// Fig. 8 with its tiling threshold.
+package workloads
+
+import (
+	"math/rand"
+
+	"davinci/internal/buffer"
+	"davinci/internal/isa"
+	"davinci/internal/tensor"
+)
+
+// CNNLayer is one Maxpool layer input from Table I, in the HWC layout the
+// paper lists.
+type CNNLayer struct {
+	Network string
+	Index   int // "Input 1".."Input 4"
+	H, W, C int
+	Kernel  int
+	Stride  int
+}
+
+// TableI reproduces Table I: Maxpool input sizes in CNNs. All
+// configurations use kernel (3,3) and stride (2,2), except VGG16 with a
+// kernel and stride of (2,2) (§VI-A).
+var TableI = []CNNLayer{
+	{"InceptionV3", 1, 147, 147, 64, 3, 2},
+	{"InceptionV3", 2, 71, 71, 192, 3, 2},
+	{"InceptionV3", 3, 35, 35, 288, 3, 2},
+	{"InceptionV3", 4, 17, 17, 768, 3, 2},
+	{"Xception", 1, 147, 147, 128, 3, 2},
+	{"Xception", 2, 74, 74, 256, 3, 2},
+	{"Xception", 3, 37, 37, 728, 3, 2},
+	{"Xception", 4, 19, 19, 1024, 3, 2},
+	{"Resnet50", 1, 112, 112, 64, 3, 2},
+	{"VGG16", 1, 224, 224, 64, 2, 2},
+	{"VGG16", 2, 112, 112, 128, 2, 2},
+	{"VGG16", 3, 56, 56, 256, 2, 2},
+	{"VGG16", 4, 28, 28, 512, 2, 2},
+}
+
+// InceptionV3Fig7 returns the three InceptionV3 configurations highlighted
+// in Table I and evaluated in Fig. 7 (no padding, kernel (3,3), stride
+// (2,2)).
+func InceptionV3Fig7() []CNNLayer {
+	var out []CNNLayer
+	for _, l := range TableI {
+		if l.Network == "InceptionV3" && l.Index <= 3 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Params returns the ConvParams of the layer (no padding — the selected
+// InceptionV3 configurations use none, §VI-A).
+func (l CNNLayer) Params() isa.ConvParams {
+	return isa.ConvParams{Ih: l.H, Iw: l.W, Kh: l.Kernel, Kw: l.Kernel, Sh: l.Stride, Sw: l.Stride}
+}
+
+// C1 returns the layer's channel-split count.
+func (l CNNLayer) C1() int { return tensor.C1Of(l.C) }
+
+// Input generates a random NC1HWC0 input tensor for the layer (N = 1
+// throughout the paper).
+func (l CNNLayer) Input(rng *rand.Rand) *tensor.Tensor {
+	t := tensor.New(1, l.C1(), l.H, l.W, tensor.C0)
+	t.FillRandom(rng, 8)
+	return t
+}
+
+// TilingThreshold returns the largest square input size (stepping by 2, as
+// the Fig. 8 sweep does) for which every Maxpool implementation fits in
+// the Unified Buffer without extra tiling steps. The binding constraint is
+// the expansion variant, which must hold the input, the Kh*Kw-times larger
+// expanded tensor and the output simultaneously (§VI-B).
+func TilingThreshold(kernel, stride, ubSize int) int {
+	if ubSize == 0 {
+		ubSize = buffer.DefaultUBSize
+	}
+	fits := func(hw int) bool {
+		p := isa.ConvParams{Ih: hw, Iw: hw, Kh: kernel, Kw: kernel, Sh: stride, Sw: stride}
+		if p.Validate() != nil {
+			return false
+		}
+		oh, ow := p.OutDims()
+		rowBytes := hw * tensor.C0 * 2
+		outBytes := oh * ow * tensor.C0 * 2
+		need := hw*rowBytes + (kernel*kernel+1)*outBytes
+		return need <= ubSize
+	}
+	best := 0
+	for hw := kernel; ; hw += 2 {
+		if !fits(hw) {
+			break
+		}
+		best = hw
+	}
+	return best
+}
+
+// Fig8Sizes returns the Fig. 8 sweep: square input sizes increasing in
+// steps of two until the tiling threshold (§VI-B).
+func Fig8Sizes(kernel, stride, ubSize int) []int {
+	limit := TilingThreshold(kernel, stride, ubSize)
+	var sizes []int
+	start := kernel + 2 + (kernel+2)%2 // small, even start
+	for hw := start; hw <= limit; hw += 2 {
+		sizes = append(sizes, hw)
+	}
+	return sizes
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/tensor"
+)
+
+func TestTableIContents(t *testing.T) {
+	if len(TableI) != 13 {
+		t.Fatalf("Table I has %d rows, want 13", len(TableI))
+	}
+	// Spot checks against the paper's table.
+	first := TableI[0]
+	if first.Network != "InceptionV3" || first.H != 147 || first.C != 64 || first.Kernel != 3 || first.Stride != 2 {
+		t.Errorf("InceptionV3 input 1 wrong: %+v", first)
+	}
+	for _, l := range TableI {
+		if l.Network == "VGG16" {
+			if l.Kernel != 2 || l.Stride != 2 {
+				t.Errorf("VGG16 must use kernel and stride (2,2): %+v", l)
+			}
+		} else if l.Kernel != 3 || l.Stride != 2 {
+			t.Errorf("%s must use kernel (3,3) stride (2,2): %+v", l.Network, l)
+		}
+		if err := l.Params().Validate(); err != nil {
+			t.Errorf("%+v: %v", l, err)
+		}
+	}
+}
+
+func TestInceptionV3Fig7(t *testing.T) {
+	layers := InceptionV3Fig7()
+	if len(layers) != 3 {
+		t.Fatalf("want the 3 bold InceptionV3 inputs, got %d", len(layers))
+	}
+	wantH := []int{147, 71, 35}
+	for i, l := range layers {
+		if l.H != wantH[i] {
+			t.Errorf("layer %d height %d, want %d", i, l.H, wantH[i])
+		}
+	}
+}
+
+func TestLayerInput(t *testing.T) {
+	l := TableI[2] // 35,35,288
+	in := l.Input(rand.New(rand.NewSource(1)))
+	if in.Shape[1] != 18 || in.Shape[2] != 35 || in.Shape[4] != tensor.C0 {
+		t.Errorf("input shape %v", in.Shape)
+	}
+	if l.C1() != 18 {
+		t.Errorf("C1 = %d", l.C1())
+	}
+}
+
+func TestTilingThreshold(t *testing.T) {
+	// The threshold shrinks with smaller buffers and with more overlap.
+	full := TilingThreshold(3, 2, buffer.DefaultUBSize)
+	small := TilingThreshold(3, 2, buffer.DefaultUBSize/4)
+	if full <= small {
+		t.Errorf("threshold must shrink with the UB: %d vs %d", full, small)
+	}
+	s1 := TilingThreshold(3, 1, buffer.DefaultUBSize)
+	if s1 >= full {
+		t.Errorf("stride 1 duplicates more, threshold must be smaller: %d vs %d", s1, full)
+	}
+	if full < 16 {
+		t.Errorf("threshold implausibly small: %d", full)
+	}
+	// A zero ubSize takes the default.
+	if TilingThreshold(3, 2, 0) != full {
+		t.Error("default UB size not applied")
+	}
+}
+
+func TestFig8Sizes(t *testing.T) {
+	sizes := Fig8Sizes(3, 2, 0)
+	if len(sizes) < 5 {
+		t.Fatalf("sweep too short: %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i]-sizes[i-1] != 2 {
+			t.Errorf("sweep must step by 2: %v", sizes)
+		}
+	}
+	limit := TilingThreshold(3, 2, 0)
+	if last := sizes[len(sizes)-1]; last > limit {
+		t.Errorf("sweep exceeds tiling threshold: %d > %d", last, limit)
+	}
+}
