@@ -1,0 +1,210 @@
+// Command davinci-lint runs the static kernel verifier (internal/lint)
+// over the instruction streams the built-in pooling kernels emit, and
+// prints a per-program diagnostic table. Each kernel runs once per layer
+// configuration with a program-capture hook installed; every captured
+// program is linted twice — raw under the implicit-sync contract, and
+// after cce.AutoSync under full explicit-sync semantics (bounds, sync
+// protocol, cross-pipe hazards, ISA invariants).
+//
+// Exit status is 1 when any diagnostic is reported, so the command works
+// as a CI gate.
+//
+// Example:
+//
+//	davinci-lint                # Fig. 7 InceptionV3 layers
+//	davinci-lint -all           # every Table I layer (im2col-family only)
+//	davinci-lint -fixture broken  # demo diagnostics on a broken program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+	"davinci/internal/lint"
+	"davinci/internal/ops"
+	"davinci/internal/ref"
+	"davinci/internal/tensor"
+	"davinci/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("davinci-lint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	all := fs.Bool("all", false, "lint every Table I layer (default: the three Fig. 7 InceptionV3 layers)")
+	fixture := fs.String("fixture", "", "lint a named broken fixture instead of the kernels (available: broken)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch *fixture {
+	case "":
+		return lintKernels(out, *all)
+	case "broken":
+		return lintPrograms(out, "fixture/broken", brokenFixture(), lint.Check)
+	default:
+		fmt.Fprintf(out, "unknown fixture %q\n", *fixture)
+		return 2
+	}
+}
+
+// lintKernels captures and lints the programs of every built-in pooling
+// kernel. The direct (standard/expansion/xysplit) lowerings emit one
+// instruction per pooling window and the analysis is quadratic, so they
+// only run on the smallest layer; the im2col/col2im family stays compact
+// at every production shape and runs on all selected layers.
+func lintKernels(out io.Writer, all bool) int {
+	layers := workloads.InceptionV3Fig7()
+	if all {
+		layers = workloads.TableI
+	}
+	status := 0
+	fmt.Fprintf(out, "%-28s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
+	for _, l := range layers {
+		p := l.Params()
+		in := randTile(int64(l.H*10+l.W), p)
+		mask := ref.ArgmaxMask(in, p)
+		oh, ow := p.OutDims()
+		grad := tensor.New(1, 1, oh, ow, tensor.C0)
+		grad.FillRandom(rand.New(rand.NewSource(int64(l.H))), 4)
+		layer := fmt.Sprintf("%s/%d", l.Network, l.Index)
+
+		type job struct {
+			name string
+			emit func(*aicore.Core) error
+		}
+		jobs := []job{
+			{"maxpool-fwd/im2col", func(c *aicore.Core) error {
+				_, _, err := ops.MaxPoolFwdIm2col(c, in, p)
+				return err
+			}},
+			{"maxpool-argmax/im2col", func(c *aicore.Core) error {
+				_, _, _, err := ops.MaxPoolFwdArgmaxIm2col(c, in, p)
+				return err
+			}},
+			{"maxpool-bwd/col2im", func(c *aicore.Core) error {
+				_, _, err := ops.MaxPoolBwdCol2im(c, mask, grad, p)
+				return err
+			}},
+			{"avgpool-fwd/im2col", func(c *aicore.Core) error {
+				_, _, err := ops.AvgPoolFwdIm2col(c, in, p)
+				return err
+			}},
+			{"avgpool-bwd/col2im", func(c *aicore.Core) error {
+				_, _, err := ops.AvgPoolBackward(c, grad, p, true)
+				return err
+			}},
+		}
+		// Direct lowerings: quadratic program sizes, smallest layer only.
+		if smallest(layers, l) {
+			jobs = append(jobs,
+				job{"maxpool-fwd/standard", func(c *aicore.Core) error {
+					_, _, err := ops.MaxPoolFwdStandard(c, in, p)
+					return err
+				}},
+				job{"maxpool-fwd/expansion", func(c *aicore.Core) error {
+					_, _, err := ops.MaxPoolFwdExpansion(c, in, p)
+					return err
+				}},
+				job{"maxpool-fwd/xysplit", func(c *aicore.Core) error {
+					_, _, err := ops.MaxPoolFwdXYSplit(c, in, p)
+					return err
+				}},
+				job{"avgpool-fwd/standard", func(c *aicore.Core) error {
+					_, _, err := ops.AvgPoolFwdStandard(c, in, p)
+					return err
+				}},
+			)
+		}
+		for _, j := range jobs {
+			core := aicore.New(buffer.Config{}, nil)
+			var progs []*cce.Program
+			core.OnProgram = func(pr *cce.Program) { progs = append(progs, pr) }
+			if err := j.emit(core); err != nil {
+				fmt.Fprintf(out, "%-28s %v\n", j.name+"@"+layer, err)
+				status = 1
+				continue
+			}
+			for _, prog := range progs {
+				n := report(out, j.name+"@"+layer, prog, lint.CheckImplicit(prog))
+				synced := cce.AutoSync(prog)
+				n += report(out, j.name+"@"+layer, synced, lint.Check(synced))
+				if n > 0 {
+					status = 1
+				}
+			}
+		}
+	}
+	return status
+}
+
+func smallest(layers []workloads.CNNLayer, l workloads.CNNLayer) bool {
+	best := layers[0]
+	for _, c := range layers {
+		if c.H*c.W < best.H*best.W {
+			best = c
+		}
+	}
+	return l == best
+}
+
+func lintPrograms(out io.Writer, label string, progs []*cce.Program, check func(*cce.Program) []lint.Diagnostic) int {
+	status := 0
+	fmt.Fprintf(out, "%-28s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
+	for _, prog := range progs {
+		if report(out, label, prog, check(prog)) > 0 {
+			status = 1
+		}
+	}
+	return status
+}
+
+// report prints one table row plus any diagnostics, returning the count.
+func report(out io.Writer, kernel string, prog *cce.Program, diags []lint.Diagnostic) int {
+	verdict := "ok"
+	if len(diags) > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "%-28s %-30s %7d %6d %s\n", kernel, prog.Name, prog.Len(), len(diags), verdict)
+	for _, d := range diags {
+		fmt.Fprintf(out, "    %s\n", d)
+	}
+	return len(diags)
+}
+
+func randTile(seed int64, p isa.ConvParams) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.New(1, 1, p.Ih, p.Iw, tensor.C0)
+	in.FillRandom(rng, 8)
+	return in
+}
+
+// brokenFixture builds a small producer/consumer program with two planted
+// bugs — a missing wait_flag (the set fires but nothing consumes it, and
+// the vector read races the load) and a copy displaced past the Unified
+// Buffer capacity — to demonstrate the diagnostic output.
+func brokenFixture() []*cce.Program {
+	prog := cce.New("broken_producer_consumer")
+	// MTE2 load, set_flag... but the consumer's wait_flag was "forgotten".
+	prog.EmitCopy(isa.GM, 0, isa.UB, 0, 4096)
+	prog.Emit(&isa.SetFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	prog.EmitVec(isa.VMuls, isa.Contig(isa.UB, 4096), isa.Contig(isa.UB, 0), isa.Operand{},
+		0x4000, isa.FullMask(), 16)
+	prog.Emit(&isa.SetFlagInstr{SrcPipe: isa.PipeVector, DstPipe: isa.PipeMTE3, Event: 0})
+	prog.Emit(&isa.WaitFlagInstr{SrcPipe: isa.PipeVector, DstPipe: isa.PipeMTE3, Event: 0})
+	prog.EmitCopy(isa.UB, 4096, isa.GM, 65536, 4096)
+	// The result store that lands 48 bytes past the end of the UB.
+	prog.EmitCopy(isa.GM, 131072, isa.UB, buffer.DefaultUBSize-16, 64)
+	prog.EmitCopy(isa.UB, buffer.DefaultUBSize-16, isa.GM, 131072, 16)
+	return []*cce.Program{prog}
+}

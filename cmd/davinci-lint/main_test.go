@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestBrokenFixtureGolden locks the diagnostic table for the planted
+// missing-wait_flag + out-of-bounds fixture: exact output, exact exit
+// status. `go test ./cmd/davinci-lint -update` refreshes the golden file.
+func TestBrokenFixtureGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if status := run([]string{"-fixture", "broken"}, &buf); status != 1 {
+		t.Fatalf("run(-fixture broken) status = %d, want 1", status)
+	}
+	golden := filepath.Join("testdata", "broken.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestUnknownFixture: unknown fixture names are a usage error.
+func TestUnknownFixture(t *testing.T) {
+	var buf bytes.Buffer
+	if status := run([]string{"-fixture", "nope"}, &buf); status != 2 {
+		t.Fatalf("status = %d, want 2", status)
+	}
+}
+
+// TestKernelsClean is the CLI-level acceptance criterion: the default
+// sweep over the Fig. 7 layers reports zero diagnostics and exits 0.
+func TestKernelsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel sweep")
+	}
+	var buf bytes.Buffer
+	if status := run(nil, &buf); status != 0 {
+		t.Fatalf("run() status = %d, want 0; output:\n%s", status, buf.Bytes())
+	}
+	if bytes.Contains(buf.Bytes(), []byte("FAIL")) {
+		t.Errorf("clean sweep printed FAIL rows:\n%s", buf.Bytes())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"davinci/internal/buffer"
 	"davinci/internal/cce"
 	"davinci/internal/isa"
+	"davinci/internal/lint"
 )
 
 // Core is one AI Core: a memory system plus a timing configuration.
@@ -24,6 +25,25 @@ type Core struct {
 	// Trace, when non-nil, records every scheduled instruction for
 	// timeline visualization.
 	Trace *Trace
+	// Strict enables the static verifier (internal/lint): every program
+	// is linted against this core's buffer capacities before execution,
+	// and any error-severity finding aborts the run. Opt-in because the
+	// analysis is quadratic in instruction count.
+	Strict bool
+	// OnProgram, when non-nil, observes every program handed to Run or
+	// RunExplicit before execution. cmd/davinci-lint uses it to capture
+	// the instruction streams the kernels emit for offline linting.
+	OnProgram func(*cce.Program)
+}
+
+// lintStrict runs the static verifier over prog with the core's buffer
+// capacities, failing on any error-severity diagnostic.
+func (c *Core) lintStrict(prog *cce.Program, mode lint.SyncMode) error {
+	diags := lint.CheckWith(lint.Options{Caps: c.Mem.Capacities(), Mode: mode}, prog)
+	if errs := lint.Errors(diags); len(errs) > 0 {
+		return fmt.Errorf("aicore: %s: strict lint: %d error(s), first: %s", prog.Name, len(errs), errs[0])
+	}
+	return nil
 }
 
 // New creates a core with the given buffer configuration and cost model.
@@ -130,6 +150,16 @@ func (b *bufTimes) lastOverlap(list []interval, r isa.Region) int64 {
 func (c *Core) Run(prog *cce.Program) (*Stats, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if c.OnProgram != nil {
+		c.OnProgram(prog)
+	}
+	if c.Strict {
+		// Run's scoreboard orders hazards implicitly, so verify the
+		// implicit-sync contract (bounds, invariants, flag protocol).
+		if err := c.lintStrict(prog, lint.SyncImplicit); err != nil {
+			return nil, err
+		}
 	}
 	stats := &Stats{}
 	var pipeFree [isa.NumPipes]int64

@@ -5,6 +5,7 @@ import (
 
 	"davinci/internal/cce"
 	"davinci/internal/isa"
+	"davinci/internal/lint"
 )
 
 // RunExplicit executes prog under explicit synchronization semantics, the
@@ -20,6 +21,16 @@ import (
 func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if c.OnProgram != nil {
+		c.OnProgram(prog)
+	}
+	if c.Strict {
+		// Explicit semantics: cross-pipe ordering must come from flags
+		// and barriers, so the full pass suite applies.
+		if err := c.lintStrict(prog, lint.SyncExplicit); err != nil {
+			return nil, err
+		}
 	}
 	// Functional pass (program order).
 	for idx, in := range prog.Instrs {

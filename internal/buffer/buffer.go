@@ -52,6 +52,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Capacities returns the capacity in bytes of each address space implied
+// by the config (defaults applied). Global memory reports 0: it grows on
+// demand, so no static bound applies.
+func (c Config) Capacities() [isa.NumBufs]int {
+	c = c.withDefaults()
+	var caps [isa.NumBufs]int
+	caps[isa.L1] = c.L1Size
+	caps[isa.L0A] = c.L0ASize
+	caps[isa.L0B] = c.L0BSize
+	caps[isa.L0C] = c.L0CSize
+	caps[isa.UB] = c.UBSize
+	return caps
+}
+
 // ErrNoSpace is wrapped by allocation failures.
 var ErrNoSpace = fmt.Errorf("buffer: out of space")
 
@@ -139,6 +153,18 @@ func NewSet(cfg Config) *Set {
 
 // Space returns the address space for id.
 func (s *Set) Space(id isa.BufID) *Space { return s.spaces[id] }
+
+// Capacities returns the capacity in bytes of each address space. Global
+// memory reports 0: it grows on demand, so no static bound applies.
+func (s *Set) Capacities() [isa.NumBufs]int {
+	var caps [isa.NumBufs]int
+	for id := isa.BufID(0); id < isa.NumBufs; id++ {
+		if id != isa.GM {
+			caps[id] = s.spaces[id].size
+		}
+	}
+	return caps
+}
 
 // Mem returns the raw backing store for id.
 func (s *Set) Mem(id isa.BufID) []byte { return s.spaces[id].data }

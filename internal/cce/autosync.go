@@ -1,6 +1,8 @@
 package cce
 
 import (
+	"sort"
+
 	"davinci/internal/isa"
 )
 
@@ -13,12 +15,22 @@ import (
 // Algorithm: scan instructions in program order, tracking the byte regions
 // each one reads and writes. For every RAW/WAW/WAR dependency whose
 // endpoints sit on different pipes, record an edge from the latest such
-// producer per pipe; then rebuild the stream with a set_flag directly
-// after each producer and the matching wait_flag directly before the
-// consumer. Events are allocated round-robin per ordered pipe pair:
-// because both pipes issue in program order, counting-token semantics stay
-// correct even when event ids are reused. Pipe barriers cut the analysis
-// (they already order everything across them).
+// producer per pipe. Edges a previous wait already orders transitively are
+// pruned: once a consumer on pipe d waits for producer j on pipe q, every
+// later instruction on d starts after that wait (in-order issue), and
+// every producer at or before j on q completes before j does (in-order
+// completion), so any (q, d) edge with producer <= j needs no flag. The
+// stream is then rebuilt with a set_flag directly after each producer and
+// the matching wait_flag directly before the consumer, events allocated
+// round-robin per ordered pipe pair. Pruning leaves the surviving (q, d)
+// edges strictly increasing in both producer and consumer, so the sets and
+// waits of any one (q, d, event) channel appear in the same relative
+// order on their two in-order pipes and counting-token semantics pair the
+// i-th wait with the i-th set even when event ids wrap. (Without pruning,
+// two edges sharing a reused event id can cross — a later consumer
+// depending on an earlier producer — making a wait consume the other
+// edge's token and leaving its own dependency unordered.) Pipe barriers
+// cut the analysis (they already order everything across them).
 //
 // The scan is quadratic in program length; it is intended for the
 // kernel-sized programs this repository emits.
@@ -66,11 +78,40 @@ func AutoSync(prog *Program) *Program {
 		}
 	}
 
+	// Transitive pruning, in consumer order. waited[q][d] holds 1 + the
+	// latest producer index on pipe q that some earlier consumer on pipe d
+	// has waited for; edges at or below it are already ordered. Processing
+	// each consumer's producers in ascending order keeps the surviving
+	// edges of a pipe pair strictly increasing on both sides.
+	var waited [isa.NumPipes][isa.NumPipes]int
+	for idx := range prog.Instrs {
+		producers := edges[idx]
+		if len(producers) == 0 {
+			continue
+		}
+		sort.Ints(producers)
+		d := prog.Instrs[idx].Pipe()
+		kept := producers[:0]
+		for _, j := range producers {
+			q := prog.Instrs[j].Pipe()
+			if j < waited[q][d] {
+				continue
+			}
+			waited[q][d] = j + 1
+			kept = append(kept, j)
+		}
+		if len(kept) == 0 {
+			delete(edges, idx)
+			continue
+		}
+		edges[idx] = kept
+	}
+
 	// Rebuild with flags. setsAfter[j] lists the consumers of producer j.
 	setsAfter := make(map[int][]int)
-	for consumer, producers := range edges {
-		for _, p := range producers {
-			setsAfter[p] = append(setsAfter[p], consumer)
+	for idx := range prog.Instrs {
+		for _, p := range edges[idx] {
+			setsAfter[p] = append(setsAfter[p], idx)
 		}
 	}
 	out := New(prog.Name + "+sync")

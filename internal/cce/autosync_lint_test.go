@@ -1,0 +1,197 @@
+package cce_test
+
+// Adversarial AutoSync coverage, asserted through the static verifier:
+// WAR-only dependencies must get flags, event-id reuse past the 16-event
+// budget (including across barriers) must keep counting-token pairing
+// sound, same-pipe dependencies must NOT get flags, and the crossing-edge
+// pattern that used to mispair reused events must stay race-free. The
+// package is external (cce_test) because internal/lint imports cce.
+
+import (
+	"testing"
+
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+	"davinci/internal/lint"
+)
+
+const rowBytes = isa.LanesPerRepeat * 2 // one full-mask repeat of fp16
+
+// row returns the contiguous UB region covered by one repeat at slot k.
+func row(k int) int { return k * rowBytes }
+
+func countFlags(prog *cce.Program) (sets, waits int) {
+	for _, in := range prog.Instrs {
+		switch in.(type) {
+		case *isa.SetFlagInstr:
+			sets++
+		case *isa.WaitFlagInstr:
+			waits++
+		}
+	}
+	return
+}
+
+func lintClean(t *testing.T, prog *cce.Program) {
+	t.Helper()
+	for _, d := range lint.Check(prog) {
+		t.Errorf("%s: %s", prog.Name, d)
+	}
+}
+
+func hazardCount(prog *cce.Program) int {
+	n := 0
+	for _, d := range lint.Check(prog) {
+		if d.Pass == "hazard" && d.Sev == lint.SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAutoSyncWAROnly: a vector read followed by an MTE2 overwrite of the
+// same region is a pure write-after-read dependency — no RAW, no WAW. The
+// raw program must lint as a hazard; AutoSync must close it with a flag.
+func TestAutoSyncWAROnly(t *testing.T) {
+	prog := cce.New("war-only")
+	// VEC reads row 0 into row 1.
+	prog.Emit(&isa.VecInstr{Op: isa.VAdds, Dst: isa.Contig(isa.UB, row(1)),
+		Src0: isa.Contig(isa.UB, row(0)), Mask: isa.FullMask(), Repeat: 1})
+	// MTE2 then reloads row 0: must not start before the read is done.
+	prog.EmitCopy(isa.GM, 0, isa.UB, row(0), rowBytes)
+	// Keep both rows live so the dead-store pass stays quiet.
+	prog.EmitCopy(isa.UB, row(0), isa.GM, 4096, 2*rowBytes)
+
+	if n := hazardCount(prog); n == 0 {
+		t.Fatal("raw WAR-only program produced no hazard diagnostics")
+	}
+	synced := cce.AutoSync(prog)
+	if sets, waits := countFlags(synced); sets == 0 || waits == 0 {
+		t.Fatalf("AutoSync inserted %d sets / %d waits for a WAR dependency", sets, waits)
+	}
+	lintClean(t, synced)
+}
+
+// TestAutoSyncEventReuse drives far more cross-pipe edges through one pipe
+// pair than there are event ids, with a barrier in the middle: every event
+// id is reused several times and the counting-token pairing must still
+// order every edge.
+func TestAutoSyncEventReuse(t *testing.T) {
+	prog := cce.New("event-reuse")
+	half := isa.EventsPerPair + 4 // wraps the id space before the barrier
+	emit := func(base int) {
+		for k := 0; k < half; k++ {
+			prog.EmitCopy(isa.GM, (base+k)*rowBytes, isa.UB, row(base+k), rowBytes)
+			// Consume row base+k in place (exact in-place accumulation).
+			prog.Emit(&isa.VecInstr{Op: isa.VAdds, Dst: isa.Contig(isa.UB, row(base+k)),
+				Src0: isa.Contig(isa.UB, row(base + k)), Mask: isa.FullMask(), Repeat: 1})
+		}
+	}
+	emit(0)
+	prog.EmitBarrier()
+	emit(half)
+	// Store everything so every row stays live.
+	prog.EmitCopy(isa.UB, 0, isa.GM, 1<<18, 2*half*rowBytes)
+
+	synced := cce.AutoSync(prog)
+	if sets, _ := countFlags(synced); sets <= isa.EventsPerPair {
+		t.Fatalf("only %d set_flags: the test no longer exhausts the %d-event budget",
+			sets, isa.EventsPerPair)
+	}
+	lintClean(t, synced)
+}
+
+// TestAutoSyncSamePipeNoFlags: dependencies between instructions on the
+// same pipe are ordered by in-order issue; AutoSync must not spend flags
+// on them.
+func TestAutoSyncSamePipeNoFlags(t *testing.T) {
+	prog := cce.New("same-pipe")
+	prog.Emit(&isa.VecInstr{Op: isa.VDup, Dst: isa.Contig(isa.UB, row(0)),
+		Scalar: 0x3c00, Mask: isa.FullMask(), Repeat: 1})
+	// RAW, WAW and WAR chains, all on the vector pipe.
+	prog.Emit(&isa.VecInstr{Op: isa.VAdds, Dst: isa.Contig(isa.UB, row(1)),
+		Src0: isa.Contig(isa.UB, row(0)), Mask: isa.FullMask(), Repeat: 1})
+	prog.Emit(&isa.VecInstr{Op: isa.VMuls, Dst: isa.Contig(isa.UB, row(0)),
+		Src0: isa.Contig(isa.UB, row(1)), Mask: isa.FullMask(), Repeat: 1})
+	// UB->UB copy also issues on the vector pipe.
+	prog.EmitCopy(isa.UB, row(0), isa.UB, row(2), rowBytes)
+	prog.EmitCopy(isa.UB, row(1), isa.GM, 0, 2*rowBytes) // MTE3 needs one flag
+	prog.EmitCopy(isa.UB, row(2), isa.GM, 4096, rowBytes)
+
+	synced := cce.AutoSync(prog)
+	for idx, in := range synced.Instrs {
+		switch v := in.(type) {
+		case *isa.SetFlagInstr:
+			if v.SrcPipe == v.DstPipe {
+				t.Errorf("instr %d: same-pipe set_flag %v", idx, v)
+			}
+			if v.SrcPipe != isa.PipeVector || v.DstPipe != isa.PipeMTE3 {
+				t.Errorf("instr %d: unexpected flag %v (only VEC->MTE3 is a real edge)", idx, v)
+			}
+		}
+	}
+	lintClean(t, synced)
+}
+
+// TestAutoSyncCrossingEdges is the regression test for the mispairing bug
+// the verifier caught: MTE2 loads rows 0..n-1 in ascending order, then the
+// vector pipe consumes them in DESCENDING order, so every consumer depends
+// on an earlier producer than the consumer before it. With enough edges to
+// wrap the event-id space, the old round-robin assignment paired waits
+// with set_flag tokens from the wrong (earlier) producer, leaving real
+// dependencies unordered — caught both statically (lint) and dynamically
+// (RunExplicit's race detector).
+func TestAutoSyncCrossingEdges(t *testing.T) {
+	prog := cce.New("crossing")
+	n := isa.EventsPerPair + 8
+	for k := 0; k < n; k++ {
+		prog.EmitCopy(isa.GM, k*rowBytes, isa.UB, row(k), rowBytes)
+	}
+	for k := n - 1; k >= 0; k-- {
+		prog.Emit(&isa.VecInstr{Op: isa.VAdds, Dst: isa.Contig(isa.UB, row(k)),
+			Src0: isa.Contig(isa.UB, row(k)), Mask: isa.FullMask(), Repeat: 1})
+	}
+	prog.EmitCopy(isa.UB, 0, isa.GM, 1<<18, n*rowBytes)
+
+	if hazardCount(prog) == 0 {
+		t.Fatal("raw crossing program produced no hazard diagnostics")
+	}
+	lintClean(t, cce.AutoSync(prog))
+}
+
+// TestValidateCollectsAllErrors: Program.Validate must report every
+// invalid instruction, not just the first.
+func TestValidateCollectsAllErrors(t *testing.T) {
+	prog := cce.New("multi")
+	prog.Emit(&isa.VecInstr{Op: isa.VAdd, Dst: isa.Contig(isa.UB, 0),
+		Src0: isa.Contig(isa.UB, 512), Src1: isa.Contig(isa.UB, 1024),
+		Mask: isa.FullMask(), Repeat: 0}) // bad repeat
+	prog.EmitCopy(isa.UB, 0, isa.GM, 0, 256)
+	prog.Emit(&isa.CopyInstr{SrcBuf: isa.GM, DstBuf: isa.UB, NBurst: 0, BurstBytes: 32}) // bad burst
+
+	errs := prog.InstrErrors()
+	if len(errs) != 2 {
+		t.Fatalf("InstrErrors returned %d failures, want 2", len(errs))
+	}
+	if errs[0].Index != 0 || errs[1].Index != 2 {
+		t.Errorf("failure indices = %d, %d; want 0, 2", errs[0].Index, errs[1].Index)
+	}
+	err := prog.Validate()
+	if err == nil {
+		t.Fatal("Validate passed an invalid program")
+	}
+	for _, want := range []string{"instr 0", "instr 2"} {
+		if !contains(err.Error(), want) {
+			t.Errorf("Validate error missing %q: %v", want, err)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -6,6 +6,7 @@
 package cce
 
 import (
+	"errors"
 	"fmt"
 
 	"davinci/internal/fp16"
@@ -27,15 +28,34 @@ func (p *Program) Emit(in isa.Instr) { p.Instrs = append(p.Instrs, in) }
 // Len returns the instruction count.
 func (p *Program) Len() int { return len(p.Instrs) }
 
-// Validate checks every instruction, reporting the first failure with its
-// position.
-func (p *Program) Validate() error {
+// InstrError pairs an invalid instruction with its position in the stream.
+type InstrError struct {
+	Index int
+	Err   error
+}
+
+// InstrErrors validates every instruction and returns all failures, in
+// program order. The linter (internal/lint) reports each one as its own
+// diagnostic.
+func (p *Program) InstrErrors() []InstrError {
+	var errs []InstrError
 	for i, in := range p.Instrs {
 		if err := in.Validate(); err != nil {
-			return fmt.Errorf("cce: %s instr %d (%s): %w", p.Name, i, in, err)
+			errs = append(errs, InstrError{Index: i, Err: err})
 		}
 	}
-	return nil
+	return errs
+}
+
+// Validate checks every instruction and reports all failures with their
+// positions as one wrapped multi-error (errors.Join), so a malformed
+// program surfaces every invalid instruction at once instead of the first.
+func (p *Program) Validate() error {
+	var errs []error
+	for _, ie := range p.InstrErrors() {
+		errs = append(errs, fmt.Errorf("cce: %s instr %d (%s): %w", p.Name, ie.Index, p.Instrs[ie.Index], ie.Err))
+	}
+	return errors.Join(errs...)
 }
 
 // EmitVec emits a vector instruction for totalRepeat repeat iterations,

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+// checkBounds verifies that every byte region an instruction touches fits
+// its buffer's capacity. Vector operands are measured mask-aware: the span
+// ends at the highest enabled lane's block, so a masked tail instruction
+// sitting at the end of a buffer is not a false positive, while a full-mask
+// instruction there is a genuine overflow.
+func checkBounds(prog *cce.Program, caps [isa.NumBufs]int) []Diagnostic {
+	var diags []Diagnostic
+	for idx, in := range prog.Instrs {
+		for _, r := range accessRegions(in) {
+			if r.Off < 0 {
+				diags = append(diags, Diagnostic{
+					Pass: "bounds", Sev: SevError, Index: idx, Instr: in.String(), Region: r,
+					Msg: fmt.Sprintf("access %v starts before the buffer", r),
+				})
+				continue
+			}
+			var cap int
+			if r.Buf >= 0 && int(r.Buf) < len(caps) {
+				cap = caps[r.Buf]
+			}
+			if cap > 0 && r.End > cap {
+				diags = append(diags, Diagnostic{
+					Pass: "bounds", Sev: SevError, Index: idx, Instr: in.String(), Region: r,
+					Msg: fmt.Sprintf("access %v exceeds the %d-byte %v capacity by %d bytes", r, cap, r.Buf, r.End-cap),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// accessRegions returns the byte regions an instruction touches, using
+// mask-aware spans for vector instructions and the instruction's own
+// conservative Reads/Writes otherwise.
+func accessRegions(in isa.Instr) []isa.Region {
+	v, ok := in.(*isa.VecInstr)
+	if !ok {
+		return append(append([]isa.Region{}, in.Reads()...), in.Writes()...)
+	}
+	var rs []isa.Region
+	add := func(o isa.Operand) {
+		if r, ok := maskSpan(o, v.Mask, v.Repeat); ok {
+			rs = append(rs, r)
+		}
+	}
+	add(v.Dst)
+	if v.Op.IsUnary() || v.Op.IsBinary() {
+		add(v.Src0)
+	}
+	if v.Op.IsBinary() {
+		add(v.Src1)
+	}
+	return rs
+}
+
+// maskSpan is Operand.Span tightened to the highest mask-enabled block.
+// It reports false for an all-zero mask (the invariants pass flags those).
+func maskSpan(o isa.Operand, m isa.Mask, repeat int) (isa.Region, bool) {
+	hb := -1
+	for lane := isa.LanesPerRepeat - 1; lane >= 0; lane-- {
+		if m.Bit(lane) {
+			hb = lane / isa.ElemsPerBlock
+			break
+		}
+	}
+	if hb < 0 || repeat < 1 {
+		return isa.Region{}, false
+	}
+	end := o.BlockAddr(repeat-1, hb) + isa.BlockBytes
+	return isa.Region{Buf: o.Buf, Off: o.Addr, End: end}, true
+}

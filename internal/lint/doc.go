@@ -1,0 +1,49 @@
+// Package lint statically verifies cce.Program instruction streams without
+// executing them. The paper's speedup story rests on hand-scheduled CCE
+// kernels whose pipelines are ordered only by explicit set_flag/wait_flag
+// events (§III-A, §IV) — exactly the class of code where a silent race or
+// an out-of-bounds scratch-pad write produces wrong-but-plausible results.
+// The linter rejects such kernels before they run, the way accelerator
+// toolchains statically verify implicit-convolution lowering (Zhou et al.,
+// "Characterizing and Demystifying the Implicit Convolution Algorithm on
+// Commercial CPU Architectures", 2021) and co-designed vector kernels.
+//
+// Check runs four passes:
+//
+//   - bounds: every operand's touched byte region (base plus block/repeat
+//     strides times the repeat count, mask-aware for vector instructions)
+//     must fit its buffer's capacity from internal/buffer. Scratch-pads
+//     have no MMU — an overflowing write lands in a neighboring tile and
+//     corrupts a different tensor.
+//
+//   - sync: dataflow check of the set_flag/wait_flag protocol. Flags are
+//     counting tokens between one ordered pipe pair (paper §III-A): a
+//     wait_flag with no matching set_flag deadlocks the pipe, a set_flag
+//     whose token is never consumed leaks it into the next kernel, and a
+//     set/wait pair straddling a pipe_barrier is redundant at best and —
+//     once the event id is reused after the barrier — double-deposits
+//     under real hardware's single-token flags.
+//
+//   - hazard: recomputes cross-pipe RAW/WAW/WAR dependencies exactly the
+//     way cce.AutoSync does, then replays the program under the explicit
+//     issue discipline of aicore.RunExplicit (in-order pipes, tokens,
+//     barriers) with symbolic vector clocks and reports every dependency
+//     the schedule does not order. AutoSync's output is thereby verified
+//     independently rather than trusted.
+//
+//   - invariants: re-validates every instruction through the multi-error
+//     cce.Program.InstrErrors (repeat caps, isa.BlockBytes alignment,
+//     buffer placement), then checks what per-instruction validation
+//     cannot see: all-zero vector masks (the instruction computes
+//     nothing), destructive partial source/destination overlap within one
+//     instruction (in-place accumulation with an identical operand is the
+//     normal reduction idiom and stays legal), overlapping same-buffer
+//     copies, and dead stores — scratch-pad writes whose entire region is
+//     overwritten before any instruction reads a byte of them.
+//
+// Programs written for the implicit-scoreboard simulator (aicore.Run) have
+// no flags to check: CheckImplicit runs the same suite minus the
+// cross-pipe hazard requirement. Passing such a program through
+// cce.AutoSync and then Check verifies the explicit form that real CCE C
+// would execute.
+package lint

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// SevWarning marks suspicious but not provably incorrect code.
+	SevWarning Severity = iota
+	// SevError marks code that is out of contract: it can corrupt memory,
+	// race, or deadlock on real hardware.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding of a lint pass.
+type Diagnostic struct {
+	Pass   string   // "bounds", "sync", "hazard" or "invariants"
+	Sev    Severity
+	Index  int      // instruction index in the program, -1 for program-level findings
+	Instr  string   // rendered instruction, "" for program-level findings
+	Region isa.Region // offending byte region; zero value when not applicable
+	Msg    string
+}
+
+func (d Diagnostic) String() string {
+	loc := "program"
+	if d.Index >= 0 {
+		loc = fmt.Sprintf("instr %d (%s)", d.Index, d.Instr)
+	}
+	return fmt.Sprintf("%s %s: %s: %s", d.Pass, d.Sev, loc, d.Msg)
+}
+
+// SyncMode selects the synchronization discipline the program is checked
+// against.
+type SyncMode int
+
+const (
+	// SyncExplicit verifies for aicore.RunExplicit semantics (real CCE):
+	// cross-pipe ordering must come from flags and barriers, so the
+	// hazard pass runs.
+	SyncExplicit SyncMode = iota
+	// SyncImplicit verifies for aicore.Run semantics, where a hardware
+	// scoreboard orders data hazards: the cross-pipe hazard pass is
+	// skipped, every other pass still runs.
+	SyncImplicit
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Caps is the capacity in bytes of each buffer; 0 means unbounded
+	// (global memory grows on demand). The zero value takes the Ascend
+	// 910 defaults from internal/buffer.
+	Caps [isa.NumBufs]int
+	// Mode selects the synchronization discipline; the zero value is
+	// SyncExplicit.
+	Mode SyncMode
+}
+
+// Check statically verifies prog against explicit-synchronization (CCE)
+// semantics with the default buffer capacities, running all four passes.
+// Findings come back ordered by instruction index.
+func Check(prog *cce.Program) []Diagnostic {
+	return CheckWith(Options{}, prog)
+}
+
+// CheckImplicit verifies prog for the implicit-scoreboard simulator
+// (aicore.Run): like Check, minus the cross-pipe hazard requirement.
+func CheckImplicit(prog *cce.Program) []Diagnostic {
+	return CheckWith(Options{Mode: SyncImplicit}, prog)
+}
+
+// CheckWith is Check with explicit options.
+func CheckWith(opts Options, prog *cce.Program) []Diagnostic {
+	var zero [isa.NumBufs]int
+	if opts.Caps == zero {
+		opts.Caps = buffer.Config{}.Capacities()
+	}
+	var diags []Diagnostic
+	diags = append(diags, checkInvariants(prog)...)
+	diags = append(diags, checkBounds(prog, opts.Caps)...)
+	diags = append(diags, checkSync(prog)...)
+	if opts.Mode == SyncExplicit {
+		diags = append(diags, checkHazards(prog)...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Index != diags[j].Index {
+			return diags[i].Index < diags[j].Index
+		}
+		if diags[i].Pass != diags[j].Pass {
+			return diags[i].Pass < diags[j].Pass
+		}
+		return diags[i].Msg < diags[j].Msg
+	})
+	return diags
+}
+
+// Errors filters diags down to error severity.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Sev == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+)
+
+// flagKey identifies one counting-token channel: an ordered pipe pair plus
+// an event id.
+type flagKey struct {
+	src, dst isa.Pipe
+	event    int
+}
+
+// checkSync dataflow-checks the set_flag/wait_flag protocol. Because all
+// sets of one channel issue on the source pipe and all waits on the
+// destination pipe — both in order — the i-th wait consumes exactly the
+// i-th set's token, so the pairing is decidable statically:
+//
+//   - a wait beyond the channel's set count has no token to consume and
+//     deadlocks its pipe (error);
+//   - a set beyond the channel's wait count leaks its token into the next
+//     kernel, where a reused event id would mis-pair (warning);
+//   - a matched pair straddling a pipe_barrier is redundant (the barrier
+//     already orders the two instructions) and, once the event id is
+//     reused after the barrier, double-deposits under real hardware's
+//     single-token flags (warning).
+func checkSync(prog *cce.Program) []Diagnostic {
+	sets := map[flagKey][]int{}
+	waits := map[flagKey][]int{}
+	var barriers []int
+	for idx, in := range prog.Instrs {
+		switch v := in.(type) {
+		case *isa.SetFlagInstr:
+			k := flagKey{v.SrcPipe, v.DstPipe, v.Event}
+			sets[k] = append(sets[k], idx)
+		case *isa.WaitFlagInstr:
+			k := flagKey{v.SrcPipe, v.DstPipe, v.Event}
+			waits[k] = append(waits[k], idx)
+		case *isa.BarrierInstr:
+			barriers = append(barriers, idx)
+		}
+	}
+	barrierBetween := func(a, b int) (int, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		for _, bi := range barriers {
+			if bi > a && bi < b {
+				return bi, true
+			}
+		}
+		return 0, false
+	}
+
+	var diags []Diagnostic
+	for k, ws := range waits {
+		ss := sets[k]
+		for i, w := range ws {
+			if i >= len(ss) {
+				diags = append(diags, Diagnostic{
+					Pass: "sync", Sev: SevError, Index: w, Instr: prog.Instrs[w].String(),
+					Msg: fmt.Sprintf("wait_flag has no matching set_flag (%d waits, %d sets on %v->%v ev=%d): the pipe deadlocks",
+						len(ws), len(ss), k.src, k.dst, k.event),
+				})
+				continue
+			}
+			if bi, ok := barrierBetween(ss[i], w); ok {
+				diags = append(diags, Diagnostic{
+					Pass: "sync", Sev: SevWarning, Index: w, Instr: prog.Instrs[w].String(),
+					Msg: fmt.Sprintf("set/wait pair (instrs %d, %d) straddles the pipe_barrier at instr %d: the barrier already orders them, and reusing ev=%d across it breaks single-token flag semantics",
+						ss[i], w, bi, k.event),
+				})
+			}
+		}
+	}
+	for k, ss := range sets {
+		for i := len(waits[k]); i < len(ss); i++ {
+			diags = append(diags, Diagnostic{
+				Pass: "sync", Sev: SevWarning, Index: ss[i], Instr: prog.Instrs[ss[i]].String(),
+				Msg: fmt.Sprintf("set_flag token on %v->%v ev=%d is never consumed by a wait_flag",
+					k.src, k.dst, k.event),
+			})
+		}
+	}
+	return diags
+}
