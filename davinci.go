@@ -52,12 +52,18 @@ type (
 	// CostModel is the cycle-cost model; override ChipConfig.Cost with a
 	// modified copy for sensitivity studies.
 	CostModel = isa.CostModel
+	// PlanCacheStats snapshots the device's kernel plan cache: programs
+	// compiled, cache hits and misses. Available per run via Stats.Plans
+	// and cumulatively via Device.PlanStats.
+	PlanCacheStats = ops.CacheStats
 )
 
 // C0 is the fractal channel-split length for Float16 (16 elements).
 const C0 = tensor.C0
 
-// Device is a simulated DaVinci device.
+// Device is a simulated DaVinci device. Kernels are compiled once per
+// (variant, shape) into the device's plan cache and replayed for every
+// tile and every repeated call; PlanStats reports the cache counters.
 type Device struct {
 	*chip.Chip
 }

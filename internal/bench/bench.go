@@ -18,6 +18,7 @@ import (
 	"davinci/internal/chip"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/ops"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
 	"davinci/internal/workloads"
@@ -29,6 +30,9 @@ type Table struct {
 	Note       string
 	Columns    []string
 	Rows       []Row
+	// Plans snapshots the device's plan cache after the experiment:
+	// programs compiled vs cache hits across every measured run.
+	Plans ops.CacheStats
 }
 
 // Row is one line of an experiment: a label (input size) and one value per
@@ -101,6 +105,9 @@ func (t *Table) Format(w io.Writer) {
 			fmt.Fprintf(w, "%-*s  ", widths[i], c)
 		}
 		fmt.Fprintln(w)
+	}
+	if t.Plans != (ops.CacheStats{}) {
+		fmt.Fprintf(w, "%s\n", t.Plans)
 	}
 	fmt.Fprintln(w)
 }
@@ -202,6 +209,7 @@ func Fig7a(o Options) (*Table, error) {
 		vals = append(vals, vals[0]/vals[1])
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
 	}
+	t.Plans = dev.PlanStats()
 	return t, nil
 }
 
@@ -234,6 +242,7 @@ func Fig7b(o Options) (*Table, error) {
 		vals = append(vals, vals[0]/vals[1])
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
 	}
+	t.Plans = dev.PlanStats()
 	return t, nil
 }
 
@@ -272,6 +281,7 @@ func Fig7c(o Options) (*Table, error) {
 		vals = append(vals, vals[0]/vals[1])
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
 	}
+	t.Plans = dev.PlanStats()
 	return t, nil
 }
 
@@ -313,6 +323,7 @@ func Fig8(stride int, o Options) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%dx%d", hw, hw), Values: vals})
 	}
+	t.Plans = dev.PlanStats()
 	return t, nil
 }
 
@@ -369,5 +380,6 @@ func AvgPool(o Options) (*Table, error) {
 		vals = append(vals, vals[0]/vals[1])
 		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
 	}
+	t.Plans = dev.PlanStats()
 	return t, nil
 }

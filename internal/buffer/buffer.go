@@ -37,6 +37,11 @@ const (
 	defaultGMSize  = 1 << 20
 )
 
+// Normalized returns the config with every zero field replaced by its
+// Ascend 910 default. Plan-cache keys (internal/ops) use the normalized
+// form so that an explicit default and a zero value map to the same plan.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	def := func(v *int, d int) {
 		if *v == 0 {
@@ -136,12 +141,13 @@ func (s *Space) Reset() { s.off = 0 }
 // memory view the simulator executes against.
 type Set struct {
 	spaces [isa.NumBufs]*Space
+	cfg    Config
 }
 
 // NewSet builds the memory system from a config.
 func NewSet(cfg Config) *Set {
 	cfg = cfg.withDefaults()
-	s := &Set{}
+	s := &Set{cfg: cfg}
 	s.spaces[isa.GM] = &Space{ID: isa.GM, size: cfg.GMSize, data: make([]byte, cfg.GMSize), growable: true}
 	s.spaces[isa.L1] = NewSpace(isa.L1, cfg.L1Size)
 	s.spaces[isa.L0A] = NewSpace(isa.L0A, cfg.L0ASize)
@@ -153,6 +159,9 @@ func NewSet(cfg Config) *Set {
 
 // Space returns the address space for id.
 func (s *Set) Space(id isa.BufID) *Space { return s.spaces[id] }
+
+// Config returns the (normalized) configuration the set was built from.
+func (s *Set) Config() Config { return s.cfg }
 
 // Capacities returns the capacity in bytes of each address space. Global
 // memory reports 0: it grows on demand, so no static bound applies.

@@ -5,10 +5,15 @@
 // processing whole (H, W, C0) tiles; chip time is the maximum over cores.
 //
 // Each simulated core is independent, so host-side execution fans tiles
-// out across goroutines — one worker per simulated core.
+// out across goroutines — one worker per simulated core. Kernels are
+// compiled once per shape through the chip's plan cache (ops.PlanCache)
+// before the fan-out; every core then replays the same immutable plan on
+// its own tiles, so host wall time no longer scales with re-compiling the
+// schedule per tile.
 package chip
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -37,9 +42,13 @@ type Config struct {
 	Serialize bool
 }
 
-// Chip is a simulated multi-core device.
+// Chip is a simulated multi-core device. Each chip owns a plan cache:
+// kernels are compiled once per (variant, shape) and replayed by every
+// core.
 type Chip struct {
-	cfg Config
+	cfg   Config
+	spec  ops.Spec
+	plans *ops.PlanCache
 }
 
 // New creates a chip. Zero-valued config fields take Ascend 910 defaults.
@@ -47,11 +56,18 @@ func New(cfg Config) *Chip {
 	if cfg.Cores == 0 {
 		cfg.Cores = DefaultCores
 	}
-	return &Chip{cfg: cfg}
+	return &Chip{
+		cfg:   cfg,
+		spec:  ops.Spec{Buffers: cfg.Buffers},
+		plans: ops.NewPlanCache(),
+	}
 }
 
 // Cores returns the AI Core count.
 func (c *Chip) Cores() int { return c.cfg.Cores }
+
+// PlanStats returns a snapshot of the chip's plan-cache counters.
+func (c *Chip) PlanStats() ops.CacheStats { return c.plans.Stats() }
 
 func (c *Chip) newCore() *aicore.Core {
 	core := aicore.New(c.cfg.Buffers, c.cfg.Cost)
@@ -69,10 +85,13 @@ type Stats struct {
 	Tiles int
 	// Work sums per-pipe activity over all cores.
 	Work aicore.Stats
+	// Plans snapshots the chip's cumulative plan-cache counters at the
+	// end of the run (compiled programs, cache hits, misses).
+	Plans ops.CacheStats
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("chip cycles=%d tiles=%d instrs=%d", s.Cycles, s.Tiles, s.Work.Instrs)
+	return fmt.Sprintf("chip cycles=%d tiles=%d instrs=%d %s", s.Cycles, s.Tiles, s.Work.Instrs, s.Plans)
 }
 
 // tileResult carries one tile's outputs back to the assembler.
@@ -85,7 +104,8 @@ type tileResult struct {
 
 // runTiles fans the (n, c1) tile grid across simulated cores round-robin
 // and host goroutines, then aggregates stats: serial within a core,
-// parallel across cores.
+// parallel across cores. A core stops at its first failing tile; the
+// failures of all cores are joined into one error.
 func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error)) ([][]tileResult, *Stats, error) {
 	type job struct{ n, c1 int }
 	jobs := make([]job, 0, n*c1)
@@ -121,18 +141,24 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 	wg.Wait()
 
 	stats := &Stats{CoreCycles: make([]int64, c.cfg.Cores), Tiles: len(jobs)}
+	var errs []error
 	for idx, rs := range results {
 		coreTotal := &aicore.Stats{}
 		for _, r := range rs {
 			if r.err != nil {
-				return nil, nil, fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, r.n, r.c1, r.err)
+				errs = append(errs, fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, r.n, r.c1, r.err))
+				continue
 			}
 			coreTotal.AddSerial(r.stats)
 		}
 		stats.CoreCycles[idx] = coreTotal.Cycles
 		stats.Work.AddParallel(coreTotal)
 	}
+	if len(errs) > 0 {
+		return nil, nil, errors.Join(errs...)
+	}
 	stats.Cycles = stats.Work.Cycles
+	stats.Plans = c.plans.Stats()
 	return results, stats, nil
 }
 
@@ -144,25 +170,27 @@ func checkFractalInput(in *tensor.Tensor) (n, c1 int, err error) {
 }
 
 // MaxPoolForward runs a forward Maxpool variant ("standard", "im2col",
-// "expansion" or "xysplit") over a full NC1HWC0 tensor.
+// "expansion" or "xysplit") over a full NC1HWC0 tensor. The variant is
+// compiled once through the chip's plan cache, then replayed per tile.
 func (c *Chip) MaxPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
-	fn, ok := ops.MaxForward[variant]
-	if !ok {
-		return nil, nil, fmt.Errorf("chip: unknown forward variant %q", variant)
+	pl, err := c.plans.MaxPoolForward(variant, c.spec, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(fn, in, p)
+	return c.poolForward(pl, in, p)
 }
 
-// AvgPoolForward runs a forward Avgpool variant ("standard" or "im2col").
+// AvgPoolForward runs a forward Avgpool variant ("standard", "im2col" or
+// "cube").
 func (c *Chip) AvgPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
-	fn, ok := ops.AvgForward[variant]
-	if !ok {
-		return nil, nil, fmt.Errorf("chip: unknown avgpool variant %q", variant)
+	pl, err := c.plans.AvgPoolForward(variant, c.spec, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(fn, in, p)
+	return c.poolForward(pl, in, p)
 }
 
-func (c *Chip) poolForward(fn ops.ForwardFunc, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
 	n, c1, err := checkFractalInput(in)
 	if err != nil {
 		return nil, nil, err
@@ -170,9 +198,7 @@ func (c *Chip) poolForward(fn ops.ForwardFunc, in *tensor.Tensor, p isa.ConvPara
 	oh, ow := p.OutDims()
 	out := tensor.New(n, c1, oh, ow, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
-		tile := tensor.SliceC1(in, ni, ci)
-		o, st, err := fn(core, tile, p)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, tensor.SliceC1(in, ni, ci))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -189,9 +215,9 @@ func (c *Chip) poolForward(fn ops.ForwardFunc, in *tensor.Tensor, p isa.ConvPara
 // returning the pooled output and the argmax mask in the Im2Col shape
 // (N, C1, Kh, Kw, OhOw16, C0).
 func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *Stats, err error) {
-	fn, ok := ops.MaxForwardArgmax[variant]
-	if !ok {
-		return nil, nil, nil, fmt.Errorf("chip: unknown argmax variant %q", variant)
+	pl, err := c.plans.MaxPoolForwardArgmax(variant, c.spec, p)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("chip: %w", err)
 	}
 	n, c1, err := checkFractalInput(in)
 	if err != nil {
@@ -201,9 +227,7 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 	out = tensor.New(n, c1, oh, ow, tensor.C0)
 	mask = tensor.New(n, c1, p.Kh, p.Kw, p.PaddedPatches(), tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
-		tile := tensor.SliceC1(in, ni, ci)
-		o, m, st, err := fn(core, tile, p)
-		return []*tensor.Tensor{o, m}, st, err
+		return pl.Run(core, tensor.SliceC1(in, ni, ci))
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -221,9 +245,9 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 // the saved argmax mask; grad has the output shape (N, C1, Oh, Ow, C0).
 // The result has the input shape (N, C1, Ih, Iw, C0).
 func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
-	fn, ok := ops.MaxBackward[variant]
-	if !ok {
-		return nil, nil, fmt.Errorf("chip: unknown backward variant %q", variant)
+	pl, err := c.plans.MaxPoolBackward(variant, c.spec, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
 	if len(mask.Shape) != 6 {
 		return nil, nil, fmt.Errorf("chip: want a 6-d argmax mask, got %v", mask.Shape)
@@ -231,10 +255,7 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 	n, c1 := mask.Shape[0], mask.Shape[1]
 	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
-		mt := tensor.SliceOuter2(mask, ni, ci)
-		gt := tensor.SliceC1(grad, ni, ci)
-		o, st, err := fn(core, mt, gt, p)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, tensor.SliceOuter2(mask, ni, ci), tensor.SliceC1(grad, ni, ci))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -250,15 +271,17 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 // AvgPoolBackward propagates Avgpool gradients (useCol2im selects the
 // accelerated merge, §V-C).
 func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *Stats, error) {
+	pl, err := c.plans.AvgPoolBackward(c.spec, p, useCol2im)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	n, c1, err := checkFractalInput(grad)
 	if err != nil {
 		return nil, nil, err
 	}
 	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
-		gt := tensor.SliceC1(grad, ni, ci)
-		o, st, err := ops.AvgPoolBackward(core, gt, p, useCol2im)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, tensor.SliceC1(grad, ni, ci))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -275,6 +298,13 @@ func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im 
 // the whole C1 extent on one core, so parallelization is across the batch
 // dimension only.
 func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+	}
+	pl, err := c.plans.Conv2D(c.spec, p, weights.Shape[0], weights.Shape[1])
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	n, _, err := checkFractalInput(in)
 	if err != nil {
 		return nil, nil, err
@@ -286,8 +316,7 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		img := tensor.New(1, in.Shape[1], p.Ih, p.Iw, tensor.C0)
 		copy(img.Data, in.Data[ni*imgBytes:(ni+1)*imgBytes])
-		o, st, err := ops.Conv2DIm2colCube(core, img, weights, p)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, img, weights)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -305,6 +334,13 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 // (batch-parallel across cores, like Conv2D). c is the logical input
 // channel count.
 func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams, channels int) (*tensor.Tensor, *Stats, error) {
+	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+	}
+	pl, err := c.plans.Conv2DBackwardData(c.spec, p, weights.Shape[0], channels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	n, _, err := checkFractalInput(grad)
 	if err != nil {
 		return nil, nil, err
@@ -316,8 +352,7 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		g := tensor.New(1, grad.Shape[1], oh, ow, tensor.C0)
 		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
-		o, st, err := ops.Conv2DBackwardData(core, g, weights, p, channels)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, g, weights)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -335,6 +370,10 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 // dW = dY^T x im2col(x), summing contributions over the batch. co and
 // channels are the logical output/input channel counts.
 func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, co, channels int) (*tensor.Tensor, *Stats, error) {
+	pl, err := c.plans.Conv2DBackwardWeights(c.spec, p, co, channels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	n, _, err := checkFractalInput(grad)
 	if err != nil {
 		return nil, nil, err
@@ -347,8 +386,7 @@ func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, c
 		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
 		xi := tensor.New(1, x.Shape[1], p.Ih, p.Iw, tensor.C0)
 		copy(xi.Data, x.Data[ni*xBytes:(ni+1)*xBytes])
-		o, st, err := ops.Conv2DBackwardWeights(core, g, xi, p, co, channels)
-		return []*tensor.Tensor{o}, st, err
+		return pl.Run(core, g, xi)
 	})
 	if err != nil {
 		return nil, nil, err

@@ -151,6 +151,18 @@ func Mul(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) * ToFloat32(b))
 // Div returns a/b rounded to binary16.
 func Div(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) / ToFloat32(b)) }
 
+// orderKey maps a non-NaN bit pattern to an unsigned key that increases
+// with numeric value: negative values (sign bit set) reverse their
+// magnitude order under complement, positive values shift above them. One
+// integer compare then replaces the widen-to-float32 comparison, which is
+// the hot path of the simulated vector max/min reductions.
+func orderKey(h Float16) uint16 {
+	if h&0x8000 != 0 {
+		return ^uint16(h)
+	}
+	return uint16(h) | 0x8000
+}
+
 // Max returns the larger of a and b. If either operand is NaN the other is
 // returned (matching the maxnum semantics of vector max instructions).
 func Max(a, b Float16) Float16 {
@@ -159,8 +171,9 @@ func Max(a, b Float16) Float16 {
 		return b
 	case b.IsNaN():
 		return a
-	}
-	if Less(a, b) {
+	case (a|b)&0x7fff == 0: // zeroes compare equal; keep a like Less did
+		return a
+	case orderKey(a) < orderKey(b):
 		return b
 	}
 	return a
@@ -173,8 +186,9 @@ func Min(a, b Float16) Float16 {
 		return b
 	case b.IsNaN():
 		return a
-	}
-	if Less(a, b) {
+	case (a|b)&0x7fff == 0:
+		return b
+	case orderKey(a) < orderKey(b):
 		return a
 	}
 	return b
@@ -186,15 +200,20 @@ func Less(a, b Float16) bool {
 	if a.IsNaN() || b.IsNaN() {
 		return false
 	}
-	return ToFloat32(a) < ToFloat32(b)
+	if (a|b)&0x7fff == 0 {
+		return false
+	}
+	return orderKey(a) < orderKey(b)
 }
 
-// Equal reports numeric equality (+0 == -0, NaN != NaN).
+// Equal reports numeric equality (+0 == -0, NaN != NaN). Binary16
+// representations are unique apart from the signed zeroes, so this is a
+// bit compare plus the zero case.
 func Equal(a, b Float16) bool {
 	if a.IsNaN() || b.IsNaN() {
 		return false
 	}
-	return ToFloat32(a) == ToFloat32(b)
+	return a == b || (a|b)&0x7fff == 0
 }
 
 // Neg returns h with its sign flipped.

@@ -8,25 +8,28 @@ import (
 	"davinci/internal/tensor"
 )
 
-// MaxPoolFwdArgmaxIm2col is the Fig. 7b accelerated implementation:
-// Im2col-based forward Maxpool that additionally saves the argmax mask for
-// training. The mask is produced by comparing each patch with its maximum
-// — one full-mask vcmp per (kh, kw) slice — and stored in the Im2Col
-// output shape, which keeps overlapping patches separated (§V-A).
-func MaxPoolFwdArgmaxIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
-	pl, err := planIm2col(core, in, p, "maxpool_fwd_argmax_im2col", 0)
+// planMaxPoolFwdArgmaxIm2col compiles the Fig. 7b accelerated
+// implementation: Im2col-based forward Maxpool that additionally saves the
+// argmax mask for training. The mask is produced by comparing each patch
+// with its maximum — one full-mask vcmp per (kh, kw) slice — and stored in
+// the Im2Col output shape, which keeps overlapping patches separated
+// (§V-A).
+func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
+	b := newPlanner("maxpool_fwd_argmax_im2col", spec, p)
+	pl, err := planIm2col(b, p, "maxpool_fwd_argmax_im2col", 0)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
+	core := b.core
 	kk := p.Kh * p.Kw
 	padded := p.PaddedPatches()
 	maskGM, err := core.Mem.Space(isa.GM).Alloc(kk * padded * Block)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	prog := cce.New("maxpool_fwd_argmax_im2col")
-	pl.emitInputLoad(prog, p, in.Bytes())
+	pl.emitInputLoad(prog, p)
 
 	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
 		fb := min(pl.band, pl.fracs-f0)
@@ -60,26 +63,51 @@ func MaxPoolFwdArgmaxIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvPara
 			SrcGap: 0, DstGap: (padded - bandPatches) * Block,
 		})
 	}
-	st, err := core.Run(prog)
+	b.output(pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0)
+	b.output(maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
+	plan, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan.bind = bindTile("maxpool_fwd_argmax_im2col", p)
+	return plan, nil
+}
+
+// MaxPoolFwdArgmaxIm2col is the Fig. 7b accelerated implementation as a
+// one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForwardArgmax (or a PlanCache)
+// and replay the plan per tile; this wrapper compiles through SharedPlans
+// and runs in one call.
+func MaxPoolFwdArgmaxIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForwardArgmax("im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out := core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0)
-	mask := core.Mem.ReadTensor(isa.GM, maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
-	return out, mask, st, nil
+	return runArgmax(pl, core, in)
 }
 
-// MaxPoolFwdArgmaxStandard is the baseline of Fig. 7b: the standard
-// forward lowering followed by per-patch 16-lane comparisons to build the
-// argmax mask, which is stored in the same Im2Col shape as the accelerated
-// version ("saving this mask is independent of the use of Im2Col
-// instructions", §V-A) but costs one vcmp per (oh, ow, kh).
-func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
+// runArgmax replays a (out, mask) plan on core.
+func runArgmax(pl *Plan, core *aicore.Core, in *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
+	outs, st, err := pl.Run(core, in)
+	if err != nil {
 		return nil, nil, nil, err
 	}
-	core.Mem.ResetLocal()
-	inP, pp := materializePadding(in, p)
+	return outs[0], outs[1], st, nil
+}
+
+// planMaxPoolFwdArgmaxStandard compiles the baseline of Fig. 7b: the
+// standard forward lowering followed by per-patch 16-lane comparisons to
+// build the argmax mask, which is stored in the same Im2Col shape as the
+// accelerated version ("saving this mask is independent of the use of
+// Im2Col instructions", §V-A) but costs one vcmp per (oh, ow, kh).
+func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := newPlanner("maxpool_fwd_argmax_standard", spec, p)
+	core := b.core
+	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
 	inRowB := pp.Iw * Block
 	outRowB := ow * Block
@@ -87,17 +115,17 @@ func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvPa
 	padded := p.PaddedPatches()
 
 	gm := core.Mem.Space(isa.GM)
-	inGM, err := core.Mem.PlaceTensor(isa.GM, inP)
+	inGM, err := b.input(pp.Ih * inRowB)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	outGM, err := gm.Alloc(oh * outRowB)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	maskGM, err := gm.Alloc(kk * padded * Block)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
@@ -108,7 +136,7 @@ func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvPa
 		band = maxBand(ubAvail(core), oh, perBand)
 		buffers = 1
 		if band == 0 {
-			return nil, nil, nil, errTooLarge("maxpool_fwd_argmax_standard", pp)
+			return nil, errTooLarge("maxpool_fwd_argmax_standard", pp)
 		}
 	}
 	ub := core.Mem.Space(isa.UB)
@@ -163,11 +191,25 @@ func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvPa
 			SrcGap: 0, DstGap: (padded - bandPatches) * Block,
 		})
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, 1, oh, ow, tensor.C0)
+	b.output(maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = bindPaddedTile("maxpool_fwd_argmax_standard", p)
+	return pl, nil
+}
+
+// MaxPoolFwdArgmaxStandard is the baseline of Fig. 7b as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForwardArgmax (or a PlanCache)
+// and replay the plan per tile; this wrapper compiles through SharedPlans
+// and runs in one call.
+func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForwardArgmax("standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out := core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0)
-	mask := core.Mem.ReadTensor(isa.GM, maskGM, 1, 1, p.Kh, p.Kw, padded, tensor.C0)
-	return out, mask, st, nil
+	return runArgmax(pl, core, in)
 }

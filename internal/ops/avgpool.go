@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"fmt"
+
 	"davinci/internal/aicore"
 	"davinci/internal/cce"
 	"davinci/internal/fp16"
@@ -18,116 +20,59 @@ func avgScale(p isa.ConvParams) fp16.Float16 {
 // AvgPoolFwdStandard is the standard Avgpool forward: identical access
 // pattern to Maxpool but reducing with vadd instead of vmax, plus the
 // element-wise division epilogue (§V-C).
+//
+// Deprecated: compile once with PlanAvgPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
 func AvgPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
-		return nil, nil, err
-	}
-	core.Mem.ResetLocal()
-	in, pp := materializePadding(in, p)
-	oh, ow := pp.OutDims()
-	inRowB := pp.Iw * Block
-	outRowB := ow * Block
-
-	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	pl, err := SharedPlans.AvgPoolForward("standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	outGM, err := core.Mem.Space(isa.GM).Alloc(oh * outRowB)
-	if err != nil {
-		return nil, nil, err
-	}
-	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
-	need := func(b int) int { return 2 * (inRows(b)*inRowB + b*outRowB) }
-	band := maxBand(ubAvail(core), oh, need)
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), oh, func(b int) int { return need(b) / 2 })
-		buffers = 1
-		if band == 0 {
-			return nil, nil, errTooLarge("avgpool_fwd_standard", pp)
-		}
-	}
-	ub := core.Mem.Space(isa.UB)
-	var inUB, outUB [2]int
-	for i := 0; i < buffers; i++ {
-		inUB[i] = ub.MustAlloc(inRows(band) * inRowB)
-		outUB[i] = ub.MustAlloc(band * outRowB)
-	}
-
-	prog := cce.New("avgpool_fwd_standard")
-	for oh0, bi := 0, 0; oh0 < oh; oh0, bi = oh0+band, bi+1 {
-		b := min(band, oh-oh0)
-		iUB, oUB := inUB[bi%buffers], outUB[bi%buffers]
-		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, isa.UB, iUB, inRows(b)*inRowB)
-		prog.EmitDup(isa.UB, oUB, b*ow*tensor.C0, fp16.Zero)
-		if pp.Sw == 1 {
-			emitReduceRowsSaturated(prog, isa.VAdd, pp, iUB, oUB, b, ow)
-		} else {
-			emitReduceStrided(prog, isa.VAdd, pp, iUB, oUB, b, ow)
-		}
-		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, oUB, oUB, 0, b*ow*tensor.C0, avgScale(pp))
-		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
-	}
-	st, err := core.Run(prog)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
 }
 
 // AvgPoolFwdIm2col is the Im2col-based Avgpool forward: the same schedule
-// as MaxPoolFwdIm2col with vadd reductions and the division epilogue
-// ("the access pattern stays the same and can benefit from using Im2Col",
-// §V-C).
+// as MaxPoolFwdIm2col with vadd reductions and the division epilogue ("the
+// access pattern stays the same and can benefit from using Im2Col", §V-C).
+//
+// Deprecated: compile once with PlanAvgPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
 func AvgPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := planIm2col(core, in, p, "avgpool_fwd_im2col", 0)
+	pl, err := SharedPlans.AvgPoolForward("im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	prog := cce.New("avgpool_fwd_im2col")
-	pl.emitInputLoad(prog, p, in.Bytes())
-	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
-		fb := min(pl.band, pl.fracs-f0)
-		colUB, outUB := pl.colUB[bi%pl.buffers], pl.outUB[bi%pl.buffers]
-		bandPatches := fb * isa.FractalPatches
-		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
-		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
-		prog.EmitDup(isa.UB, outUB, bandPatches*tensor.C0, fp16.Zero)
-		emitColReduce(prog, isa.VAdd, colUB, outUB, p.Kh*p.Kw, fb)
-		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, outUB, outUB, 0, bandPatches*tensor.C0, avgScale(p))
-		valid := min(pl.patches, (f0+fb)*isa.FractalPatches) - f0*isa.FractalPatches
-		prog.EmitCopy(isa.UB, outUB, isa.GM, pl.outGM+f0*isa.FractalPatches*Block, valid*Block)
-	}
-	st, err := core.Run(prog)
-	if err != nil {
-		return nil, nil, err
-	}
-	return core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
 }
 
-// AvgPoolBackward computes the Avgpool backward pass. The equivalent mask
-// contains 1 in all positions (every input contributes to a sum, §V-C), so
-// the kernel scales the incoming gradients by 1/(Kh*Kw) and merges them —
-// with 16-lane vadds when useCol2im is false (the standard lowering) or
-// with Col2Im instructions when true.
-func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *aicore.Stats, error) {
+// PlanAvgPoolBackward compiles the Avgpool backward pass. The equivalent
+// mask contains 1 in all positions (every input contributes to a sum,
+// §V-C), so the kernel scales the incoming gradients by 1/(Kh*Kw) and
+// merges them — with 16-lane vadds when useCol2im is false (the standard
+// lowering) or with Col2Im instructions when true. Run takes (grad) and
+// returns (dx).
+func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	name := "avgpool_bwd_standard"
+	if useCol2im {
+		name = "avgpool_bwd_col2im"
+	}
+	b := newPlanner(name, spec, p)
+	core := b.core
 	oh, ow := p.OutDims()
 	patches := p.Patches()
 	fracs := p.Fractals()
-	if len(grad.Shape) != 5 || grad.Shape[2] != oh || grad.Shape[3] != ow {
-		return nil, nil, errTooLarge("avgpool_bwd", p)
-	}
-	core.Mem.ResetLocal()
-	gradGM, err := core.Mem.PlaceTensor(isa.GM, grad)
+	gradGM, err := b.input(oh * ow * Block)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	outGM, err := core.Mem.Space(isa.GM).Alloc(p.Ih * p.Iw * Block)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	inRowB := p.Iw * Block
 	rowsFor := func(b int) int {
@@ -141,7 +86,7 @@ func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, u
 		band = maxBand(ubAvail(core), fracs, func(b int) int { return b*isa.FractalBytes + rowsFor(b)*inRowB })
 		buffers = 1
 		if band == 0 {
-			return nil, nil, errTooLarge("avgpool_bwd", p)
+			return nil, errTooLarge("avgpool_bwd", p)
 		}
 	}
 	ub := core.Mem.Space(isa.UB)
@@ -151,10 +96,6 @@ func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, u
 	}
 	outUB := ub.MustAlloc(rowsFor(band) * inRowB)
 
-	name := "avgpool_bwd_standard"
-	if useCol2im {
-		name = "avgpool_bwd_col2im"
-	}
 	prog := cce.New(name)
 	prevHi := 0
 	for f0, bi := 0, 0; f0 < fracs; f0, bi = f0+band, bi+1 {
@@ -217,9 +158,33 @@ func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, u
 		prog.EmitCopy(isa.UB, outUB, isa.GM, outGM+lo*inRowB, (hi-lo)*inRowB)
 		prevHi = hi
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, 1, p.Ih, p.Iw, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs("avgpool_bwd", 1, inputs); err != nil {
+			return nil, err
+		}
+		grad := inputs[0]
+		if len(grad.Shape) != 5 || grad.Shape[2] != oh || grad.Shape[3] != ow {
+			return nil, fmt.Errorf("ops: avgpool_bwd: grad shape %v, want (1,1,%d,%d,%d)", grad.Shape, oh, ow, tensor.C0)
+		}
+		return inputs, nil
+	}
+	return pl, nil
+}
+
+// AvgPoolBackward computes the Avgpool backward pass as a one-shot call.
+//
+// Deprecated: compile once with PlanAvgPoolBackward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.AvgPoolBackward(SpecFor(core), p, useCol2im)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, p.Ih, p.Iw, tensor.C0), st, nil
+	return runSingle(pl, core, grad)
 }

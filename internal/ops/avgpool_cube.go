@@ -6,9 +6,9 @@ import (
 	"davinci/internal/tensor"
 )
 
-// AvgPoolFwdCube computes average pooling on the Cube unit by mapping it to
-// convolution — the paper's §VIII future-work direction, following the
-// Suita et al. observation (§VII) that Avgpool "can be mapped to
+// planAvgPoolFwdCube compiles average pooling on the Cube unit by mapping
+// it to convolution — the paper's §VIII future-work direction, following
+// the Suita et al. observation (§VII) that Avgpool "can be mapped to
 // convolution where the kernel's weights are equal to 1/(Kh*Kw)". Each C0
 // channel uses a diagonal weight matrix, so channels stay independent; the
 // Im2Col loads feed L0A in repeat mode 0 and the MMAD accumulates in fp32,
@@ -18,26 +18,56 @@ import (
 //
 // Unlike the vector variants this one cannot produce Maxpool ("CNNs tend
 // to use Maxpool, which cannot be fused in the same way", §VII), so it
-// complements rather than replaces the Im2col vector kernel.
-func AvgPoolFwdCube(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
-		return nil, nil, err
+// complements rather than replaces the Im2col vector kernel. The plan is
+// the conv plan with a bind step that synthesizes the diagonal weights, so
+// Run takes just (in) like the other forward variants.
+func planAvgPoolFwdCube(spec Spec, p isa.ConvParams) (*Plan, error) {
+	pl, err := PlanConv2D(spec, p, tensor.C0, tensor.C0)
+	if err != nil {
+		return nil, err
 	}
-	// Diagonal 16x16-channel weights scaled by 1/(Kh*Kw).
-	w := tensor.New(tensor.C0, tensor.C0, p.Kh, p.Kw)
-	inv := avgScale(p)
-	for ch := 0; ch < tensor.C0; ch++ {
-		for xk := 0; xk < p.Kh; xk++ {
-			for yk := 0; yk < p.Kw; yk++ {
-				w.Set(inv, ch, ch, xk, yk)
+	convBind := pl.bind
+	pl.Name = "avgpool_fwd_cube"
+	pl.bind = func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs("avgpool_fwd_cube", 1, inputs); err != nil {
+			return nil, err
+		}
+		in := inputs[0]
+		if err := checkTile(in, p); err != nil {
+			return nil, err
+		}
+		// Diagonal 16x16-channel weights scaled by 1/(Kh*Kw).
+		w := tensor.New(tensor.C0, tensor.C0, p.Kh, p.Kw)
+		inv := avgScale(p)
+		for ch := 0; ch < tensor.C0; ch++ {
+			for xk := 0; xk < p.Kh; xk++ {
+				for yk := 0; yk < p.Kw; yk++ {
+					w.Set(inv, ch, ch, xk, yk)
+				}
 			}
 		}
+		return convBind([]*tensor.Tensor{in, w})
 	}
-	return Conv2DIm2colCube(core, in, w, p)
+	return pl, nil
+}
+
+// AvgPoolFwdCube computes average pooling on the Cube unit as a one-shot
+// call.
+//
+// Deprecated: compile once with PlanAvgPoolForward("cube", ...) (or a
+// PlanCache) and replay the plan per tile; this wrapper compiles through
+// SharedPlans and runs in one call.
+func AvgPoolFwdCube(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.AvgPoolForward("cube", SpecFor(core), p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runSingle(pl, core, in)
 }
 
 // init registers the Cube variant alongside the vector implementations so
 // benchmarks and the CLI can select it by name.
 func init() {
 	AvgForward["cube"] = AvgPoolFwdCube
+	avgForwardPlanners["cube"] = planAvgPoolFwdCube
 }

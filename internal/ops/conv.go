@@ -36,67 +36,85 @@ func PackWeightsFractal(w *tensor.Tensor, p isa.ConvParams) *tensor.Tensor {
 	return out
 }
 
-// Conv2DIm2colCube computes convolution on the Cube unit, the primary use
-// the Im2Col instruction was designed for (§II-A, §III-C): patches are
-// loaded from L1 into L0A with Im2Col in repeat mode 0 (one instruction
-// per 16-patch fractal covering every (c1, xk, yk)), weights stream into
-// L0B, the MMAD accumulates in fp32 in L0C, and the result converts back
-// to Float16 on its way through the Unified Buffer.
+// bindConv validates and packs the (in, weights) inputs of a forward
+// convolution plan compiled for co x c logical channels.
+func bindConv(p isa.ConvParams, co, c int) bindFunc {
+	c1 := tensor.C1Of(c)
+	return func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs("conv2d_im2col_cube", 2, inputs); err != nil {
+			return nil, err
+		}
+		in, weights := inputs[0], inputs[1]
+		if len(in.Shape) != 5 || in.Shape[0] != 1 || in.Shape[4] != tensor.C0 {
+			return nil, fmt.Errorf("ops: conv wants a (1,C1,H,W,%d) input, got %v", tensor.C0, in.Shape)
+		}
+		if in.Shape[2] != p.Ih || in.Shape[3] != p.Iw {
+			return nil, fmt.Errorf("ops: conv input %v does not match params (%d,%d)", in.Shape, p.Ih, p.Iw)
+		}
+		if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+			return nil, fmt.Errorf("ops: conv wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+		}
+		if weights.Shape[0] != co || weights.Shape[1] != c {
+			return nil, fmt.Errorf("ops: conv plan compiled for (Co,C)=(%d,%d) weights, got %v", co, c, weights.Shape)
+		}
+		if in.Shape[1] != c1 {
+			return nil, fmt.Errorf("ops: weight channels %d inconsistent with input C1=%d", c, in.Shape[1])
+		}
+		return []*tensor.Tensor{in, PackWeightsFractal(weights, p)}, nil
+	}
+}
+
+// PlanConv2D compiles convolution on the Cube unit for co x c logical
+// channels, the primary use the Im2Col instruction was designed for
+// (§II-A, §III-C): patches are loaded from L1 into L0A with Im2Col in
+// repeat mode 0 (one instruction per 16-patch fractal covering every
+// (c1, xk, yk)), weights stream into L0B, the MMAD accumulates in fp32 in
+// L0C, and the result converts back to Float16 on its way through the
+// Unified Buffer.
 //
-// in has shape (1, C1, Ih, Iw, C0); weights (Co, C, Kh, Kw). The result
-// has shape (1, Co1, Oh, Ow, C0).
-func Conv2DIm2colCube(core *aicore.Core, in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+// Run takes an input of shape (1, C1, Ih, Iw, C0) and (Co, C, Kh, Kw)
+// weights, and returns a (1, Co1, Oh, Ow, C0) result.
+func PlanConv2D(spec Spec, p isa.ConvParams, co, c int) (*Plan, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	if len(in.Shape) != 5 || in.Shape[0] != 1 || in.Shape[4] != tensor.C0 {
-		return nil, nil, fmt.Errorf("ops: conv wants a (1,C1,H,W,%d) input, got %v", tensor.C0, in.Shape)
-	}
-	if in.Shape[2] != p.Ih || in.Shape[3] != p.Iw {
-		return nil, nil, fmt.Errorf("ops: conv input %v does not match params (%d,%d)", in.Shape, p.Ih, p.Iw)
-	}
-	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
-		return nil, nil, fmt.Errorf("ops: conv wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
-	}
-	c1 := in.Shape[1]
-	co, c := weights.Shape[0], weights.Shape[1]
-	if tensor.C1Of(c) != c1 {
-		return nil, nil, fmt.Errorf("ops: weight channels %d inconsistent with input C1=%d", c, c1)
-	}
-	core.Mem.ResetLocal()
+	b := newPlanner("conv2d_im2col_cube", spec, p)
+	core := b.core
+	c1 := tensor.C1Of(c)
 
 	kDim := c1 * p.Kh * p.Kw // fractal rows of the im2col matrix
 	nDim := tensor.C1Of(co)  // fractal columns of the weight matrix
 	oh, ow := p.OutDims()
 	patches := p.Patches()
 	fracs := p.Fractals()
+	inBytes := c1 * p.Ih * p.Iw * Block
+	wBytes := kDim * nDim * isa.FractalBytes
 
-	bFrac := PackWeightsFractal(weights, p)
-	if bFrac.Bytes() > core.Mem.Space(isa.L0B).Free() {
-		return nil, nil, fmt.Errorf("ops: conv weights (%d bytes) exceed L0B; tile Co/C further", bFrac.Bytes())
+	if wBytes > core.Mem.Space(isa.L0B).Free() {
+		return nil, fmt.Errorf("ops: conv weights (%d bytes) exceed L0B; tile Co/C further", wBytes)
 	}
 
-	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	inGM, err := b.input(inBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	wGM, err := core.Mem.PlaceTensor(isa.GM, bFrac)
+	wGM, err := b.input(wBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	outGM, err := core.Mem.Space(isa.GM).Alloc(nDim * patches * Block)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l1In, err := core.Mem.Space(isa.L1).Alloc(in.Bytes())
+	l1In, err := core.Mem.Space(isa.L1).Alloc(inBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l1W, err := core.Mem.Space(isa.L1).Alloc(bFrac.Bytes())
+	l1W, err := core.Mem.Space(isa.L1).Alloc(wBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l0b := core.Mem.Space(isa.L0B).MustAlloc(bFrac.Bytes())
+	l0b := core.Mem.Space(isa.L0B).MustAlloc(wBytes)
 
 	// Patch-fractal band sized by L0A, L0C and the UB staging area.
 	const fp32Frac = isa.FractalPatches * isa.FractalC0 * 4
@@ -107,16 +125,16 @@ func Conv2DIm2colCube(core *aicore.Core, in, weights *tensor.Tensor, p isa.ConvP
 	mBandMax = min(mBandMax, ubAvail(core)/(nDim*isa.FractalBytes))
 	mBand := min(mBandMax, fracs)
 	if mBand < 1 {
-		return nil, nil, fmt.Errorf("ops: conv K=%d N=%d does not fit the L0 buffers; tile channels further", kDim, nDim)
+		return nil, fmt.Errorf("ops: conv K=%d N=%d does not fit the L0 buffers; tile channels further", kDim, nDim)
 	}
 	l0a := core.Mem.Space(isa.L0A).MustAlloc(mBand * kDim * isa.FractalBytes)
 	l0c := core.Mem.Space(isa.L0C).MustAlloc(mBand * nDim * fp32Frac)
 	ubOut := core.Mem.Space(isa.UB).MustAlloc(mBand * nDim * isa.FractalBytes)
 
 	prog := cce.New("conv2d_im2col_cube")
-	prog.EmitCopy(isa.GM, inGM, isa.L1, l1In, in.Bytes())
-	prog.EmitCopy(isa.GM, wGM, isa.L1, l1W, bFrac.Bytes())
-	prog.EmitCopy(isa.L1, l1W, isa.L0B, l0b, bFrac.Bytes())
+	prog.EmitCopy(isa.GM, inGM, isa.L1, l1In, inBytes)
+	prog.EmitCopy(isa.GM, wGM, isa.L1, l1W, wBytes)
+	prog.EmitCopy(isa.L1, l1W, isa.L0B, l0b, wBytes)
 
 	for m0 := 0; m0 < fracs; m0 += mBand {
 		mb := min(mBand, fracs-m0)
@@ -157,9 +175,29 @@ func Conv2DIm2colCube(core *aicore.Core, in, weights *tensor.Tensor, p isa.ConvP
 				isa.GM, outGM+(n*patches+m0*isa.FractalPatches)*Block, valid*Block)
 		}
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, nDim, oh, ow, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = bindConv(p, co, c)
+	return pl, nil
+}
+
+// Conv2DIm2colCube computes convolution on the Cube unit as a one-shot
+// call. in has shape (1, C1, Ih, Iw, C0); weights (Co, C, Kh, Kw). The
+// result has shape (1, Co1, Oh, Ow, C0).
+//
+// Deprecated: compile once with PlanConv2D (or a PlanCache) and replay the
+// plan per tile; this wrapper compiles through SharedPlans and runs in one
+// call.
+func Conv2DIm2colCube(core *aicore.Core, in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+		return nil, nil, fmt.Errorf("ops: conv wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+	}
+	pl, err := SharedPlans.Conv2D(SpecFor(core), p, weights.Shape[0], weights.Shape[1])
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, nDim, oh, ow, tensor.C0), st, nil
+	return runSingle(pl, core, in, weights)
 }

@@ -36,45 +36,11 @@ func PackWeightsBackward(w *tensor.Tensor, p isa.ConvParams) *tensor.Tensor {
 	return out
 }
 
-// Conv2DBackwardData propagates gradients through a convolution to its
-// input on the simulated device: the Cube unit computes dCols = dY x W^T
-// (fractal matmul with fp32 accumulation), and Col2Im instructions merge
-// the im2col-shaped gradient back to NC1HWC0 — the original purpose of the
-// Col2im transform (§II-B) executed with the paper's Col2Im instruction.
-//
-// grad has shape (1, Co1, Oh, Ow, C0); weights (Co, C, Kh, Kw); the result
-// has shape (1, C1, Ih, Iw, C0) for c logical input channels.
-func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.ConvParams, c int) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	oh, ow := p.OutDims()
-	if len(grad.Shape) != 5 || grad.Shape[0] != 1 || grad.Shape[2] != oh || grad.Shape[3] != ow {
-		return nil, nil, fmt.Errorf("ops: conv bwd wants (1,Co1,%d,%d,%d) gradients, got %v", oh, ow, tensor.C0, grad.Shape)
-	}
-	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
-		return nil, nil, fmt.Errorf("ops: conv bwd wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
-	}
-	co := weights.Shape[0]
-	co1 := tensor.C1Of(co)
-	if grad.Shape[1] != co1 {
-		return nil, nil, fmt.Errorf("ops: gradient Co1=%d inconsistent with %d weight outputs", grad.Shape[1], co)
-	}
-	if weights.Shape[1] != c {
-		return nil, nil, fmt.Errorf("ops: weights carry %d channels, caller says %d", weights.Shape[1], c)
-	}
-	c1 := tensor.C1Of(c)
-	core.Mem.ResetLocal()
-
-	patches := p.Patches()
-	padded := p.PaddedPatches()
-	fracs := p.Fractals()
-	kMM := co1              // contraction extent in fractals
-	nMM := c1 * p.Kh * p.Kw // output fractal columns: one per (c1, xk, yk)
-	rowB := p.Iw * Block
-
-	// Gradients padded to whole fractals per Co1 slice, so fractal loads
-	// never cross slice boundaries.
+// padGrad re-lays a (1, Co1, Oh, Ow, C0) gradient as a (Co1, padded, C0)
+// tensor padded to whole fractals per Co1 slice, so fractal loads never
+// cross slice boundaries (the zero tail contributes nothing).
+func padGrad(grad *tensor.Tensor, ow, patches, padded int) *tensor.Tensor {
+	co1 := grad.Shape[1]
 	gpad := tensor.New(co1, padded, tensor.C0)
 	for k := 0; k < co1; k++ {
 		for pt := 0; pt < patches; pt++ {
@@ -83,28 +49,58 @@ func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.C
 			}
 		}
 	}
-	bFrac := PackWeightsBackward(weights, p)
-	if bFrac.Bytes() > core.Mem.Space(isa.L0B).Free() {
-		return nil, nil, fmt.Errorf("ops: conv bwd weights (%d bytes) exceed L0B; tile channels further", bFrac.Bytes())
+	return gpad
+}
+
+// PlanConv2DBackwardData compiles the gradient propagation through a
+// convolution to its input for co x c logical channels: the Cube unit
+// computes dCols = dY x W^T (fractal matmul with fp32 accumulation), and
+// Col2Im instructions merge the im2col-shaped gradient back to NC1HWC0 —
+// the original purpose of the Col2im transform (§II-B) executed with the
+// paper's Col2Im instruction.
+//
+// Run takes a (1, Co1, Oh, Ow, C0) gradient and (Co, C, Kh, Kw) weights,
+// and returns a (1, C1, Ih, Iw, C0) result.
+func PlanConv2DBackwardData(spec Spec, p isa.ConvParams, co, c int) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := newPlanner("conv2d_bwd_data", spec, p)
+	core := b.core
+	oh, ow := p.OutDims()
+	co1 := tensor.C1Of(co)
+	c1 := tensor.C1Of(c)
+
+	patches := p.Patches()
+	padded := p.PaddedPatches()
+	fracs := p.Fractals()
+	kMM := co1              // contraction extent in fractals
+	nMM := c1 * p.Kh * p.Kw // output fractal columns: one per (c1, xk, yk)
+	rowB := p.Iw * Block
+	gpadBytes := co1 * padded * Block
+	wBytes := co1 * nMM * isa.FractalBytes
+
+	if wBytes > core.Mem.Space(isa.L0B).Free() {
+		return nil, fmt.Errorf("ops: conv bwd weights (%d bytes) exceed L0B; tile channels further", wBytes)
 	}
 
-	gradGM, err := core.Mem.PlaceTensor(isa.GM, gpad)
+	gradGM, err := b.input(gpadBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	wGM, err := core.Mem.PlaceTensor(isa.GM, bFrac)
+	wGM, err := b.input(wBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	outGM, err := core.Mem.Space(isa.GM).Alloc(c1 * p.Ih * rowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l1W, err := core.Mem.Space(isa.L1).Alloc(bFrac.Bytes())
+	l1W, err := core.Mem.Space(isa.L1).Alloc(wBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l0b := core.Mem.Space(isa.L0B).MustAlloc(bFrac.Bytes())
+	l0b := core.Mem.Space(isa.L0B).MustAlloc(wBytes)
 
 	// Patch-fractal band bounded by L0A, L0C and the UB (dCols staging +
 	// the multi-c1 output row band).
@@ -127,7 +123,7 @@ func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.C
 		mBand = b
 	}
 	if mBand == 0 {
-		return nil, nil, fmt.Errorf("ops: conv bwd K=%d N=%d does not fit the buffers; tile channels further", kMM, nMM)
+		return nil, fmt.Errorf("ops: conv bwd K=%d N=%d does not fit the buffers; tile channels further", kMM, nMM)
 	}
 	l0a := core.Mem.Space(isa.L0A).MustAlloc(mBand * kMM * isa.FractalBytes)
 	l0c := core.Mem.Space(isa.L0C).MustAlloc(mBand * nMM * fp32Frac)
@@ -137,8 +133,8 @@ func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.C
 	ubOut := ub.MustAlloc(c1 * outRows * rowB)
 
 	prog := cce.New("conv2d_bwd_data")
-	prog.EmitCopy(isa.GM, wGM, isa.L1, l1W, bFrac.Bytes())
-	prog.EmitCopy(isa.L1, l1W, isa.L0B, l0b, bFrac.Bytes())
+	prog.EmitCopy(isa.GM, wGM, isa.L1, l1W, wBytes)
+	prog.EmitCopy(isa.L1, l1W, isa.L0B, l0b, wBytes)
 
 	prevHi := 0
 	for m0 := 0; m0 < fracs; m0 += mBand {
@@ -209,9 +205,51 @@ func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.C
 		})
 		prevHi = hi
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, c1, p.Ih, p.Iw, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs("conv2d_bwd_data", 2, inputs); err != nil {
+			return nil, err
+		}
+		grad, weights := inputs[0], inputs[1]
+		if len(grad.Shape) != 5 || grad.Shape[0] != 1 || grad.Shape[2] != oh || grad.Shape[3] != ow {
+			return nil, fmt.Errorf("ops: conv bwd wants (1,Co1,%d,%d,%d) gradients, got %v", oh, ow, tensor.C0, grad.Shape)
+		}
+		if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+			return nil, fmt.Errorf("ops: conv bwd wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+		}
+		if weights.Shape[0] != co {
+			return nil, fmt.Errorf("ops: conv bwd plan compiled for Co=%d, weights carry %d outputs", co, weights.Shape[0])
+		}
+		if grad.Shape[1] != co1 {
+			return nil, fmt.Errorf("ops: gradient Co1=%d inconsistent with %d weight outputs", grad.Shape[1], co)
+		}
+		if weights.Shape[1] != c {
+			return nil, fmt.Errorf("ops: weights carry %d channels, caller says %d", weights.Shape[1], c)
+		}
+		return []*tensor.Tensor{padGrad(grad, ow, patches, padded), PackWeightsBackward(weights, p)}, nil
+	}
+	return pl, nil
+}
+
+// Conv2DBackwardData propagates gradients through a convolution to its
+// input as a one-shot call. grad has shape (1, Co1, Oh, Ow, C0); weights
+// (Co, C, Kh, Kw); the result has shape (1, C1, Ih, Iw, C0) for c logical
+// input channels.
+//
+// Deprecated: compile once with PlanConv2DBackwardData (or a PlanCache)
+// and replay the plan per tile; this wrapper compiles through SharedPlans
+// and runs in one call.
+func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.ConvParams, c int) (*tensor.Tensor, *aicore.Stats, error) {
+	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
+		return nil, nil, fmt.Errorf("ops: conv bwd wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
+	}
+	pl, err := SharedPlans.Conv2DBackwardData(SpecFor(core), p, weights.Shape[0], c)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, c1, p.Ih, p.Iw, tensor.C0), st, nil
+	return runSingle(pl, core, grad, weights)
 }

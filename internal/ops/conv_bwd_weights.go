@@ -9,9 +9,9 @@ import (
 	"davinci/internal/tensor"
 )
 
-// Conv2DBackwardWeights computes the weight gradient of a convolution on
-// the simulated device: dW = dY^T x im2col(x), contracted over the output
-// patches. Three SCU/Cube features cooperate:
+// PlanConv2DBackwardWeights compiles the weight gradient of a convolution
+// for co x c logical channels: dW = dY^T x im2col(x), contracted over the
+// output patches. Three SCU/Cube features cooperate:
 //
 //   - Im2Col loads (repeat mode 0) stream im2col(x) fractals into L0B —
 //     the same loads the forward pass uses for L0A (§III-C);
@@ -19,65 +19,50 @@ import (
 //     dY^T fractals on their way into L0A;
 //   - MMAD accumulates the patch contraction in fp32 across patch bands.
 //
-// grad has shape (1, Co1, Oh, Ow, C0); x has shape (1, C1, Ih, Iw, C0);
-// the result has the (Co, C, Kh, Kw) weight layout for co x c logical
-// channels.
-func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.ConvParams, co, c int) (*tensor.Tensor, *aicore.Stats, error) {
+// Run takes a (1, Co1, Oh, Ow, C0) gradient and a (1, C1, Ih, Iw, C0)
+// input, and returns the (Co, C, Kh, Kw) weight gradient.
+func PlanConv2DBackwardWeights(spec Spec, p isa.ConvParams, co, c int) (*Plan, error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	b := newPlanner("conv2d_bwd_weights", spec, p)
+	core := b.core
 	oh, ow := p.OutDims()
 	co1, c1 := tensor.C1Of(co), tensor.C1Of(c)
-	if len(grad.Shape) != 5 || grad.Shape[0] != 1 || grad.Shape[1] != co1 || grad.Shape[2] != oh || grad.Shape[3] != ow {
-		return nil, nil, fmt.Errorf("ops: conv dW wants (1,%d,%d,%d,%d) gradients, got %v", co1, oh, ow, tensor.C0, grad.Shape)
-	}
-	if len(x.Shape) != 5 || x.Shape[0] != 1 || x.Shape[1] != c1 || x.Shape[2] != p.Ih || x.Shape[3] != p.Iw {
-		return nil, nil, fmt.Errorf("ops: conv dW wants (1,%d,%d,%d,%d) inputs, got %v", c1, p.Ih, p.Iw, tensor.C0, x.Shape)
-	}
-	core.Mem.ResetLocal()
 
 	patches := p.Patches()
 	padded := p.PaddedPatches()
 	fracs := p.Fractals()
 	nMM := c1 * p.Kh * p.Kw
 	const fp32Frac = isa.FractalPatches * isa.FractalC0 * 4
+	gpadBytes := co1 * padded * Block
+	xBytes := c1 * p.Ih * p.Iw * Block
 
-	// dY padded to whole fractals per Co1 slice (the zero tail contributes
-	// nothing to the contraction).
-	gpad := tensor.New(co1, padded, tensor.C0)
-	for k := 0; k < co1; k++ {
-		for pt := 0; pt < patches; pt++ {
-			for c0 := 0; c0 < tensor.C0; c0++ {
-				gpad.Set(grad.At(0, k, pt/ow, pt%ow, c0), k, pt, c0)
-			}
-		}
-	}
-
-	gradGM, err := core.Mem.PlaceTensor(isa.GM, gpad)
+	gradGM, err := b.input(gpadBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	xGM, err := core.Mem.PlaceTensor(isa.GM, x)
+	xGM, err := b.input(xBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	dwGM, err := core.Mem.Space(isa.GM).Alloc(co1 * nMM * isa.FractalBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l1Grad, err := core.Mem.Space(isa.L1).Alloc(gpad.Bytes())
+	l1Grad, err := core.Mem.Space(isa.L1).Alloc(gpadBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	l1X, err := core.Mem.Space(isa.L1).Alloc(x.Bytes())
+	l1X, err := core.Mem.Space(isa.L1).Alloc(xBytes)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Patch-fractal band bounded by L0A (Co1 x band) and L0B (band x nMM);
 	// L0C holds the full Co1 x nMM accumulator.
 	if co1*nMM*fp32Frac > core.Mem.Space(isa.L0C).Free() {
-		return nil, nil, fmt.Errorf("ops: conv dW accumulator Co1=%d N=%d exceeds L0C; tile channels further", co1, nMM)
+		return nil, fmt.Errorf("ops: conv dW accumulator Co1=%d N=%d exceeds L0C; tile channels further", co1, nMM)
 	}
 	mBand := min(
 		core.Mem.Space(isa.L0A).Free()/(co1*isa.FractalBytes),
@@ -85,10 +70,10 @@ func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.Conv
 	)
 	mBand = min(mBand, fracs)
 	if mBand < 1 {
-		return nil, nil, fmt.Errorf("ops: conv dW Co1=%d N=%d does not fit L0A/L0B; tile channels further", co1, nMM)
+		return nil, fmt.Errorf("ops: conv dW Co1=%d N=%d does not fit L0A/L0B; tile channels further", co1, nMM)
 	}
 	if co1*nMM*isa.FractalBytes > ubAvail(core) {
-		return nil, nil, fmt.Errorf("ops: conv dW staging exceeds the UB; tile channels further")
+		return nil, fmt.Errorf("ops: conv dW staging exceeds the UB; tile channels further")
 	}
 	l0a := core.Mem.Space(isa.L0A).MustAlloc(co1 * mBand * isa.FractalBytes)
 	l0b := core.Mem.Space(isa.L0B).MustAlloc(mBand * nMM * isa.FractalBytes)
@@ -96,8 +81,8 @@ func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.Conv
 	ubOut := core.Mem.Space(isa.UB).MustAlloc(co1 * nMM * isa.FractalBytes)
 
 	prog := cce.New("conv2d_bwd_weights")
-	prog.EmitCopy(isa.GM, gradGM, isa.L1, l1Grad, gpad.Bytes())
-	prog.EmitCopy(isa.GM, xGM, isa.L1, l1X, x.Bytes())
+	prog.EmitCopy(isa.GM, gradGM, isa.L1, l1Grad, gpadBytes)
+	prog.EmitCopy(isa.GM, xGM, isa.L1, l1X, xBytes)
 
 	for m0 := 0; m0 < fracs; m0 += mBand {
 		mb := min(mBand, fracs-m0)
@@ -143,22 +128,55 @@ func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.Conv
 	}
 	prog.EmitCopy(isa.UB, ubOut, isa.GM, dwGM, co1*nMM*isa.FractalBytes)
 
-	st, err := core.Run(prog)
+	b.output(dwGM, co1, nMM, isa.FractalPatches, isa.FractalC0)
+	pl, err := b.seal(prog, spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	pl.bind = func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs("conv2d_bwd_weights", 2, inputs); err != nil {
+			return nil, err
+		}
+		grad, x := inputs[0], inputs[1]
+		if len(grad.Shape) != 5 || grad.Shape[0] != 1 || grad.Shape[1] != co1 || grad.Shape[2] != oh || grad.Shape[3] != ow {
+			return nil, fmt.Errorf("ops: conv dW wants (1,%d,%d,%d,%d) gradients, got %v", co1, oh, ow, tensor.C0, grad.Shape)
+		}
+		if len(x.Shape) != 5 || x.Shape[0] != 1 || x.Shape[1] != c1 || x.Shape[2] != p.Ih || x.Shape[3] != p.Iw {
+			return nil, fmt.Errorf("ops: conv dW wants (1,%d,%d,%d,%d) inputs, got %v", c1, p.Ih, p.Iw, tensor.C0, x.Shape)
+		}
+		return []*tensor.Tensor{padGrad(grad, ow, patches, padded), x}, nil
 	}
 	// Unpack the (co1, n, 16, 16) fractal grid into (Co, C, Kh, Kw).
-	frac := core.Mem.ReadTensor(isa.GM, dwGM, co1, nMM, isa.FractalPatches, isa.FractalC0)
-	dw := tensor.New(co, c, p.Kh, p.Kw)
-	for oc := 0; oc < co; oc++ {
-		for ic := 0; ic < c; ic++ {
-			for xk := 0; xk < p.Kh; xk++ {
-				for yk := 0; yk < p.Kw; yk++ {
-					n := ((ic/tensor.C0)*p.Kh+xk)*p.Kw + yk
-					dw.Set(frac.At(oc/tensor.C0, n, oc%tensor.C0, ic%tensor.C0), oc, ic, xk, yk)
+	pl.finish = func(outs []*tensor.Tensor) []*tensor.Tensor {
+		frac := outs[0]
+		dw := tensor.New(co, c, p.Kh, p.Kw)
+		for oc := 0; oc < co; oc++ {
+			for ic := 0; ic < c; ic++ {
+				for xk := 0; xk < p.Kh; xk++ {
+					for yk := 0; yk < p.Kw; yk++ {
+						n := ((ic/tensor.C0)*p.Kh+xk)*p.Kw + yk
+						dw.Set(frac.At(oc/tensor.C0, n, oc%tensor.C0, ic%tensor.C0), oc, ic, xk, yk)
+					}
 				}
 			}
 		}
+		return []*tensor.Tensor{dw}
 	}
-	return dw, st, nil
+	return pl, nil
+}
+
+// Conv2DBackwardWeights computes the weight gradient of a convolution as a
+// one-shot call. grad has shape (1, Co1, Oh, Ow, C0); x has shape
+// (1, C1, Ih, Iw, C0); the result has the (Co, C, Kh, Kw) weight layout
+// for co x c logical channels.
+//
+// Deprecated: compile once with PlanConv2DBackwardWeights (or a PlanCache)
+// and replay the plan per tile; this wrapper compiles through SharedPlans
+// and runs in one call.
+func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.ConvParams, co, c int) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.Conv2DBackwardWeights(SpecFor(core), p, co, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runSingle(pl, core, grad, x)
 }

@@ -39,10 +39,33 @@ func (pl *bwdPlan) bandRows(p isa.ConvParams, pa, pb int) (lo, hi int) {
 	return patchRowRange(p, pl.ow, pl.patches, pa, pb)
 }
 
-func planBackward(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams, name string) (*bwdPlan, error) {
+// bindBackward validates the (mask, grad) inputs of a backward plan.
+func bindBackward(name string, p isa.ConvParams) bindFunc {
+	oh, ow := p.OutDims()
+	padded := p.PaddedPatches()
+	return func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(name, 2, inputs); err != nil {
+			return nil, err
+		}
+		mask, grad := inputs[0], inputs[1]
+		wantMask := []int{1, 1, p.Kh, p.Kw, padded, tensor.C0}
+		if len(mask.Shape) != 6 || mask.Shape[2] != p.Kh || mask.Shape[3] != p.Kw || mask.Shape[4] != padded {
+			return nil, fmt.Errorf("ops: %s: mask shape %v, want %v", name, mask.Shape, wantMask)
+		}
+		if len(grad.Shape) != 5 || grad.Shape[2] != oh || grad.Shape[3] != ow {
+			return nil, fmt.Errorf("ops: %s: grad shape %v, want (1,1,%d,%d,%d)", name, grad.Shape, oh, ow, tensor.C0)
+		}
+		return inputs, nil
+	}
+}
+
+// planBackward sizes the shared backward schedule against the planner's
+// scratch core, reserving the mask/grad/output global-memory layout.
+func planBackward(b *planner, p isa.ConvParams, name string) (*bwdPlan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	core := b.core
 	pl := &bwdPlan{}
 	pl.oh, pl.ow = p.OutDims()
 	pl.patches = p.Patches()
@@ -50,23 +73,15 @@ func planBackward(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams
 	pl.padded = p.PaddedPatches()
 	pl.kk = p.Kh * p.Kw
 
-	wantMask := []int{1, 1, p.Kh, p.Kw, pl.padded, tensor.C0}
-	if len(mask.Shape) != 6 || mask.Shape[2] != p.Kh || mask.Shape[3] != p.Kw || mask.Shape[4] != pl.padded {
-		return nil, fmt.Errorf("ops: %s: mask shape %v, want %v", name, mask.Shape, wantMask)
-	}
-	if len(grad.Shape) != 5 || grad.Shape[2] != pl.oh || grad.Shape[3] != pl.ow {
-		return nil, fmt.Errorf("ops: %s: grad shape %v, want (1,1,%d,%d,%d)", name, grad.Shape, pl.oh, pl.ow, tensor.C0)
-	}
-	core.Mem.ResetLocal()
 	var err error
-	if pl.maskGM, err = core.Mem.PlaceTensor(isa.GM, mask); err != nil {
+	if pl.maskGM, err = b.input(pl.kk * pl.padded * Block); err != nil {
 		return nil, err
 	}
-	if pl.gradGM, err = core.Mem.PlaceTensor(isa.GM, grad); err != nil {
+	if pl.gradGM, err = b.input(pl.oh * pl.ow * Block); err != nil {
 		return nil, err
 	}
-	// Output starts zeroed (fresh global memory is zero-filled, and Col2Im
-	// requires a zero-initialized output, §III-D).
+	// Output starts zeroed (plan replays run in freshly zeroed global
+	// memory, and Col2Im requires a zero-initialized output, §III-D).
 	if pl.outGM, err = core.Mem.Space(isa.GM).Alloc(p.Ih * p.Iw * Block); err != nil {
 		return nil, err
 	}
@@ -143,14 +158,15 @@ func (pl *bwdPlan) emitBandLoads(prog *cce.Program, p isa.ConvParams, f0, fb, pr
 	return lo, hi
 }
 
-// MaxPoolBwdStandard is the standard TVM Maxpool backward (Listing 3,
-// §V-B): the mask-gradient multiplication runs well on the Vector Unit,
-// but the merge step's scattered access pattern forces one vadd per
-// (kh, kw, oh, ow) with only 16 mask lanes set and no repetition.
-func MaxPoolBwdStandard(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := planBackward(core, mask, grad, p, "maxpool_bwd_standard")
+// planMaxPoolBwdStandard compiles the standard TVM Maxpool backward
+// (Listing 3, §V-B): the mask-gradient multiplication runs well on the
+// Vector Unit, but the merge step's scattered access pattern forces one
+// vadd per (kh, kw, oh, ow) with only 16 mask lanes set and no repetition.
+func planMaxPoolBwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
+	b := newPlanner("maxpool_bwd_standard", spec, p)
+	pl, err := planBackward(b, p, "maxpool_bwd_standard")
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	prog := cce.New("maxpool_bwd_standard")
 	inRowB := p.Iw * Block
@@ -182,21 +198,38 @@ func MaxPoolBwdStandard(core *aicore.Core, mask, grad *tensor.Tensor, p isa.Conv
 		prog.EmitCopy(isa.UB, pl.outUB, isa.GM, pl.outGM+lo*inRowB, (hi-lo)*inRowB)
 		prevHi = hi
 	}
-	st, err := core.Run(prog)
+	b.output(pl.outGM, 1, 1, p.Ih, p.Iw, tensor.C0)
+	plan, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan.bind = bindBackward("maxpool_bwd_standard", p)
+	return plan, nil
+}
+
+// MaxPoolBwdStandard is the standard TVM Maxpool backward (Listing 3,
+// §V-B) as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolBackward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func MaxPoolBwdStandard(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolBackward("standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, p.Ih, p.Iw, tensor.C0), st, nil
+	return runSingle(pl, core, mask, grad)
 }
 
-// MaxPoolBwdCol2im is the accelerated backward (§V-B): the merge step is
-// exactly the Col2im operation, so Col2Im instructions replace the 16-lane
-// vadds — vectorizing over a whole fractal at a time with repetition over
-// the band, issued only Kh*Kw times per band.
-func MaxPoolBwdCol2im(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := planBackward(core, mask, grad, p, "maxpool_bwd_col2im")
+// planMaxPoolBwdCol2im compiles the accelerated backward (§V-B): the merge
+// step is exactly the Col2im operation, so Col2Im instructions replace the
+// 16-lane vadds — vectorizing over a whole fractal at a time with
+// repetition over the band, issued only Kh*Kw times per band.
+func planMaxPoolBwdCol2im(spec Spec, p isa.ConvParams) (*Plan, error) {
+	b := newPlanner("maxpool_bwd_col2im", spec, p)
+	pl, err := planBackward(b, p, "maxpool_bwd_col2im")
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	prog := cce.New("maxpool_bwd_col2im")
 	inRowB := p.Iw * Block
@@ -209,9 +242,24 @@ func MaxPoolBwdCol2im(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvPa
 		prog.EmitCopy(isa.UB, pl.outUB, isa.GM, pl.outGM+lo*inRowB, (hi-lo)*inRowB)
 		prevHi = hi
 	}
-	st, err := core.Run(prog)
+	b.output(pl.outGM, 1, 1, p.Ih, p.Iw, tensor.C0)
+	plan, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan.bind = bindBackward("maxpool_bwd_col2im", p)
+	return plan, nil
+}
+
+// MaxPoolBwdCol2im is the accelerated backward (§V-B) as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolBackward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func MaxPoolBwdCol2im(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolBackward("col2im", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, p.Ih, p.Iw, tensor.C0), st, nil
+	return runSingle(pl, core, mask, grad)
 }

@@ -8,33 +8,47 @@ import (
 	"davinci/internal/tensor"
 )
 
-// MaxPoolFwdStandard is the standard TVM Maxpool lowering (Listing 1,
-// §V-A): the input tile is DMA'd to the Unified Buffer and reduced with
-// vmax directly on the strided NC1HWC0 layout.
+// planMaxPoolFwdStandard compiles the standard TVM Maxpool lowering
+// (Listing 1, §V-A): the input tile is DMA'd to the Unified Buffer and
+// reduced with vmax directly on the strided NC1HWC0 layout.
 //
 // For general strides the lowering sets only 16 of 128 mask lanes (the C0
 // dimension) and uses repetition only across the patch width Kw, issuing
 // vmax Oh*Ow*Kh times. When Sw == 1, consecutive patches are consecutive
 // in memory, so the lowering saturates the mask over (Ow, C0) and repeats
 // across the row — the effect the paper observes in Fig. 8a.
-func MaxPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
-		return nil, nil, err
+func planMaxPoolFwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planDirectForward("maxpool_fwd_standard", spec, p, isa.VMax, fp16.NegativeInfinity, false)
+}
+
+// planAvgPoolFwdStandard compiles the standard Avgpool forward: identical
+// access pattern to Maxpool but reducing with vadd instead of vmax, plus
+// the element-wise division epilogue (§V-C).
+func planAvgPoolFwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planDirectForward("avgpool_fwd_standard", spec, p, isa.VAdd, fp16.Zero, true)
+}
+
+// planDirectForward is the shared standard (direct, non-Im2Col) forward
+// schedule: double-buffered row bands reduced with op, optionally followed
+// by the 1/(Kh*Kw) scaling epilogue.
+func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	core.Mem.ResetLocal()
-	in, pp := materializePadding(in, p)
+	b := newPlanner(name, spec, p)
+	core := b.core
+	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
 	inRowB := pp.Iw * Block
 	outRowB := ow * Block
 
-	gm := core.Mem.Space(isa.GM)
-	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	inGM, err := b.input(pp.Ih * inRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	outGM, err := gm.Alloc(oh * outRowB)
+	outGM, err := core.Mem.Space(isa.GM).Alloc(oh * outRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Double-buffered row bands: two in/out areas so the MTE2 load of the
@@ -47,7 +61,7 @@ func MaxPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) 
 		band = maxBand(ubAvail(core), oh, func(b int) int { return need(b) / 2 })
 		buffers = 1
 		if band == 0 {
-			return nil, nil, errTooLarge("maxpool_fwd_standard", pp)
+			return nil, errTooLarge(name, pp)
 		}
 	}
 	ub := core.Mem.Space(isa.UB)
@@ -57,26 +71,55 @@ func MaxPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) 
 		outUB[i] = ub.MustAlloc(band * outRowB)
 	}
 
-	prog := cce.New("maxpool_fwd_standard")
+	prog := cce.New(name)
 	for oh0, bi := 0, 0; oh0 < oh; oh0, bi = oh0+band, bi+1 {
 		b := min(band, oh-oh0)
 		iUB, oUB := inUB[bi%buffers], outUB[bi%buffers]
 		h0 := oh0 * pp.Sh
 		rows := inRows(b)
 		prog.EmitCopy(isa.GM, inGM+h0*inRowB, isa.UB, iUB, rows*inRowB)
-		prog.EmitDup(isa.UB, oUB, b*ow*tensor.C0, fp16.NegativeInfinity)
+		prog.EmitDup(isa.UB, oUB, b*ow*tensor.C0, init)
 		if pp.Sw == 1 {
-			emitReduceRowsSaturated(prog, isa.VMax, pp, iUB, oUB, b, ow)
+			emitReduceRowsSaturated(prog, op, pp, iUB, oUB, b, ow)
 		} else {
-			emitReduceStrided(prog, isa.VMax, pp, iUB, oUB, b, ow)
+			emitReduceStrided(prog, op, pp, iUB, oUB, b, ow)
+		}
+		if scale {
+			prog.EmitElementwiseScalar(isa.VMuls, isa.UB, oUB, oUB, 0, b*ow*tensor.C0, avgScale(pp))
 		}
 		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, 1, oh, ow, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = bindPaddedTile(name, p)
+	return pl, nil
+}
+
+// MaxPoolFwdStandard is the standard TVM Maxpool lowering (Listing 1,
+// §V-A) as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call, so repeated shapes still amortize, but new code should
+// hold the Plan directly.
+func MaxPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForward("standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
+}
+
+// runSingle replays a single-output plan on core.
+func runSingle(pl *Plan, core *aicore.Core, inputs ...*tensor.Tensor) (*tensor.Tensor, *aicore.Stats, error) {
+	outs, st, err := pl.Run(core, inputs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return outs[0], st, nil
 }
 
 // emitReduceStrided is the 16-lane lowering: one reduction instruction per
@@ -164,18 +207,21 @@ func patchRowRange(p isa.ConvParams, ow, patches, pa, pb int) (lo, hi int) {
 	return lo, hi
 }
 
-func planIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams, name string, extraPerFrac int) (*im2colPlan, error) {
-	if err := checkTile(in, p); err != nil {
+// planIm2col sizes the shared Im2col forward schedule against the
+// planner's scratch core, reserving the input/output global-memory layout.
+func planIm2col(b *planner, p isa.ConvParams, name string, extraPerFrac int) (*im2colPlan, error) {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	core.Mem.ResetLocal()
+	core := b.core
 	pl := &im2colPlan{}
 	pl.oh, pl.ow = p.OutDims()
 	pl.patches = p.Patches()
 	pl.fracs = p.Fractals()
+	inBytes := p.Ih * p.Iw * Block
 
 	var err error
-	if pl.inGM, err = core.Mem.PlaceTensor(isa.GM, in); err != nil {
+	if pl.inGM, err = b.input(inBytes); err != nil {
 		return nil, err
 	}
 	if pl.outGM, err = core.Mem.Space(isa.GM).Alloc(pl.patches * Block); err != nil {
@@ -196,8 +242,8 @@ func planIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams, name str
 
 	l1 := core.Mem.Space(isa.L1)
 	rowB := p.Iw * Block
-	if in.Bytes() <= l1.Free() {
-		pl.l1Addr = l1.MustAlloc(in.Bytes())
+	if inBytes <= l1.Free() {
+		pl.l1Addr = l1.MustAlloc(inBytes)
 	} else {
 		// Banded L1: rotating row windows sized for one patch band — two
 		// for load/compute overlap when they fit, one otherwise.
@@ -238,7 +284,7 @@ func planIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams, name str
 // "while data is transferred" - the schedule must not serialize it behind
 // the whole transfer). In banded-L1 mode the loads are emitted per band by
 // emitBandInput instead.
-func (pl *im2colPlan) emitInputLoad(prog *cce.Program, p isa.ConvParams, inBytes int) {
+func (pl *im2colPlan) emitInputLoad(prog *cce.Program, p isa.ConvParams) {
 	if pl.l1Banded {
 		return
 	}
@@ -248,7 +294,6 @@ func (pl *im2colPlan) emitInputLoad(prog *cce.Program, p isa.ConvParams, inBytes
 		rows := min(chunkRows, p.Ih-r)
 		prog.EmitCopy(isa.GM, pl.inGM+r*rowB, isa.L1, pl.l1Addr+r*rowB, rows*rowB)
 	}
-	_ = inBytes
 }
 
 // emitBandInput returns the L1 address and row band holding the input for
@@ -266,34 +311,67 @@ func (pl *im2colPlan) emitBandInput(prog *cce.Program, p isa.ConvParams, bi, f0,
 	return area, lo, hi - lo
 }
 
-// MaxPoolFwdIm2col is the accelerated forward implementation (Listing 2,
-// §V-A): the input is loaded to L1, transformed by Im2Col loads into the
-// (Kh, Kw, Oh*Ow, C0) layout in the Unified Buffer, and reduced with vmax
-// instructions that set all 128 mask lanes and ride the repeat parameter —
-// issued only Kh*Kw times per band (modulo the repeat cap).
-func MaxPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := planIm2col(core, in, p, "maxpool_fwd_im2col", 0)
+// planMaxPoolFwdIm2col compiles the accelerated forward implementation
+// (Listing 2, §V-A): the input is loaded to L1, transformed by Im2Col
+// loads into the (Kh, Kw, Oh*Ow, C0) layout in the Unified Buffer, and
+// reduced with vmax instructions that set all 128 mask lanes and ride the
+// repeat parameter — issued only Kh*Kw times per band (modulo the repeat
+// cap).
+func planMaxPoolFwdIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planIm2colForward("maxpool_fwd_im2col", spec, p, isa.VMax, fp16.NegativeInfinity, false)
+}
+
+// planAvgPoolFwdIm2col compiles the Im2col-based Avgpool forward: the same
+// schedule as the Maxpool variant with vadd reductions and the division
+// epilogue ("the access pattern stays the same and can benefit from using
+// Im2Col", §V-C).
+func planAvgPoolFwdIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planIm2colForward("avgpool_fwd_im2col", spec, p, isa.VAdd, fp16.Zero, true)
+}
+
+func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool) (*Plan, error) {
+	b := newPlanner(name, spec, p)
+	pl, err := planIm2col(b, p, name, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	prog := cce.New("maxpool_fwd_im2col")
-	pl.emitInputLoad(prog, p, in.Bytes())
+	prog := cce.New(name)
+	pl.emitInputLoad(prog, p)
 
 	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
 		fb := min(pl.band, pl.fracs-f0)
 		colUB, outUB := pl.colUB[bi%pl.buffers], pl.outUB[bi%pl.buffers]
 		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
 		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
-		prog.EmitDup(isa.UB, outUB, fb*isa.FractalPatches*tensor.C0, fp16.NegativeInfinity)
-		emitColReduce(prog, isa.VMax, colUB, outUB, p.Kh*p.Kw, fb)
+		prog.EmitDup(isa.UB, outUB, fb*isa.FractalPatches*tensor.C0, init)
+		emitColReduce(prog, op, colUB, outUB, p.Kh*p.Kw, fb)
+		if scale {
+			prog.EmitElementwiseScalar(isa.VMuls, isa.UB, outUB, outUB, 0, fb*isa.FractalPatches*tensor.C0, avgScale(p))
+		}
 		valid := min(pl.patches, (f0+fb)*isa.FractalPatches) - f0*isa.FractalPatches
 		prog.EmitCopy(isa.UB, outUB, isa.GM, pl.outGM+f0*isa.FractalPatches*Block, valid*Block)
 	}
-	st, err := core.Run(prog)
+	b.output(pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0)
+	plan, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	plan.bind = bindTile(name, p)
+	return plan, nil
+}
+
+// MaxPoolFwdIm2col is the accelerated forward implementation (Listing 2,
+// §V-A) as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func MaxPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForward("im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
 }
 
 // emitColReduce emits the kernel-position reduction over an im2col band:
@@ -309,29 +387,30 @@ func emitColReduce(prog *cce.Program, op isa.VecOp, colUB, outUB, kk, fb int) {
 	}
 }
 
-// MaxPoolFwdExpansion is the "Maxpool with expansion" baseline of Fig. 8:
-// regular vector instructions — instead of Im2Col loads — rearrange the
-// input into the im2col shape once it is already in the Unified Buffer,
-// then the same saturated reduction runs. It beats the standard lowering
-// but pays the transform as vector work in a separate step (§VI-B).
-func MaxPoolFwdExpansion(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
-		return nil, nil, err
+// planMaxPoolFwdExpansion compiles the "Maxpool with expansion" baseline of
+// Fig. 8: regular vector instructions — instead of Im2Col loads —
+// rearrange the input into the im2col shape once it is already in the
+// Unified Buffer, then the same saturated reduction runs. It beats the
+// standard lowering but pays the transform as vector work in a separate
+// step (§VI-B).
+func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	core.Mem.ResetLocal()
-	in, pp := materializePadding(in, p)
+	b := newPlanner("maxpool_fwd_expansion", spec, p)
+	core := b.core
+	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
 	inRowB := pp.Iw * Block
 	outRowB := ow * Block
 
-	gm := core.Mem.Space(isa.GM)
-	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	inGM, err := b.input(pp.Ih * inRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	outGM, err := gm.Alloc(oh * outRowB)
+	outGM, err := core.Mem.Space(isa.GM).Alloc(oh * outRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
@@ -344,7 +423,7 @@ func MaxPoolFwdExpansion(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams)
 		band = maxBand(ubAvail(core), oh, perBand)
 		buffers = 1
 		if band == 0 {
-			return nil, nil, errTooLarge("maxpool_fwd_expansion", pp)
+			return nil, errTooLarge("maxpool_fwd_expansion", pp)
 		}
 	}
 	ub := core.Mem.Space(isa.UB)
@@ -378,11 +457,27 @@ func MaxPoolFwdExpansion(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams)
 		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
 		_ = bi
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, 1, oh, ow, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = bindPaddedTile("maxpool_fwd_expansion", p)
+	return pl, nil
+}
+
+// MaxPoolFwdExpansion is the "Maxpool with expansion" baseline of Fig. 8
+// as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func MaxPoolFwdExpansion(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForward("expansion", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
 }
 
 func inUB0RowAddr(inUB int, pp isa.ConvParams, localOh, kh, kw int) int {
@@ -410,29 +505,29 @@ func emitStridedRowCopy(prog *cce.Program, dstAddr, srcAddr, blocks, srcStride i
 	}
 }
 
-// MaxPoolFwdXYSplit first reduces each patch across the width and then
-// across the height, reusing the first reduction (Lai et al., §VI-B). TVM
-// cannot compute in place, so the width reduction materializes an
-// intermediate (Ih, Ow, C0) tensor. The width pass is strided (16-lane);
-// the height pass is contiguous and saturates the mask.
-func MaxPoolFwdXYSplit(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	if err := checkTile(in, p); err != nil {
-		return nil, nil, err
+// planMaxPoolFwdXYSplit compiles the split reduction: first across the
+// width, then across the height, reusing the first reduction (Lai et al.,
+// §VI-B). TVM cannot compute in place, so the width reduction materializes
+// an intermediate (Ih, Ow, C0) tensor. The width pass is strided
+// (16-lane); the height pass is contiguous and saturates the mask.
+func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
-	core.Mem.ResetLocal()
-	in, pp := materializePadding(in, p)
+	b := newPlanner("maxpool_fwd_xysplit", spec, p)
+	core := b.core
+	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
 	inRowB := pp.Iw * Block
 	outRowB := ow * Block
 
-	gm := core.Mem.Space(isa.GM)
-	inGM, err := core.Mem.PlaceTensor(isa.GM, in)
+	inGM, err := b.input(pp.Ih * inRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	outGM, err := gm.Alloc(oh * outRowB)
+	outGM, err := core.Mem.Space(isa.GM).Alloc(oh * outRowB)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
@@ -443,7 +538,7 @@ func MaxPoolFwdXYSplit(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (
 		band = maxBand(ubAvail(core), oh, perBand)
 		buffers = 1
 		if band == 0 {
-			return nil, nil, errTooLarge("maxpool_fwd_xysplit", pp)
+			return nil, errTooLarge("maxpool_fwd_xysplit", pp)
 		}
 	}
 	ub := core.Mem.Space(isa.UB)
@@ -480,9 +575,25 @@ func MaxPoolFwdXYSplit(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (
 		}
 		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
 	}
-	st, err := core.Run(prog)
+	b.output(outGM, 1, 1, oh, ow, tensor.C0)
+	pl, err := b.seal(prog, spec)
+	if err != nil {
+		return nil, err
+	}
+	pl.bind = bindPaddedTile("maxpool_fwd_xysplit", p)
+	return pl, nil
+}
+
+// MaxPoolFwdXYSplit is the split-reduction baseline (Lai et al., §VI-B)
+// as a one-shot call.
+//
+// Deprecated: compile once with PlanMaxPoolForward (or a PlanCache) and
+// replay the plan per tile; this wrapper compiles through SharedPlans and
+// runs in one call.
+func MaxPoolFwdXYSplit(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
+	pl, err := SharedPlans.MaxPoolForward("xysplit", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.Mem.ReadTensor(isa.GM, outGM, 1, 1, oh, ow, tensor.C0), st, nil
+	return runSingle(pl, core, in)
 }

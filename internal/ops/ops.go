@@ -5,9 +5,15 @@
 // Every kernel operates on one (1, 1, Ih, Iw, C0) fractal tile — the unit
 // the paper's schedules assign to one AI Core after dividing the
 // computation on the C1 dimension (§V-A). internal/chip parallelizes tiles
-// across cores. Kernels build a cce.Program (the lowered CCE C instruction
-// stream described in the paper for each variant), run it on the simulated
-// core, and return the result plus timing stats.
+// across cores.
+//
+// Kernels are split into plan and execute (see plan.go): a plan* function
+// compiles the shape-dependent schedule into an immutable Plan — the
+// lowered cce.Program (the CCE C instruction stream described in the paper
+// for each variant) plus its buffer layout — and Plan.Run replays it on a
+// core for one tile's data, returning the result plus timing stats. The
+// legacy one-shot entry points (MaxPoolFwdIm2col, ...) remain as wrappers
+// that compile through the process-wide SharedPlans cache and run.
 //
 // All variants share the zero-padding convention of the Im2Col instruction:
 // padded positions contribute zeros (see internal/ref).
@@ -25,19 +31,25 @@ import (
 // Block is the byte size of one C0 row (16 Float16 elements).
 const Block = isa.ElemsPerBlock * fp16.Bytes
 
-// ForwardFunc is a forward pooling kernel over one tile.
+// ForwardFunc is a forward pooling kernel over one tile. The registered
+// implementations are thin wrappers over plans: they compile through
+// SharedPlans (once per shape) and replay.
 type ForwardFunc func(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error)
 
 // ArgmaxFunc is a forward pooling kernel that also produces the argmax
-// mask in the Im2Col shape (1, 1, Kh, Kw, OhOw16, C0).
+// mask in the Im2Col shape (1, 1, Kh, Kw, OhOw16, C0). Registered
+// implementations wrap plans, like ForwardFunc.
 type ArgmaxFunc func(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *aicore.Stats, err error)
 
 // BackwardFunc is a backward pooling kernel: mask is in the Im2Col shape,
 // grad has shape (1, 1, Oh, Ow, C0), the result has shape (1, 1, Ih, Iw, C0).
+// Registered implementations wrap plans, like ForwardFunc.
 type BackwardFunc func(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error)
 
 // Registries of the evaluated implementations, keyed by the names used in
-// the figures (§VI).
+// the figures (§VI). Callers that replay a shape repeatedly should prefer
+// the Plan* constructors (plan.go), which skip the per-call cache lookup
+// and bind/validate work the wrappers pay.
 var (
 	// MaxForward holds the four forward Maxpool implementations of Fig. 8.
 	MaxForward = map[string]ForwardFunc{
@@ -87,12 +99,56 @@ func materializePadding(in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, is
 	if p.Pt == 0 && p.Pb == 0 && p.Pl == 0 && p.Pr == 0 {
 		return in, p
 	}
-	padded := tensor.PadFractalHW(in, p.Pt, p.Pb, p.Pl, p.Pr)
+	return tensor.PadFractalHW(in, p.Pt, p.Pb, p.Pl, p.Pr), foldPadding(p)
+}
+
+// foldPadding returns the padding-free parameters equivalent to p once the
+// spatial padding has been written into the tile: the shape-only half of
+// materializePadding, used at plan-compile time when no tensor exists yet.
+func foldPadding(p isa.ConvParams) isa.ConvParams {
 	pp := p
 	pp.Ih += p.Pt + p.Pb
 	pp.Iw += p.Pl + p.Pr
 	pp.Pt, pp.Pb, pp.Pl, pp.Pr = 0, 0, 0, 0
-	return padded, pp
+	return pp
+}
+
+// wantInputs checks the input arity handed to a plan's bind step.
+func wantInputs(name string, n int, inputs []*tensor.Tensor) error {
+	if len(inputs) != n {
+		return fmt.Errorf("ops: %s: want %d input tensor(s), got %d", name, n, len(inputs))
+	}
+	return nil
+}
+
+// bindTile validates the single-tile input convention for plans whose
+// program consumes the raw tile (the Im2Col instruction synthesizes the
+// padding during the load).
+func bindTile(name string, p isa.ConvParams) bindFunc {
+	return func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(name, 1, inputs); err != nil {
+			return nil, err
+		}
+		if err := checkTile(inputs[0], p); err != nil {
+			return nil, err
+		}
+		return inputs, nil
+	}
+}
+
+// bindPaddedTile is bindTile for direct (non-Im2Col) plans, which consume
+// tiles with the spatial zero padding written out.
+func bindPaddedTile(name string, p isa.ConvParams) bindFunc {
+	return func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		if err := wantInputs(name, 1, inputs); err != nil {
+			return nil, err
+		}
+		if err := checkTile(inputs[0], p); err != nil {
+			return nil, err
+		}
+		padded, _ := materializePadding(inputs[0], p)
+		return []*tensor.Tensor{padded}, nil
+	}
 }
 
 // maxBand returns the largest b in [1, limit] with need(b) <= avail, where

@@ -1,0 +1,438 @@
+// Plan/bind/execute: every kernel in this package is split into a
+// shape-dependent compile step and a data-dependent execute step.
+//
+// Compilation (the plan* constructors) runs the kernel's scheduling logic —
+// band sizing, buffer allocation, CCE emission — against a scratch core
+// built from a Spec, and produces a Plan: an immutable, validated
+// cce.Program plus the global-memory layout it was emitted against. The
+// program depends only on (kernel, ConvParams, buffer capacities), never on
+// tensor values, so one Plan can be replayed for every tile of a layer and
+// shared by all simulated cores. Execution (Plan.Run) is the thin
+// data-only step: bind the inputs (padding, weight packing), write their
+// bytes at the planned addresses, replay the cached program, read the
+// planned outputs back.
+//
+// A PlanCache keys Plans by (kernel, ConvParams, aux shape ints, Spec) so a
+// whole-layer run on internal/chip compiles each variant exactly once;
+// hit/miss/compile counters surface in chip.Stats and cmd/davinci-bench.
+package ops
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/isa"
+	"davinci/internal/lint"
+	"davinci/internal/tensor"
+)
+
+// Spec is the compile-time environment of a plan: the per-core buffer
+// capacities the schedule is sized against, and whether the emitted program
+// must pass the static verifier (internal/lint) before it is sealed.
+// Specs are comparable and form part of the plan-cache key.
+type Spec struct {
+	// Buffers holds the core's scratch-pad capacities, normalized so zero
+	// values and explicit Ascend 910 defaults key identically.
+	Buffers buffer.Config
+	// Strict lints the program at compile time (amortizing what
+	// aicore.Core.Strict previously paid on every run).
+	Strict bool
+}
+
+// SpecFor derives the Spec matching an existing core, so the legacy
+// one-shot kernel entry points compile plans equivalent to what they would
+// have emitted against that core.
+func SpecFor(core *aicore.Core) Spec {
+	return Spec{Buffers: core.Mem.Config(), Strict: core.Strict}
+}
+
+func (s Spec) normalized() Spec {
+	s.Buffers = s.Buffers.Normalized()
+	return s
+}
+
+// gmSlot is one global-memory input placement the binder fills at run time.
+type gmSlot struct {
+	addr, bytes int
+}
+
+// gmRead is one global-memory output region read back after replay.
+type gmRead struct {
+	addr  int
+	shape []int
+}
+
+// bindFunc validates raw kernel inputs and produces the bound tensors whose
+// bytes land in the plan's GM slots (identity, zero-padding, weight
+// packing, ...). It must be pure: plans are shared across goroutines.
+type bindFunc func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
+
+// finishFunc post-processes the tensors read from the plan's output
+// regions (e.g. unpacking a fractal weight grid). It must be pure.
+type finishFunc func(outs []*tensor.Tensor) []*tensor.Tensor
+
+// timingKey identifies one timing context a plan has been scheduled under.
+// Programs are shape-deterministic, so (cost model, serialize) fully
+// determine the schedule and the cycle counts can be memoized.
+type timingKey struct {
+	cost      isa.CostModel
+	serialize bool
+}
+
+// Plan is a compiled kernel: the emitted, validated (and, under a strict
+// Spec, lint-clean) CCE program together with the buffer-layout metadata
+// needed to execute it on data. Plans are immutable after compilation and
+// safe for concurrent Run on distinct cores.
+type Plan struct {
+	// Name is the kernel identity ("maxpool_fwd_im2col", ...).
+	Name string
+	// Params are the layer parameters the plan was compiled for.
+	Params isa.ConvParams
+	// Prog is the cached instruction stream. Treat as read-only.
+	Prog *cce.Program
+
+	slots  []gmSlot
+	outs   []gmRead
+	gmTop  int // total GM footprint of the planned layout
+	bind   bindFunc
+	finish finishFunc
+
+	// timings memoizes the deterministic schedule per timing context, so
+	// replays after the first skip the scoreboard entirely.
+	timings sync.Map // timingKey -> *aicore.Stats
+
+	// flat lazily caches the flattened functional trace of Prog, used by
+	// memoized replays in place of instruction-by-instruction execution.
+	flatOnce sync.Once
+	flat     *aicore.FlatProgram
+}
+
+// Outputs returns the number of tensors Run produces.
+func (pl *Plan) Outputs() int { return len(pl.outs) }
+
+// Run executes the plan on one core: bind inputs, write them into the
+// planned global-memory layout, replay the cached program, and read the
+// planned outputs. The core's scratch-pads and global memory are reset to
+// the plan's layout, exactly as if the kernel had been freshly compiled on
+// a pristine core — which keeps outputs and cycle counts bit-identical to
+// the compile-and-run path.
+func (pl *Plan) Run(core *aicore.Core, inputs ...*tensor.Tensor) ([]*tensor.Tensor, *aicore.Stats, error) {
+	bound := inputs
+	if pl.bind != nil {
+		var err error
+		if bound, err = pl.bind(inputs); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(bound) != len(pl.slots) {
+		return nil, nil, fmt.Errorf("ops: %s: plan wants %d inputs, got %d", pl.Name, len(pl.slots), len(bound))
+	}
+	core.Mem.ResetLocal()
+	gm := core.Mem.Space(isa.GM)
+	gm.Reset()
+	if _, err := gm.Alloc(pl.gmTop); err != nil {
+		return nil, nil, err
+	}
+	// Replays see the same pristine global memory a fresh core would: the
+	// planned footprint starts zeroed (backward kernels accumulate into
+	// it), then the bound inputs land at their planned addresses.
+	data := gm.Data()
+	clear(data[:pl.gmTop])
+	for i, s := range pl.slots {
+		if bound[i].Bytes() != s.bytes {
+			return nil, nil, fmt.Errorf("ops: %s: input %d is %d bytes, plan expects %d",
+				pl.Name, i, bound[i].Bytes(), s.bytes)
+		}
+		copy(data[s.addr:s.addr+s.bytes], bound[i].Data)
+	}
+
+	st, err := pl.replay(core)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]*tensor.Tensor, len(pl.outs))
+	for i, o := range pl.outs {
+		outs[i] = core.Mem.ReadTensor(isa.GM, o.addr, o.shape...)
+	}
+	if pl.finish != nil {
+		outs = pl.finish(outs)
+	}
+	return outs, st, nil
+}
+
+// replay executes the cached program, memoizing the deterministic schedule
+// per (cost model, serialize) context: the first replay runs the full
+// timing scoreboard, later ones only replay a flattened functional trace
+// of the program (see aicore.Flatten) whose data effects are bit-identical
+// but whose host cost is a fraction of interpreting every instruction.
+// Tracing cores always schedule (the trace needs real start/end times).
+func (pl *Plan) replay(core *aicore.Core) (*aicore.Stats, error) {
+	key := timingKey{cost: *core.Cost, serialize: core.Serialize}
+	if core.Trace == nil {
+		if v, ok := pl.timings.Load(key); ok {
+			pl.flatOnce.Do(func() { pl.flat = aicore.Flatten(pl.Prog) })
+			if err := core.ExecFlat(pl.flat); err != nil {
+				return nil, err
+			}
+			st := *v.(*aicore.Stats)
+			return &st, nil
+		}
+	}
+	st, err := core.Replay(pl.Prog)
+	if err != nil {
+		return nil, err
+	}
+	memo := *st
+	pl.timings.Store(key, &memo)
+	return st, nil
+}
+
+// planner accumulates a plan during compilation. Its scratch core provides
+// the same allocation bookkeeping the kernels previously did against the
+// caller's core — but with no data placed, only layout.
+type planner struct {
+	core *aicore.Core
+	pl   *Plan
+}
+
+func newPlanner(name string, spec Spec, p isa.ConvParams) *planner {
+	return &planner{
+		core: aicore.New(spec.Buffers, nil),
+		pl:   &Plan{Name: name, Params: p},
+	}
+}
+
+// input reserves a global-memory slot of n bytes for the next bound input
+// and returns its address.
+func (b *planner) input(n int) (int, error) {
+	addr, err := b.core.Mem.Space(isa.GM).Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	b.pl.slots = append(b.pl.slots, gmSlot{addr: addr, bytes: n})
+	return addr, nil
+}
+
+// output registers the global-memory region at addr as a result tensor of
+// the given shape.
+func (b *planner) output(addr int, shape ...int) {
+	b.pl.outs = append(b.pl.outs, gmRead{addr: addr, shape: shape})
+}
+
+// seal validates the emitted program (and lints it under a strict spec),
+// records the plan's global-memory footprint, and returns the finished
+// immutable plan.
+func (b *planner) seal(prog *cce.Program, spec Spec) (*Plan, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Strict {
+		diags := lint.CheckWith(lint.Options{Caps: spec.Buffers.Capacities(), Mode: lint.SyncImplicit}, prog)
+		if errs := lint.Errors(diags); len(errs) > 0 {
+			return nil, fmt.Errorf("ops: %s: strict lint: %d error(s), first: %s", prog.Name, len(errs), errs[0])
+		}
+	}
+	b.pl.Prog = prog
+	b.pl.gmTop = b.core.Mem.Space(isa.GM).Used()
+	return b.pl, nil
+}
+
+// PlanKey identifies one compiled plan: kernel name, layer parameters, any
+// extra shape integers (convolution channel counts), and the compile Spec.
+type PlanKey struct {
+	Kernel string
+	Params isa.ConvParams
+	Aux    [2]int
+	Spec   Spec
+}
+
+// CacheStats is a snapshot of plan-cache counters.
+type CacheStats struct {
+	// Hits counts lookups served by an already-compiled plan.
+	Hits int64
+	// Misses counts lookups that triggered a compilation.
+	Misses int64
+	// Compiled counts plans successfully compiled and retained.
+	Compiled int64
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("plans: %d compiled, %d hits, %d misses", s.Compiled, s.Hits, s.Misses)
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Compiled: s.Compiled - o.Compiled}
+}
+
+// PlanCache is a concurrency-safe, shape-keyed cache of compiled plans.
+// Concurrent lookups of the same key compile once; the losers block until
+// the winner's plan (or compile error) is available.
+type PlanCache struct {
+	entries  sync.Map // PlanKey -> *cacheEntry
+	hits     atomic.Int64
+	misses   atomic.Int64
+	compiled atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+// NewPlanCache creates an empty cache.
+func NewPlanCache() *PlanCache { return &PlanCache{} }
+
+// SharedPlans is the process-wide default cache used by the legacy
+// one-shot kernel entry points (MaxPoolFwdIm2col, ...), so even callers
+// that never see a Plan amortize compilation across repeated shapes.
+var SharedPlans = NewPlanCache()
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Compiled: c.compiled.Load()}
+}
+
+// Get returns the plan for key, compiling it with compile on first use.
+// Compile errors are cached too: shape-dependent failures (tile too large
+// for the UB) are as deterministic as the programs themselves.
+func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, error) {
+	key.Spec = key.Spec.normalized()
+	e := &cacheEntry{}
+	if actual, loaded := c.entries.LoadOrStore(key, e); loaded {
+		e = actual.(*cacheEntry)
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.plan, e.err = compile()
+		if e.err == nil {
+			c.compiled.Add(1)
+		}
+	})
+	return e.plan, e.err
+}
+
+// Dispatch tables populated by the kernel files (avgpool_cube.go registers
+// the Cube-unit variant in init, mirroring the legacy registries).
+var (
+	maxForwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+		"standard":  planMaxPoolFwdStandard,
+		"im2col":    planMaxPoolFwdIm2col,
+		"expansion": planMaxPoolFwdExpansion,
+		"xysplit":   planMaxPoolFwdXYSplit,
+	}
+	argmaxPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+		"standard": planMaxPoolFwdArgmaxStandard,
+		"im2col":   planMaxPoolFwdArgmaxIm2col,
+	}
+	maxBackwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+		"standard": planMaxPoolBwdStandard,
+		"col2im":   planMaxPoolBwdCol2im,
+	}
+	avgForwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+		"standard": planAvgPoolFwdStandard,
+		"im2col":   planAvgPoolFwdIm2col,
+	}
+)
+
+func planVariant(table map[string]func(Spec, isa.ConvParams) (*Plan, error), kind, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	fn, ok := table[variant]
+	if !ok {
+		return nil, fmt.Errorf("ops: unknown %s variant %q", kind, variant)
+	}
+	return fn(spec, p)
+}
+
+// PlanMaxPoolForward compiles a forward Maxpool variant ("standard",
+// "im2col", "expansion", "xysplit"). Run takes (in) and returns (out).
+func PlanMaxPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planVariant(maxForwardPlanners, "forward", variant, spec, p)
+}
+
+// PlanMaxPoolForwardArgmax compiles a Fig. 7b variant ("standard",
+// "im2col"). Run takes (in) and returns (out, mask).
+func PlanMaxPoolForwardArgmax(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planVariant(argmaxPlanners, "argmax", variant, spec, p)
+}
+
+// PlanMaxPoolBackward compiles a Fig. 7c variant ("standard", "col2im").
+// Run takes (mask, grad) and returns (dx).
+func PlanMaxPoolBackward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planVariant(maxBackwardPlanners, "backward", variant, spec, p)
+}
+
+// PlanAvgPoolForward compiles an Avgpool forward variant ("standard",
+// "im2col", "cube"). Run takes (in) and returns (out).
+func PlanAvgPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return planVariant(avgForwardPlanners, "avgpool", variant, spec, p)
+}
+
+// Cached plan constructors: each compiles at most once per (key, spec) and
+// then serves the shared immutable plan.
+
+// MaxPoolForward is the cached PlanMaxPoolForward.
+func (c *PlanCache) MaxPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "maxpool_fwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
+		return PlanMaxPoolForward(variant, spec, p)
+	})
+}
+
+// MaxPoolForwardArgmax is the cached PlanMaxPoolForwardArgmax.
+func (c *PlanCache) MaxPoolForwardArgmax(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "maxpool_fwd_argmax_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
+		return PlanMaxPoolForwardArgmax(variant, spec, p)
+	})
+}
+
+// MaxPoolBackward is the cached PlanMaxPoolBackward.
+func (c *PlanCache) MaxPoolBackward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "maxpool_bwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
+		return PlanMaxPoolBackward(variant, spec, p)
+	})
+}
+
+// AvgPoolForward is the cached PlanAvgPoolForward.
+func (c *PlanCache) AvgPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "avgpool_fwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
+		return PlanAvgPoolForward(variant, spec, p)
+	})
+}
+
+// AvgPoolBackward is the cached PlanAvgPoolBackward.
+func (c *PlanCache) AvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, error) {
+	kernel := "avgpool_bwd_standard"
+	if useCol2im {
+		kernel = "avgpool_bwd_col2im"
+	}
+	return c.Get(PlanKey{Kernel: kernel, Params: p, Spec: spec}, func() (*Plan, error) {
+		return PlanAvgPoolBackward(spec, p, useCol2im)
+	})
+}
+
+// Conv2D is the cached PlanConv2D for co x c logical channels.
+func (c *PlanCache) Conv2D(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "conv2d_im2col_cube", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+		return PlanConv2D(spec, p, co, channels)
+	})
+}
+
+// Conv2DBackwardData is the cached PlanConv2DBackwardData.
+func (c *PlanCache) Conv2DBackwardData(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "conv2d_bwd_data", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+		return PlanConv2DBackwardData(spec, p, co, channels)
+	})
+}
+
+// Conv2DBackwardWeights is the cached PlanConv2DBackwardWeights.
+func (c *PlanCache) Conv2DBackwardWeights(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(PlanKey{Kernel: "conv2d_bwd_weights", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+		return PlanConv2DBackwardWeights(spec, p, co, channels)
+	})
+}

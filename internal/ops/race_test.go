@@ -1,0 +1,8 @@
+//go:build race
+
+package ops
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock assertions are skipped because instrumentation skews the
+// compile/replay cost ratio.
+const raceEnabled = true
