@@ -5,8 +5,8 @@
 //
 //	davinci-bench [flags] [experiment ...]
 //
-// Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool, all
-// (default: all).
+// Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
+// perf, all (default: all).
 package main
 
 import (
@@ -80,6 +80,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.Fig8(3, opts))
 	case "avgpool":
 		return emit(bench.AvgPool(opts))
+	case "perf":
+		return emit(bench.PerfTable(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -94,6 +96,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, all)")
 	}
 }

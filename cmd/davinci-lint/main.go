@@ -1,36 +1,45 @@
-// Command davinci-lint runs the static kernel verifier (internal/lint)
-// over the instruction streams the built-in pooling kernels emit, and
-// prints a per-program diagnostic table. Each kernel runs once per layer
-// configuration with a program-capture hook installed; every captured
-// program is linted twice — raw under the implicit-sync contract, and
-// after cce.AutoSync under full explicit-sync semantics (bounds, sync
-// protocol, cross-pipe hazards, ISA invariants).
+// Command davinci-lint runs the static analyses (internal/lint and
+// internal/lint/perf) over the built-in kernels and prints per-program
+// tables. Kernels are compiled once per layer configuration through the
+// ops Plan API — no inputs and no simulation are needed; the cached
+// instruction stream (Plan.Prog) is the analysis subject.
 //
-// Exit status is 1 when any diagnostic is reported, so the command works
-// as a CI gate.
+// In the default (correctness) mode every plan is linted twice — raw
+// under the implicit-sync contract, and after cce.AutoSync under full
+// explicit-sync semantics (bounds, sync protocol, cross-pipe hazards,
+// ISA invariants) — and any diagnostic sets exit status 1, so the
+// command works as a CI gate.
+//
+// With -perf the command prints the static performance report instead:
+// critical-path and occupancy cycle bounds, mean vector lane occupancy,
+// sync-induced stalls, and the perf diagnostics (coalescable repeat=1
+// runs, low lane occupancy, serializing set/wait pairs, dead barriers).
+// Perf warnings are advisory; only error-severity perf diagnostics (the
+// analyzer's internal self-checks) set exit status 1.
 //
 // Example:
 //
-//	davinci-lint                # Fig. 7 InceptionV3 layers
-//	davinci-lint -all           # every Table I layer (im2col-family only)
+//	davinci-lint                  # Fig. 7 InceptionV3 layers
+//	davinci-lint -all             # every Table I layer
+//	davinci-lint -perf            # static performance report + lint
+//	davinci-lint -perf -json      # the same, machine-readable
 //	davinci-lint -fixture broken  # demo diagnostics on a broken program
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"strings"
 
-	"davinci/internal/aicore"
 	"davinci/internal/buffer"
 	"davinci/internal/cce"
 	"davinci/internal/isa"
 	"davinci/internal/lint"
+	"davinci/internal/lint/perf"
 	"davinci/internal/ops"
-	"davinci/internal/ref"
-	"davinci/internal/tensor"
 	"davinci/internal/workloads"
 )
 
@@ -42,6 +51,8 @@ func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("davinci-lint", flag.ContinueOnError)
 	fs.SetOutput(out)
 	all := fs.Bool("all", false, "lint every Table I layer (default: the three Fig. 7 InceptionV3 layers)")
+	perfMode := fs.Bool("perf", false, "print the static performance report (bounds, occupancy, stalls) instead of the correctness lint")
+	jsonOut := fs.Bool("json", false, "with -perf, emit the reports as JSON")
 	fixture := fs.String("fixture", "", "lint a named broken fixture instead of the kernels (available: broken)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -49,6 +60,9 @@ func run(args []string, out io.Writer) int {
 
 	switch *fixture {
 	case "":
+		if *perfMode {
+			return perfKernels(out, *all, *jsonOut)
+		}
 		return lintKernels(out, *all)
 	case "broken":
 		return lintPrograms(out, "fixture/broken", brokenFixture(), lint.Check)
@@ -58,91 +72,188 @@ func run(args []string, out io.Writer) int {
 	}
 }
 
-// lintKernels captures and lints the programs of every built-in pooling
-// kernel. The direct (standard/expansion/xysplit) lowerings emit one
-// instruction per pooling window and the analysis is quadratic, so they
-// only run on the smallest layer; the im2col/col2im family stays compact
-// at every production shape and runs on all selected layers.
-func lintKernels(out io.Writer, all bool) int {
+// kernel is one built-in plan constructor. Direct lowerings
+// (standard/expansion/xysplit) emit one instruction per pooling window
+// and the hazard analysis is quadratic, so they only run on the smallest
+// selected layer; the im2col/col2im/cube family stays compact at every
+// production shape and runs on all of them.
+type kernel struct {
+	name   string
+	direct bool
+	plan   func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error)
+}
+
+// convCh is the logical channel extent the convolution kernels are
+// compiled for: one C0 slice, matching the single-tile pooling programs.
+const convCh = 16
+
+func builtinKernels() []kernel {
+	var ks []kernel
+	forVariant := func(name string, fn func(string, ops.Spec, isa.ConvParams) (*ops.Plan, error), variants ...string) {
+		for _, v := range variants {
+			variant := v
+			ks = append(ks, kernel{
+				name:   name + "/" + variant,
+				direct: variant == "standard" || variant == "expansion" || variant == "xysplit",
+				plan:   func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) { return fn(variant, spec, p) },
+			})
+		}
+	}
+	forVariant("maxpool-fwd", ops.PlanMaxPoolForward, "standard", "im2col", "expansion", "xysplit")
+	forVariant("maxpool-argmax", ops.PlanMaxPoolForwardArgmax, "standard", "im2col")
+	forVariant("maxpool-bwd", ops.PlanMaxPoolBackward, "standard", "col2im")
+	forVariant("avgpool-fwd", ops.PlanAvgPoolForward, "standard", "im2col", "cube")
+	for _, useCol2im := range []bool{false, true} {
+		use := useCol2im
+		name, direct := "avgpool-bwd/standard", true
+		if use {
+			name, direct = "avgpool-bwd/col2im", false
+		}
+		ks = append(ks, kernel{name, direct, func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanAvgPoolBackward(spec, p, use)
+		}})
+	}
+	ks = append(ks,
+		kernel{"conv2d/im2col-cube", false, func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanConv2D(spec, p, convCh, convCh)
+		}},
+		kernel{"conv2d-bwd-data/col2im", false, func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanConv2DBackwardData(spec, p, convCh, convCh)
+		}},
+		kernel{"conv2d-bwd-weights/cube", false, func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanConv2DBackwardWeights(spec, p, convCh, convCh)
+		}},
+	)
+	return ks
+}
+
+// sweep compiles every applicable kernel for every selected layer and
+// hands each plan to visit. Shapes a kernel cannot schedule (the tile
+// exceeds a scratch-pad) are reported to skip, like the chip-level
+// tiling would skip them.
+func sweep(all bool, visit func(label string, pl *ops.Plan), skip func(label string, err error) bool) bool {
 	layers := workloads.InceptionV3Fig7()
 	if all {
 		layers = workloads.TableI
 	}
-	status := 0
-	fmt.Fprintf(out, "%-28s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
+	ok := true
+	spec := ops.Spec{}
 	for _, l := range layers {
 		p := l.Params()
-		in := randTile(int64(l.H*10+l.W), p)
-		mask := ref.ArgmaxMask(in, p)
-		oh, ow := p.OutDims()
-		grad := tensor.New(1, 1, oh, ow, tensor.C0)
-		grad.FillRandom(rand.New(rand.NewSource(int64(l.H))), 4)
-		layer := fmt.Sprintf("%s/%d", l.Network, l.Index)
-
-		type job struct {
-			name string
-			emit func(*aicore.Core) error
-		}
-		jobs := []job{
-			{"maxpool-fwd/im2col", func(c *aicore.Core) error {
-				_, _, err := ops.MaxPoolFwdIm2col(c, in, p)
-				return err
-			}},
-			{"maxpool-argmax/im2col", func(c *aicore.Core) error {
-				_, _, _, err := ops.MaxPoolFwdArgmaxIm2col(c, in, p)
-				return err
-			}},
-			{"maxpool-bwd/col2im", func(c *aicore.Core) error {
-				_, _, err := ops.MaxPoolBwdCol2im(c, mask, grad, p)
-				return err
-			}},
-			{"avgpool-fwd/im2col", func(c *aicore.Core) error {
-				_, _, err := ops.AvgPoolFwdIm2col(c, in, p)
-				return err
-			}},
-			{"avgpool-bwd/col2im", func(c *aicore.Core) error {
-				_, _, err := ops.AvgPoolBackward(c, grad, p, true)
-				return err
-			}},
-		}
-		// Direct lowerings: quadratic program sizes, smallest layer only.
-		if smallest(layers, l) {
-			jobs = append(jobs,
-				job{"maxpool-fwd/standard", func(c *aicore.Core) error {
-					_, _, err := ops.MaxPoolFwdStandard(c, in, p)
-					return err
-				}},
-				job{"maxpool-fwd/expansion", func(c *aicore.Core) error {
-					_, _, err := ops.MaxPoolFwdExpansion(c, in, p)
-					return err
-				}},
-				job{"maxpool-fwd/xysplit", func(c *aicore.Core) error {
-					_, _, err := ops.MaxPoolFwdXYSplit(c, in, p)
-					return err
-				}},
-				job{"avgpool-fwd/standard", func(c *aicore.Core) error {
-					_, _, err := ops.AvgPoolFwdStandard(c, in, p)
-					return err
-				}},
-			)
-		}
-		for _, j := range jobs {
-			core := aicore.New(buffer.Config{}, nil)
-			var progs []*cce.Program
-			core.OnProgram = func(pr *cce.Program) { progs = append(progs, pr) }
-			if err := j.emit(core); err != nil {
-				fmt.Fprintf(out, "%-28s %v\n", j.name+"@"+layer, err)
-				status = 1
+		for _, k := range builtinKernels() {
+			if k.direct && !smallest(layers, l) {
 				continue
 			}
-			for _, prog := range progs {
-				n := report(out, j.name+"@"+layer, prog, lint.CheckImplicit(prog))
-				synced := cce.AutoSync(prog)
-				n += report(out, j.name+"@"+layer, synced, lint.Check(synced))
-				if n > 0 {
-					status = 1
+			label := fmt.Sprintf("%s@%s/%d", k.name, l.Network, l.Index)
+			pl, err := k.plan(spec, p)
+			if err != nil {
+				if !skip(label, err) {
+					ok = false
+				}
+				continue
+			}
+			visit(label, pl)
+		}
+	}
+	return ok
+}
+
+// unschedulable reports whether a compile error means "this tile does
+// not fit on one core at this shape" — a skip, not a failure.
+func unschedulable(err error) bool {
+	for _, s := range []string{"does not fit", "exceed", "out of space"} {
+		if strings.Contains(err.Error(), s) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintKernels is the correctness gate: every plan's program is linted
+// raw (implicit-sync contract) and after AutoSync (explicit semantics).
+func lintKernels(out io.Writer, all bool) int {
+	status := 0
+	fmt.Fprintf(out, "%-38s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
+	ok := sweep(all,
+		func(label string, pl *ops.Plan) {
+			n := report(out, label, pl.Prog, lint.CheckImplicit(pl.Prog))
+			synced := cce.AutoSync(pl.Prog)
+			n += report(out, label, synced, lint.Check(synced))
+			if n > 0 {
+				status = 1
+			}
+		},
+		func(label string, err error) bool {
+			if unschedulable(err) {
+				fmt.Fprintf(out, "%-38s %-30s %7s %6s skip (%v)\n", label, "-", "-", "-", err)
+				return true
+			}
+			fmt.Fprintf(out, "%-38s %v\n", label, err)
+			return false
+		})
+	if !ok {
+		status = 1
+	}
+	return status
+}
+
+// perfRow is one plan's entry in the -perf -json output.
+type perfRow struct {
+	Kernel  string       `json:"kernel"`
+	Program string       `json:"program"`
+	Report  *perf.Report `json:"report"`
+}
+
+// perfKernels prints the static performance report per plan. Warnings
+// are advisory (the standard lowerings' low lane occupancy is the
+// paper's point, not a bug); only error-severity diagnostics — the
+// analyzer's internal bound self-check — fail the gate.
+func perfKernels(out io.Writer, all, jsonOut bool) int {
+	status := 0
+	var rows []perfRow
+	if !jsonOut {
+		fmt.Fprintf(out, "%-38s %7s %9s %9s %5s %5s %8s %6s\n",
+			"KERNEL", "INSTRS", "CRITPATH", "BUSYBND", "PAR", "OCC%", "STALL", "DIAGS")
+	}
+	ok := sweep(all,
+		func(label string, pl *ops.Plan) {
+			r := pl.Perf
+			if r == nil { // plans always carry one; belt and braces
+				r = perf.Analyze(pl.Prog, perf.Options{Caps: buffer.Config{}.Capacities()})
+			}
+			if jsonOut {
+				rows = append(rows, perfRow{Kernel: label, Program: pl.Prog.Name, Report: r})
+			} else {
+				fmt.Fprintf(out, "%-38s %7d %9d %9d %5.2f %4.0f%% %8d %6d\n",
+					label, r.Instrs, r.CritPath, r.BusyBound, r.Parallelism(),
+					100*r.Vector.MeanOccupancy, r.Sync.StallTotal, len(r.Diags))
+				for _, d := range r.Diags {
+					fmt.Fprintf(out, "    %s\n", d)
 				}
 			}
+			if len(lint.Errors(r.Diags)) > 0 {
+				status = 1
+			}
+		},
+		func(label string, err error) bool {
+			if unschedulable(err) {
+				if !jsonOut {
+					fmt.Fprintf(out, "%-38s skip (%v)\n", label, err)
+				}
+				return true
+			}
+			fmt.Fprintf(out, "%-38s %v\n", label, err)
+			return false
+		})
+	if !ok {
+		status = 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(out, "davinci-lint: %v\n", err)
+			return 2
 		}
 	}
 	return status
@@ -160,7 +271,7 @@ func smallest(layers []workloads.CNNLayer, l workloads.CNNLayer) bool {
 
 func lintPrograms(out io.Writer, label string, progs []*cce.Program, check func(*cce.Program) []lint.Diagnostic) int {
 	status := 0
-	fmt.Fprintf(out, "%-28s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
+	fmt.Fprintf(out, "%-38s %-30s %7s %6s %s\n", "KERNEL", "PROGRAM", "INSTRS", "DIAGS", "STATUS")
 	for _, prog := range progs {
 		if report(out, label, prog, check(prog)) > 0 {
 			status = 1
@@ -175,18 +286,11 @@ func report(out io.Writer, kernel string, prog *cce.Program, diags []lint.Diagno
 	if len(diags) > 0 {
 		verdict = "FAIL"
 	}
-	fmt.Fprintf(out, "%-28s %-30s %7d %6d %s\n", kernel, prog.Name, prog.Len(), len(diags), verdict)
+	fmt.Fprintf(out, "%-38s %-30s %7d %6d %s\n", kernel, prog.Name, prog.Len(), len(diags), verdict)
 	for _, d := range diags {
 		fmt.Fprintf(out, "    %s\n", d)
 	}
 	return len(diags)
-}
-
-func randTile(seed int64, p isa.ConvParams) *tensor.Tensor {
-	rng := rand.New(rand.NewSource(seed))
-	in := tensor.New(1, 1, p.Ih, p.Iw, tensor.C0)
-	in.FillRandom(rng, 8)
-	return in
 }
 
 // brokenFixture builds a small producer/consumer program with two planted

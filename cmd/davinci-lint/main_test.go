@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -53,5 +54,82 @@ func TestKernelsClean(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte("FAIL")) {
 		t.Errorf("clean sweep printed FAIL rows:\n%s", buf.Bytes())
+	}
+}
+
+// checkGolden locks one invocation's full output and exit status. The
+// comparison is byte-exact, so it also pins the deterministic ordering
+// of rows and diagnostics; `go test ./cmd/davinci-lint -update`
+// refreshes the files.
+func checkGolden(t *testing.T, args []string, wantStatus int, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if status := run(args, &buf); status != wantStatus {
+		t.Fatalf("run(%v) status = %d, want %d; output:\n%s", args, status, wantStatus, buf.Bytes())
+	}
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from %s:\n got:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestDefaultGolden pins the default correctness sweep (Fig. 7 layers,
+// Plan API): row order, program names, instruction counts.
+func TestDefaultGolden(t *testing.T) {
+	checkGolden(t, nil, 0, "default.golden")
+}
+
+// TestPerfGolden pins the -perf report: the static bounds and the
+// expected advisory warnings (the standard lowerings' sub-50% lane
+// occupancy and coalescable repeat=1 runs are the paper's motivation,
+// reported but not fatal).
+func TestPerfGolden(t *testing.T) {
+	checkGolden(t, []string{"-perf"}, 0, "perf.golden")
+}
+
+// TestPerfJSON checks the machine-readable form: valid JSON, one row
+// per analyzed plan, bounds ordered, occupancy within [0,1].
+func TestPerfJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if status := run([]string{"-perf", "-json"}, &buf); status != 0 {
+		t.Fatalf("run(-perf -json) status = %d; output:\n%s", status, buf.Bytes())
+	}
+	var rows []struct {
+		Kernel  string `json:"kernel"`
+		Program string `json:"program"`
+		Report  struct {
+			Instrs    int   `json:"Instrs"`
+			CritPath  int64 `json:"CritPath"`
+			BusyBound int64 `json:"BusyBound"`
+			Vector    struct {
+				MeanOccupancy float64
+			}
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Kernel == "" || r.Program == "" || r.Report.Instrs == 0 {
+			t.Errorf("incomplete row: %+v", r)
+		}
+		if r.Report.BusyBound > r.Report.CritPath {
+			t.Errorf("%s: busy bound %d exceeds critical path %d", r.Kernel, r.Report.BusyBound, r.Report.CritPath)
+		}
+		if o := r.Report.Vector.MeanOccupancy; o < 0 || o > 1 {
+			t.Errorf("%s: occupancy %v out of range", r.Kernel, o)
+		}
 	}
 }

@@ -49,7 +49,7 @@ func main() {
 		core.Trace = &aicore.Trace{}
 	}
 
-	st, err := dispatch(core, *op, *variant, in, p, *verify)
+	st, pl, err := dispatch(core, *op, *variant, in, p, *verify)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,6 +57,9 @@ func main() {
 	fmt.Printf("op=%s variant=%s input=(%d,%d,%d) kernel=(%d,%d) stride=(%d,%d) pad=%d output=(%d,%d)\n",
 		*op, *variant, *h, *w, tensor.C0, *k, *k, *s, *s, *pad, oh, ow)
 	fmt.Printf("cycles: %d\n", st.Cycles)
+	if r := pl.Perf; r != nil {
+		fmt.Printf("static bounds: %d (pipe occupancy) <= cycles <= %d (critical path)\n", r.BusyBound, r.CritPath)
+	}
 	fmt.Printf("instructions: %d\n", st.Instrs)
 	fmt.Printf("global-memory traffic: %d bytes in, %d bytes out\n", st.BytesIn, st.BytesOut)
 	for pipe := isa.PipeScalar; pipe < isa.NumPipes; pipe++ {
@@ -73,7 +76,10 @@ func main() {
 	}
 }
 
-func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool) (*aicore.Stats, error) {
+// dispatch compiles the requested kernel once through the Plan API,
+// replays it on the core, and verifies the outputs against the
+// reference model.
+func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool) (*aicore.Stats, *ops.Plan, error) {
 	check := func(got, want *tensor.Tensor, what string) error {
 		if !verify {
 			return nil
@@ -84,66 +90,68 @@ func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.Co
 		fmt.Printf("verified: %s matches the reference model\n", what)
 		return nil
 	}
+	spec := ops.SpecFor(core)
+	var (
+		pl     *ops.Plan
+		err    error
+		inputs []*tensor.Tensor
+		refs   []*tensor.Tensor
+		whats  []string
+	)
 	switch op {
 	case "maxpool-fwd":
-		fn, ok := ops.MaxForward[variant]
-		if !ok {
-			return nil, fmt.Errorf("maxpool-fwd variants: standard, im2col, expansion, xysplit")
+		if pl, err = ops.PlanMaxPoolForward(variant, spec, p); err != nil {
+			return nil, nil, err
 		}
-		out, st, err := fn(core, in, p)
-		if err != nil {
-			return nil, err
-		}
-		return st, check(out, ref.MaxPoolForward(in, p), "output")
+		inputs = []*tensor.Tensor{in}
+		refs, whats = []*tensor.Tensor{ref.MaxPoolForward(in, p)}, []string{"output"}
 	case "maxpool-argmax":
-		fn, ok := ops.MaxForwardArgmax[variant]
-		if !ok {
-			return nil, fmt.Errorf("maxpool-argmax variants: standard, im2col")
+		if pl, err = ops.PlanMaxPoolForwardArgmax(variant, spec, p); err != nil {
+			return nil, nil, err
 		}
-		out, mask, st, err := fn(core, in, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := check(out, ref.MaxPoolForward(in, p), "output"); err != nil {
-			return nil, err
-		}
-		return st, check(mask, ref.ArgmaxMask(in, p), "argmax mask")
+		inputs = []*tensor.Tensor{in}
+		refs = []*tensor.Tensor{ref.MaxPoolForward(in, p), ref.ArgmaxMask(in, p)}
+		whats = []string{"output", "argmax mask"}
 	case "maxpool-bwd":
-		fn, ok := ops.MaxBackward[variant]
-		if !ok {
-			return nil, fmt.Errorf("maxpool-bwd variants: standard, col2im")
+		if pl, err = ops.PlanMaxPoolBackward(variant, spec, p); err != nil {
+			return nil, nil, err
 		}
 		mask := ref.ArgmaxMask(in, p)
 		grad := intGradient(p)
-		out, st, err := fn(core, mask, grad, p)
-		if err != nil {
-			return nil, err
-		}
-		return st, check(out, ref.MaxPoolBackward(mask, grad, p, p.Ih, p.Iw), "gradient")
+		inputs = []*tensor.Tensor{mask, grad}
+		refs = []*tensor.Tensor{ref.MaxPoolBackward(mask, grad, p, p.Ih, p.Iw)}
+		whats = []string{"gradient"}
 	case "avgpool-fwd":
-		fn, ok := ops.AvgForward[variant]
-		if !ok {
-			return nil, fmt.Errorf("avgpool-fwd variants: standard, im2col")
+		if pl, err = ops.PlanAvgPoolForward(variant, spec, p); err != nil {
+			return nil, nil, err
 		}
-		out, st, err := fn(core, in, p)
-		if err != nil {
-			return nil, err
-		}
-		return st, check(out, ref.AvgPoolForward(in, p), "output")
+		inputs = []*tensor.Tensor{in}
+		refs, whats = []*tensor.Tensor{ref.AvgPoolForward(in, p)}, []string{"output"}
 	case "avgpool-bwd":
 		useCol2im := variant == "col2im"
 		if !useCol2im && variant != "standard" {
-			return nil, fmt.Errorf("avgpool-bwd variants: standard, col2im")
+			return nil, nil, fmt.Errorf("avgpool-bwd variants: standard, col2im")
+		}
+		if pl, err = ops.PlanAvgPoolBackward(spec, p, useCol2im); err != nil {
+			return nil, nil, err
 		}
 		grad := intGradient(p)
-		out, st, err := ops.AvgPoolBackward(core, grad, p, useCol2im)
-		if err != nil {
-			return nil, err
-		}
-		return st, check(out, ref.AvgPoolBackward(grad, p, p.Ih, p.Iw), "gradient")
+		inputs = []*tensor.Tensor{grad}
+		refs = []*tensor.Tensor{ref.AvgPoolBackward(grad, p, p.Ih, p.Iw)}
+		whats = []string{"gradient"}
 	default:
-		return nil, fmt.Errorf("unknown op %q", op)
+		return nil, nil, fmt.Errorf("unknown op %q", op)
 	}
+	outs, st, err := pl.Run(core, inputs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, want := range refs {
+		if err := check(outs[i], want, whats[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return st, pl, nil
 }
 
 // intGradient builds a small-integer-valued gradient tensor. Integer

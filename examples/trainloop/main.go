@@ -37,6 +37,25 @@ func main() {
 	rng := rand.New(rand.NewSource(5))
 	core := aicore.New(buffer.Config{}, nil)
 
+	// Compile the four kernels once; the loop replays the cached plans.
+	spec := ops.SpecFor(core)
+	convPl, err := ops.PlanConv2D(spec, convP, ch, ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poolPl, err := ops.PlanMaxPoolForwardArgmax("im2col", spec, poolP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poolBwdPl, err := ops.PlanMaxPoolBackward("col2im", spec, poolP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dwPl, err := ops.PlanConv2DBackwardWeights(spec, convP, ch, ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	x := tensor.New(1, 1, ih, iw, tensor.C0)
 	x.FillRandom(rng, 0.5)
 	target := tensor.New(1, 1, ih/2, iw/2, tensor.C0)
@@ -49,14 +68,16 @@ func main() {
 	prev := 1e30
 	for step := 0; step < steps; step++ {
 		// Forward: conv on the Cube, pooling with the saved argmax mask.
-		y1, st1, err := ops.Conv2DIm2colCube(core, x, weights, convP)
+		convOuts, st1, err := convPl.Run(core, x, weights)
 		if err != nil {
 			log.Fatal(err)
 		}
-		y2, mask, st2, err := ops.MaxPoolFwdArgmaxIm2col(core, y1, poolP)
+		y1 := convOuts[0]
+		poolOuts, st2, err := poolPl.Run(core, y1)
 		if err != nil {
 			log.Fatal(err)
 		}
+		y2, mask := poolOuts[0], poolOuts[1]
 
 		// Loss layer (host, like a framework): L = mean (y2-t)^2.
 		var loss float64
@@ -69,14 +90,16 @@ func main() {
 		loss /= float64(y2.Len())
 
 		// Backward: Col2Im pooling backward, then the weight gradient.
-		dy1, st3, err := ops.MaxPoolBwdCol2im(core, mask, dy2, poolP)
+		bwdOuts, st3, err := poolBwdPl.Run(core, mask, dy2)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dw, st4, err := ops.Conv2DBackwardWeights(core, dy1, x, convP, ch, ch)
+		dy1 := bwdOuts[0]
+		dwOuts, st4, err := dwPl.Run(core, dy1, x)
 		if err != nil {
 			log.Fatal(err)
 		}
+		dw := dwOuts[0]
 
 		// SGD (host).
 		for i := 0; i < weights.Len(); i++ {

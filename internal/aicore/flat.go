@@ -101,7 +101,7 @@ func (fp *FlatProgram) fallback(idx int, in isa.Instr) {
 
 // maskBlock extracts the 16 mask bits covering block b's lanes.
 func maskBlock(m isa.Mask, b int) uint16 {
-	return uint16(m[b>>2] >> uint((b&3) * 16))
+	return uint16(m[b>>2] >> uint((b&3)*16))
 }
 
 // flattenVec expands a vector instruction block by block, in repeat order.

@@ -74,9 +74,12 @@ func (t *Table) Format(w io.Writer) {
 	cells := func(r Row) []string {
 		out := []string{r.Label}
 		for i, v := range r.Values {
-			if strings.Contains(t.Columns[i], "speedup") {
+			switch {
+			case strings.Contains(t.Columns[i], "speedup"):
 				out = append(out, fmt.Sprintf("%.2fx", v))
-			} else {
+			case strings.Contains(t.Columns[i], "repeat"), strings.Contains(t.Columns[i], "occ"):
+				out = append(out, fmt.Sprintf("%.1f", v))
+			default:
 				out = append(out, fmt.Sprintf("%.0f", v))
 			}
 		}
@@ -345,6 +348,11 @@ func All(o Options) ([]*Table, error) {
 		}
 		tables = append(tables, t)
 	}
+	t, err := PerfTable(o)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t)
 	return tables, nil
 }
 

@@ -170,3 +170,41 @@ func TestFormatCSV(t *testing.T) {
 		t.Errorf("csv = %q, want %q", got, want)
 	}
 }
+
+// TestPerfTable checks the static-utilization experiment: 6 kernels x 3
+// Fig. 7 layers, and the accelerated variants beat the direct lowerings
+// on every static metric the paper's argument rests on.
+func TestPerfTable(t *testing.T) {
+	tab, err := PerfTable(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 18 {
+		t.Fatalf("rows = %d, want 6 kernels x 3 layers", len(tab.Rows))
+	}
+	const (
+		colInstrs = 0
+		colCrit   = 1
+		colRepeat = 3
+		colOcc    = 4
+	)
+	// Rows come in (standard, accelerated) pairs per kernel family.
+	for i := 0; i < len(tab.Rows); i += 2 {
+		std, acc := tab.Rows[i], tab.Rows[i+1]
+		if !strings.Contains(std.Label, "standard") {
+			t.Fatalf("row %d = %q, want a standard variant", i, std.Label)
+		}
+		if acc.Values[colInstrs] >= std.Values[colInstrs] {
+			t.Errorf("%s: %v instrs, not fewer than %s's %v", acc.Label, acc.Values[colInstrs], std.Label, std.Values[colInstrs])
+		}
+		if acc.Values[colCrit] >= std.Values[colCrit] {
+			t.Errorf("%s: critical path %v, not below %s's %v", acc.Label, acc.Values[colCrit], std.Label, std.Values[colCrit])
+		}
+		if acc.Values[colRepeat] <= std.Values[colRepeat] {
+			t.Errorf("%s: mean repeat %v, not above %s's %v", acc.Label, acc.Values[colRepeat], std.Label, std.Values[colRepeat])
+		}
+		if acc.Values[colOcc] <= std.Values[colOcc] {
+			t.Errorf("%s: lane occupancy %v%%, not above %s's %v%%", acc.Label, acc.Values[colOcc], std.Label, std.Values[colOcc])
+		}
+	}
+}

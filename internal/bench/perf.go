@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"davinci/internal/isa"
+	"davinci/internal/ops"
+	"davinci/internal/workloads"
+)
+
+// PerfTable reports the static performance analysis (internal/lint/perf)
+// of the Fig. 7 kernel pairs on the three InceptionV3 layers: cycle
+// bounds, mean repeat length, and vector lane occupancy. No simulation
+// runs — every number comes from the compiled instruction stream — so
+// the table isolates the paper's utilization argument: the direct
+// lowerings issue many short-repeat, 16-lane instructions (low
+// occupancy), while the Im2Col/Col2Im forms issue few long-repeat,
+// full-width ones.
+func PerfTable(o Options) (*Table, error) {
+	t := &Table{
+		Experiment: "perf: static utilization, Fig. 7 InceptionV3 layers",
+		Note:       "static bounds and utilization from the compiled programs (no simulation)",
+		Columns:    []string{"instrs", "crit path", "busy bound", "mean repeat", "lane occ %", "warnings"},
+	}
+	kernels := []struct {
+		name string
+		plan func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error)
+	}{
+		{"maxpool-fwd/standard", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolForward("standard", s, p)
+		}},
+		{"maxpool-fwd/im2col", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolForward("im2col", s, p)
+		}},
+		{"maxpool-argmax/standard", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolForwardArgmax("standard", s, p)
+		}},
+		{"maxpool-argmax/im2col", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolForwardArgmax("im2col", s, p)
+		}},
+		{"maxpool-bwd/standard", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolBackward("standard", s, p)
+		}},
+		{"maxpool-bwd/col2im", func(s ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
+			return ops.PlanMaxPoolBackward("col2im", s, p)
+		}},
+	}
+	spec := ops.Spec{Buffers: o.Chip.Buffers}
+	for _, l := range workloads.InceptionV3Fig7() {
+		p := l.Params()
+		for _, k := range kernels {
+			pl, err := k.plan(spec, p)
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s %dx%d: %w", k.name, l.H, l.W, err)
+			}
+			r := pl.Perf
+			meanRepeat := 0.0
+			if r.Vector.Instrs > 0 {
+				meanRepeat = float64(r.Vector.Repeats) / float64(r.Vector.Instrs)
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s %dx%dx%d", k.name, l.H, l.W, l.C),
+				Values: []float64{
+					float64(r.Instrs),
+					float64(r.CritPath),
+					float64(r.BusyBound),
+					meanRepeat,
+					100 * r.Vector.MeanOccupancy,
+					float64(len(r.Diags)),
+				},
+			})
+		}
+	}
+	return t, nil
+}

@@ -84,7 +84,7 @@ func TestAutoSyncEventReuse(t *testing.T) {
 			prog.EmitCopy(isa.GM, (base+k)*rowBytes, isa.UB, row(base+k), rowBytes)
 			// Consume row base+k in place (exact in-place accumulation).
 			prog.Emit(&isa.VecInstr{Op: isa.VAdds, Dst: isa.Contig(isa.UB, row(base+k)),
-				Src0: isa.Contig(isa.UB, row(base + k)), Mask: isa.FullMask(), Repeat: 1})
+				Src0: isa.Contig(isa.UB, row(base+k)), Mask: isa.FullMask(), Repeat: 1})
 		}
 	}
 	emit(0)

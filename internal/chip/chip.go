@@ -21,6 +21,7 @@ import (
 	"davinci/internal/buffer"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/lint/perf"
 	"davinci/internal/ops"
 	"davinci/internal/tensor"
 )
@@ -69,6 +70,25 @@ func (c *Chip) Cores() int { return c.cfg.Cores }
 // PlanStats returns a snapshot of the chip's plan-cache counters.
 func (c *Chip) PlanStats() ops.CacheStats { return c.plans.Stats() }
 
+// PlanPerf pairs a compiled plan's identity with its static performance
+// analysis (internal/lint/perf), computed once at plan time.
+type PlanPerf struct {
+	Name   string
+	Params isa.ConvParams
+	Report *perf.Report
+}
+
+// perfReports snapshots the static analysis of every plan compiled so
+// far, sorted by kernel name then parameters.
+func (c *Chip) perfReports() []PlanPerf {
+	plans := c.plans.Plans()
+	reports := make([]PlanPerf, 0, len(plans))
+	for _, pl := range plans {
+		reports = append(reports, PlanPerf{Name: pl.Name, Params: pl.Params, Report: pl.Perf})
+	}
+	return reports
+}
+
 func (c *Chip) newCore() *aicore.Core {
 	core := aicore.New(c.cfg.Buffers, c.cfg.Cost)
 	core.Serialize = c.cfg.Serialize
@@ -88,6 +108,10 @@ type Stats struct {
 	// Plans snapshots the chip's cumulative plan-cache counters at the
 	// end of the run (compiled programs, cache hits, misses).
 	Plans ops.CacheStats
+	// Perf holds the static performance analysis of every plan compiled
+	// through the chip's cache so far, sorted by kernel name then
+	// parameters.
+	Perf []PlanPerf
 }
 
 func (s *Stats) String() string {
@@ -159,6 +183,7 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 	}
 	stats.Cycles = stats.Work.Cycles
 	stats.Plans = c.plans.Stats()
+	stats.Perf = c.perfReports()
 	return results, stats, nil
 }
 

@@ -132,17 +132,23 @@ func buildPool(core *aicore.Core, s *Schedule, pat *poolPattern, inputs map[*Pla
 	if !ok {
 		return nil, nil, fmt.Errorf("dsl: no binding for placeholder %s", pat.in.Name)
 	}
-	var kernel ops.ForwardFunc
+	spec := ops.SpecFor(core)
+	var (
+		pl  *ops.Plan
+		err error
+	)
 	switch {
 	case pat.op == ReduceMax:
-		kernel = ops.MaxForward[s.Strategy().String()]
+		pl, err = ops.PlanMaxPoolForward(s.Strategy().String(), spec, pat.p)
 	case s.Strategy() == StrategyStandard:
-		kernel = ops.AvgPoolFwdStandard
+		pl, err = ops.PlanAvgPoolForward("standard", spec, pat.p)
 	case s.Strategy() == StrategyIm2col:
-		kernel = ops.AvgPoolFwdIm2col
-	}
-	if kernel == nil {
+		pl, err = ops.PlanAvgPoolForward("im2col", spec, pat.p)
+	default:
 		return nil, nil, fmt.Errorf("dsl: no %v lowering for %v pooling", s.Strategy(), pat.op)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsl: %w", err)
 	}
 	if pat.op == ReduceSum && pat.scale == 0 {
 		return nil, nil, fmt.Errorf("dsl: sum pooling without the 1/(Kh*Kw) epilogue is not a pooling layer")
@@ -153,11 +159,11 @@ func buildPool(core *aicore.Core, s *Schedule, pat *poolPattern, inputs map[*Pla
 	for ni := 0; ni < pat.n; ni++ {
 		for ci := 0; ci < pat.c1; ci++ {
 			tile := tensor.SliceC1(in, ni, ci)
-			o, st, err := kernel(core, tile, pat.p)
+			outs, st, err := pl.Run(core, tile)
 			if err != nil {
 				return nil, nil, err
 			}
-			tensor.StoreC1(out, o, ni, ci)
+			tensor.StoreC1(out, outs[0], ni, ci)
 			total.AddSerial(st)
 		}
 	}

@@ -29,10 +29,10 @@ func (s Severity) String() string {
 
 // Diagnostic is one finding of a lint pass.
 type Diagnostic struct {
-	Pass   string   // "bounds", "sync", "hazard" or "invariants"
+	Pass   string // "bounds", "sync", "hazard" or "invariants"
 	Sev    Severity
-	Index  int      // instruction index in the program, -1 for program-level findings
-	Instr  string   // rendered instruction, "" for program-level findings
+	Index  int        // instruction index in the program, -1 for program-level findings
+	Instr  string     // rendered instruction, "" for program-level findings
 	Region isa.Region // offending byte region; zero value when not applicable
 	Msg    string
 }

@@ -1,0 +1,264 @@
+package perf_test
+
+import (
+	"strings"
+	"testing"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+	"davinci/internal/lint"
+	"davinci/internal/lint/perf"
+)
+
+// checkBounds runs prog on a fresh core and asserts the bound invariant
+// busy <= simulated <= critical path <= serial, returning the report.
+func checkBounds(t *testing.T, prog *cce.Program) *perf.Report {
+	t.Helper()
+	r := perf.Analyze(prog, perf.Options{})
+	core := aicore.New(buffer.Config{}, nil)
+	st, err := core.Run(prog)
+	if err != nil {
+		t.Fatalf("%s: run: %v", prog.Name, err)
+	}
+	if r.BusyBound > st.Cycles {
+		t.Errorf("%s: busy bound %d > simulated %d", prog.Name, r.BusyBound, st.Cycles)
+	}
+	if st.Cycles > r.CritPath {
+		t.Errorf("%s: simulated %d > critical path %d", prog.Name, st.Cycles, r.CritPath)
+	}
+	if r.CritPath > r.SerialCycles {
+		t.Errorf("%s: critical path %d > serial %d", prog.Name, r.CritPath, r.SerialCycles)
+	}
+	// Serialize mode is the serial sum by construction.
+	ser := aicore.New(buffer.Config{}, nil)
+	ser.Serialize = true
+	sst, err := ser.Run(prog)
+	if err != nil {
+		t.Fatalf("%s: serialize run: %v", prog.Name, err)
+	}
+	if sst.Cycles != r.SerialCycles {
+		t.Errorf("%s: serialize cycles %d != SerialCycles %d", prog.Name, sst.Cycles, r.SerialCycles)
+	}
+	return r
+}
+
+// TestBoundsOverlappedLoadCompute checks the bounds and the exact
+// critical path of a hand-scheduled load/compute/store chain.
+func TestBoundsOverlappedLoadCompute(t *testing.T) {
+	p := cce.New("chain")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)                                        // MTE2: 16 + 16 = 32
+	p.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 512, fp16.FromFloat32(1)) // VEC: 4 + 4 = 8, after the load
+	p.EmitCopy(isa.UB, 0, isa.GM, 0, 1024)                                        // MTE3: 16 + 16 = 32, after the add
+	r := checkBounds(t, p)
+	if want := int64(32 + 8 + 32); r.CritPath != want {
+		t.Errorf("critical path = %d, want %d", r.CritPath, want)
+	}
+	if want := int64(32); r.BusyBound != want {
+		t.Errorf("busy bound = %d, want %d (busiest MTE pipe)", r.BusyBound, want)
+	}
+	if r.Traffic.BytesIn != 1024 || r.Traffic.BytesOut != 1024 {
+		t.Errorf("traffic in/out = %d/%d, want 1024/1024", r.Traffic.BytesIn, r.Traffic.BytesOut)
+	}
+}
+
+// TestBoundsIndependentPipes checks that work on disjoint buffers
+// overlaps in the critical path: two independent loads bound by one pipe.
+func TestBoundsIndependentPipes(t *testing.T) {
+	p := cce.New("overlap")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)    // MTE2
+	p.EmitCopy(isa.GM, 4096, isa.L1, 0, 1024) // MTE2, same pipe: serial
+	p.EmitScalar(100, "control")              // SCALAR, independent: overlaps
+	r := checkBounds(t, p)
+	if want := int64(100); r.CritPath != want {
+		t.Errorf("critical path = %d, want %d (scalar dominates)", r.CritPath, want)
+	}
+	if r.PipeBusy[isa.PipeMTE2] != 64 {
+		t.Errorf("MTE2 busy = %d, want 64", r.PipeBusy[isa.PipeMTE2])
+	}
+}
+
+// TestBoundsFlagEdges checks that flag tokens order the static schedule.
+func TestBoundsFlagEdges(t *testing.T) {
+	p := cce.New("flags")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024) // MTE2 ends at 32
+	p.Emit(&isa.SetFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	p.Emit(&isa.WaitFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	p.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 512, fp16.FromFloat32(1))
+	r := checkBounds(t, p)
+	// set ends at 34, wait at 36, add at 44.
+	if want := int64(44); r.CritPath != want {
+		t.Errorf("critical path = %d, want %d", r.CritPath, want)
+	}
+	if r.Sync.Flags != 2 {
+		t.Errorf("flags = %d, want 2", r.Sync.Flags)
+	}
+	if r.Sync.StallCycles[isa.PipeVector] != 34 {
+		t.Errorf("vector sync stall = %d, want 34", r.Sync.StallCycles[isa.PipeVector])
+	}
+}
+
+// TestVectorMetrics checks occupancy, the repeat histogram and split
+// accounting on a crafted mix.
+func TestVectorMetrics(t *testing.T) {
+	p := cce.New("vec")
+	// 600 total repeats at full mask: split 255 + 255 + 90.
+	p.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 600*isa.LanesPerRepeat, fp16.FromFloat32(1))
+	// One 16-lane repeat.
+	p.EmitVec(isa.VAdds, isa.Contig(isa.UB, 0), isa.Contig(isa.UB, 0), isa.Operand{}, fp16.FromFloat32(1), isa.MaskFirstN(16), 1)
+	r := perf.Analyze(p, perf.Options{})
+	if r.Vector.Instrs != 4 || r.Vector.Repeats != 601 {
+		t.Fatalf("vector instrs/repeats = %d/%d, want 4/601", r.Vector.Instrs, r.Vector.Repeats)
+	}
+	wantLanes := int64(600*128 + 16)
+	if r.Vector.LaneSum != wantLanes {
+		t.Errorf("lane sum = %d, want %d", r.Vector.LaneSum, wantLanes)
+	}
+	if r.Vector.RepeatHist != [5]int{1, 0, 1, 0, 2} {
+		t.Errorf("repeat hist = %v, want [1 0 1 0 2]", r.Vector.RepeatHist)
+	}
+	if r.SplitInstrs != 2 || r.SplitWaste != 8 {
+		t.Errorf("splits = %d waste = %d, want 2 and 8", r.SplitInstrs, r.SplitWaste)
+	}
+	if got := r.Vector.MeanOccupancy; got <= 0.99 || got > 1 {
+		t.Errorf("occupancy = %f, want just under 1", got)
+	}
+}
+
+func hasDiag(diags []lint.Diagnostic, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCoalesceDiag checks the repeat=1 run finding fires on a fusable run
+// (including the accumulator pattern with a zero dst advance) and stays
+// quiet when the stride pattern breaks.
+func TestCoalesceDiag(t *testing.T) {
+	acc := isa.Contig(isa.UB, 0)
+	fusable := cce.New("fusable")
+	for k := 0; k < 5; k++ {
+		fusable.Emit(&isa.VecInstr{Op: isa.VMax, Dst: acc, Src0: acc,
+			Src1: isa.Contig(isa.UB, 1024+k*256), Mask: isa.FullMask(), Repeat: 1})
+	}
+	r := perf.Analyze(fusable, perf.Options{})
+	if !hasDiag(r.Diags, "fuse via the repeat parameter") {
+		t.Errorf("fusable run not flagged; diags: %v", r.Diags)
+	}
+
+	ragged := cce.New("ragged")
+	for _, off := range []int{1024, 1280, 1600, 1888, 2208} { // non-uniform deltas
+		ragged.Emit(&isa.VecInstr{Op: isa.VMax, Dst: acc, Src0: acc,
+			Src1: isa.Contig(isa.UB, off), Mask: isa.FullMask(), Repeat: 1})
+	}
+	r = perf.Analyze(ragged, perf.Options{})
+	if hasDiag(r.Diags, "fuse via the repeat parameter") {
+		t.Errorf("ragged run flagged; diags: %v", r.Diags)
+	}
+}
+
+// TestOccupancyDiag checks the sub-50% mask occupancy finding.
+func TestOccupancyDiag(t *testing.T) {
+	p := cce.New("narrow")
+	p.EmitVec(isa.VAdds, isa.Contig(isa.UB, 0), isa.Contig(isa.UB, 0), isa.Operand{}, fp16.FromFloat32(1), isa.MaskFirstN(16), 64)
+	r := perf.Analyze(p, perf.Options{})
+	if !hasDiag(r.Diags, "lane occupancy") {
+		t.Errorf("12.5%% occupancy not flagged; diags: %v", r.Diags)
+	}
+	full := cce.New("full")
+	full.EmitVec(isa.VAdds, isa.Contig(isa.UB, 0), isa.Contig(isa.UB, 0), isa.Operand{}, fp16.FromFloat32(1), isa.FullMask(), 64)
+	r = perf.Analyze(full, perf.Options{})
+	if hasDiag(r.Diags, "lane occupancy") {
+		t.Errorf("full occupancy flagged; diags: %v", r.Diags)
+	}
+}
+
+// TestPingPongDiag checks the adjacent set/wait finding.
+func TestPingPongDiag(t *testing.T) {
+	p := cce.New("pingpong")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)
+	p.Emit(&isa.SetFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	p.Emit(&isa.WaitFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	p.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 512, fp16.FromFloat32(1))
+	r := perf.Analyze(p, perf.Options{})
+	if !hasDiag(r.Diags, "serialize with no overlapping work") {
+		t.Errorf("adjacent set/wait not flagged; diags: %v", r.Diags)
+	}
+
+	spaced := cce.New("spaced")
+	spaced.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)
+	spaced.Emit(&isa.SetFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	spaced.EmitCopy(isa.GM, 4096, isa.L1, 0, 1024) // overlapping work between set and wait
+	spaced.Emit(&isa.WaitFlagInstr{SrcPipe: isa.PipeMTE2, DstPipe: isa.PipeVector, Event: 0})
+	spaced.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 512, fp16.FromFloat32(1))
+	r = perf.Analyze(spaced, perf.Options{})
+	if hasDiag(r.Diags, "serialize with no overlapping work") {
+		t.Errorf("spaced set/wait flagged; diags: %v", r.Diags)
+	}
+}
+
+// TestDeadBarrierDiag checks the dead-barrier finding: a barrier between
+// dependent cross-pipe accesses is live, one ordering nothing is not.
+func TestDeadBarrierDiag(t *testing.T) {
+	live := cce.New("live")
+	live.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)
+	live.EmitBarrier()
+	live.EmitElementwiseScalar(isa.VAdds, isa.UB, 0, 0, 0, 512, fp16.FromFloat32(1))
+	r := perf.Analyze(live, perf.Options{})
+	if hasDiag(r.Diags, "barrier orders no") {
+		t.Errorf("live barrier flagged; diags: %v", r.Diags)
+	}
+
+	dead := cce.New("dead")
+	dead.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)
+	dead.EmitBarrier()
+	dead.EmitCopy(isa.GM, 8192, isa.L1, 0, 1024) // disjoint: barrier orders nothing
+	r = perf.Analyze(dead, perf.Options{})
+	if !hasDiag(r.Diags, "barrier orders no") {
+		t.Errorf("dead barrier not flagged; diags: %v", r.Diags)
+	}
+}
+
+// TestBarrierBounds checks the bound invariant across a barrier and that
+// the barrier's serialization is charged to pipes with remaining work.
+func TestBarrierBounds(t *testing.T) {
+	p := cce.New("barrier")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024) // MTE2: 32
+	p.EmitBarrier()                        // starts at 32, ends at 48
+	p.EmitScalar(10, "tail")               // SCALAR: would be ready at 0
+	r := checkBounds(t, p)
+	if want := int64(32 + 16 + 10); r.CritPath != want {
+		t.Errorf("critical path = %d, want %d", r.CritPath, want)
+	}
+	if r.Sync.Barriers != 1 {
+		t.Errorf("barriers = %d, want 1", r.Sync.Barriers)
+	}
+	// The scalar pipe idles 32 cycles before issuing the barrier; the
+	// barrier's own 16 cycles are work, not stall.
+	if r.Sync.StallCycles[isa.PipeScalar] != 32 {
+		t.Errorf("scalar stall = %d, want 32", r.Sync.StallCycles[isa.PipeScalar])
+	}
+}
+
+// TestDiagsSorted checks the report's diagnostics come back ordered.
+func TestDiagsSorted(t *testing.T) {
+	p := cce.New("order")
+	p.EmitCopy(isa.GM, 0, isa.UB, 0, 1024)
+	p.EmitBarrier() // dead: nothing after touches what came before
+	p.EmitCopy(isa.GM, 8192, isa.L1, 0, 1024)
+	p.EmitVec(isa.VAdds, isa.Contig(isa.UB, 8192), isa.Contig(isa.UB, 8192), isa.Operand{}, fp16.FromFloat32(1), isa.MaskFirstN(8), 64)
+	r := perf.Analyze(p, perf.Options{})
+	for i := 1; i < len(r.Diags); i++ {
+		if r.Diags[i-1].Index > r.Diags[i].Index {
+			t.Fatalf("diags out of order: %v", r.Diags)
+		}
+	}
+	if len(r.Diags) < 2 {
+		t.Fatalf("want at least 2 diags, got %v", r.Diags)
+	}
+}

@@ -19,6 +19,7 @@ package ops
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,7 @@ import (
 	"davinci/internal/cce"
 	"davinci/internal/isa"
 	"davinci/internal/lint"
+	"davinci/internal/lint/perf"
 	"davinci/internal/tensor"
 )
 
@@ -94,6 +96,10 @@ type Plan struct {
 	Params isa.ConvParams
 	// Prog is the cached instruction stream. Treat as read-only.
 	Prog *cce.Program
+	// Perf is the static performance analysis of Prog under the default
+	// cost model, computed once at compile time: occupancy lower bound,
+	// critical-path upper bound, utilization metrics and perf diagnostics.
+	Perf *perf.Report
 
 	slots  []gmSlot
 	outs   []gmRead
@@ -237,6 +243,7 @@ func (b *planner) seal(prog *cce.Program, spec Spec) (*Plan, error) {
 		}
 	}
 	b.pl.Prog = prog
+	b.pl.Perf = perf.Analyze(prog, perf.Options{Caps: spec.Buffers.Capacities()})
 	b.pl.gmTop = b.core.Mem.Space(isa.GM).Used()
 	return b.pl, nil
 }
@@ -283,6 +290,9 @@ type cacheEntry struct {
 	once sync.Once
 	plan *Plan
 	err  error
+	// done publishes plan/err to readers that do not go through once.Do
+	// (PlanCache.Plans ranges concurrently with in-flight compiles).
+	done atomic.Bool
 }
 
 // NewPlanCache creates an empty cache.
@@ -296,6 +306,27 @@ var SharedPlans = NewPlanCache()
 // Stats returns a snapshot of the cache counters.
 func (c *PlanCache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Compiled: c.compiled.Load()}
+}
+
+// Plans returns every successfully compiled plan in the cache, sorted by
+// kernel name and layer parameters for deterministic reporting
+// (chip.Stats and cmd/davinci-bench surface their perf reports).
+func (c *PlanCache) Plans() []*Plan {
+	var plans []*Plan
+	c.entries.Range(func(_, v any) bool {
+		e := v.(*cacheEntry)
+		if e.done.Load() && e.err == nil {
+			plans = append(plans, e.plan)
+		}
+		return true
+	})
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].Name != plans[j].Name {
+			return plans[i].Name < plans[j].Name
+		}
+		return fmt.Sprint(plans[i].Params) < fmt.Sprint(plans[j].Params)
+	})
+	return plans
 }
 
 // Get returns the plan for key, compiling it with compile on first use.
@@ -315,6 +346,7 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 		if e.err == nil {
 			c.compiled.Add(1)
 		}
+		e.done.Store(true)
 	})
 	return e.plan, e.err
 }

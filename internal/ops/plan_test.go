@@ -77,10 +77,14 @@ func planCases(t *testing.T, p isa.ConvParams) []struct {
 			func(c *PlanCache, spec Spec) (*Plan, error) { return c.Conv2D(spec, p, tensor.C0, tensor.C0) },
 			[]*tensor.Tensor{in, w}},
 		planCase{"conv2d_bwd_data",
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.Conv2DBackwardData(spec, p, tensor.C0, tensor.C0) },
+			func(c *PlanCache, spec Spec) (*Plan, error) {
+				return c.Conv2DBackwardData(spec, p, tensor.C0, tensor.C0)
+			},
 			[]*tensor.Tensor{grad, w}},
 		planCase{"conv2d_bwd_weights",
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.Conv2DBackwardWeights(spec, p, tensor.C0, tensor.C0) },
+			func(c *PlanCache, spec Spec) (*Plan, error) {
+				return c.Conv2DBackwardWeights(spec, p, tensor.C0, tensor.C0)
+			},
 			[]*tensor.Tensor{grad, in}},
 	)
 	return cases
