@@ -6,7 +6,11 @@
 //	davinci-bench [flags] [experiment ...]
 //
 // Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
-// perf, all (default: all).
+// perf, sweep, all (default: all). "sweep" runs every built-in kernel on
+// every Table I layer on a traced core, checking the cycle-accounting
+// identity per program; with -metrics FILE, every measured cell plus the
+// chip and plan-cache counters are dumped as a JSON snapshot (the CI
+// BENCH_<rev>.json artifact).
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"davinci/internal/bench"
 	"davinci/internal/buffer"
 	"davinci/internal/chip"
+	"davinci/internal/obs"
 )
 
 func main() {
@@ -27,6 +32,7 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per measurement (verifies determinism)")
 	serialize := flag.Bool("serialize", false, "disable intra-core pipeline overlap (ablation)")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (cells, chip and plan-cache counters) to this file; - for stdout")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -37,6 +43,9 @@ func main() {
 		},
 		Seed: *seed,
 		Reps: *reps,
+	}
+	if *metrics != "" {
+		opts.Metrics = obs.NewRegistry()
 	}
 
 	experiments := flag.Args()
@@ -49,6 +58,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, opts.Metrics.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(path string, s *obs.Snapshot) error {
+	if path == "-" {
+		return s.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, opts bench.Options, csv bool) error {
@@ -82,6 +112,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.AvgPool(opts))
 	case "perf":
 		return emit(bench.PerfTable(opts))
+	case "sweep":
+		return emit(bench.TableISweep(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -96,6 +128,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, all)")
 	}
 }

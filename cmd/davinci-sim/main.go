@@ -1,11 +1,14 @@
 // Command davinci-sim runs a single pooling kernel on the simulated device
 // with arbitrary parameters and prints the timing breakdown: total cycles,
 // per-pipeline busy time and instruction counts — the hardware-counter
-// view of §VI.
+// view of §VI. With -trace it also exports the attributed schedule as
+// Chrome trace-event JSON for Perfetto (https://ui.perfetto.dev), and with
+// -gantt it prints an ASCII timeline plus the per-pipe cycle accounting
+// (busy + attributed stalls + idle = makespan).
 //
 // Example:
 //
-//	davinci-sim -op maxpool-fwd -variant im2col -h 147 -w 147 -c 64 -k 3 -s 2
+//	davinci-sim -op maxpool-fwd -variant im2col -h 147 -w 147 -c 64 -k 3 -s 2 -trace out.json
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"davinci/internal/buffer"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/obs"
 	"davinci/internal/ops"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
@@ -34,7 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "input generator seed")
 	ub := flag.Int("ub", buffer.DefaultUBSize, "Unified Buffer bytes")
 	verify := flag.Bool("verify", true, "check the result against the reference model")
-	trace := flag.Bool("trace", false, "print a per-pipeline timeline of the schedule")
+	trace := flag.String("trace", "", "write the attributed schedule to this file as Chrome trace-event JSON (Perfetto)")
+	gantt := flag.Bool("gantt", false, "print an ASCII per-pipeline timeline and the cycle accounting")
 	flag.Parse()
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
@@ -45,7 +50,7 @@ func main() {
 	in := tensor.New(1, 1, *h, *w, tensor.C0)
 	in.FillRandom(rng, 8)
 	core := aicore.New(buffer.Config{UBSize: *ub}, nil)
-	if *trace {
+	if *trace != "" || *gantt {
 		core.Trace = &aicore.Trace{}
 	}
 
@@ -71,8 +76,31 @@ func main() {
 			100*float64(st.PipeBusy[pipe])/float64(st.Cycles))
 	}
 	if core.Trace != nil {
-		fmt.Println("\nschedule timeline:")
-		core.Trace.Gantt(os.Stdout, 100)
+		acct, err := obs.Account(core.Trace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		acct.Format(os.Stdout)
+		if *gantt {
+			fmt.Println("\nschedule timeline:")
+			core.Trace.Gantt(os.Stdout, 100)
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := obs.WriteChromeTrace(f, core.Trace); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote Chrome trace (%d events' worth of schedule) to %s — open in https://ui.perfetto.dev\n",
+				len(core.Trace.Entries), *trace)
+		}
 	}
 }
 

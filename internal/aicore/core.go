@@ -106,10 +106,12 @@ func (s *Stats) String() string {
 		s.PipeInstrs[isa.PipeMTE3], s.PipeInstrs[isa.PipeCube])
 }
 
-// interval is a byte range with the completion time of its last accessor.
+// interval is a byte range with the completion time and instruction index
+// of its last accessor (the index feeds stall attribution).
 type interval struct {
 	off, end int
 	t        int64
+	idx      int
 }
 
 // bufTimes tracks recent reads and writes of one buffer for hazard
@@ -135,14 +137,15 @@ func foldOldest(list []interval, floor *int64) []interval {
 	return append(list[:0], list[half:]...)
 }
 
-func (b *bufTimes) lastOverlap(list []interval, r isa.Region) int64 {
+func (b *bufTimes) lastOverlap(list []interval, r isa.Region) (int64, int) {
 	var t int64
+	idx := -1
 	for _, iv := range list {
 		if iv.off < r.End && r.Off < iv.end && iv.t > t {
-			t = iv.t
+			t, idx = iv.t, iv.idx
 		}
 	}
-	return t
+	return t, idx
 }
 
 // Run validates, executes and times prog, returning its stats. Functional
@@ -193,11 +196,19 @@ func (c *Core) ExecOnly(prog *cce.Program) error {
 }
 
 // schedule is the shared body of Run and Replay: functional execution in
-// program order plus the implicit-sync timing scoreboard.
+// program order plus the implicit-sync timing scoreboard. Every start time
+// it computes is identical to the pre-attribution scoreboard: a barrier now
+// raises a floor proposed to every later instruction instead of rewriting
+// pipeFree, which yields the same maximum while letting the wait surface as
+// an attributed stall on the pipe that actually pays it.
 func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 	stats := &Stats{}
 	var pipeFree [isa.NumPipes]int64
+	var barrierFloor int64
 	bufs := make([]bufTimes, isa.NumBufs)
+	if c.Trace != nil {
+		c.Trace.grow(len(prog.Instrs))
+	}
 
 	for idx, in := range prog.Instrs {
 		// Functional execution in program order. In-order issue per pipe
@@ -209,71 +220,60 @@ func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 
 		pipe := in.Pipe()
 		cost := in.Cycles(c.Cost)
+		_, isBarrier := in.(*isa.BarrierInstr)
 
-		var ready int64
-		if _, isBarrier := in.(*isa.BarrierInstr); isBarrier || c.Serialize {
-			// Wait for everything issued so far.
-			if stats.Cycles > ready {
-				ready = stats.Cycles
-			}
+		tr := newStallTracker()
+		tr.propose(barrierFloor, StallBarrier, 0, -1)
+		if isBarrier || c.Serialize {
+			// Wait for everything issued so far (a barrier join; Serialize
+			// imposes the same join before every instruction).
+			tr.propose(stats.Cycles, StallBarrier, 0, -1)
 			for _, f := range pipeFree {
-				if f > ready {
-					ready = f
-				}
+				tr.propose(f, StallBarrier, 0, -1)
 			}
 		} else {
 			reads, writes := in.Reads(), in.Writes()
 			for _, r := range reads { // RAW
 				b := &bufs[r.Buf]
-				if t := b.lastOverlap(b.writes, r); t > ready {
-					ready = t
-				}
-				if b.floorW > ready {
-					ready = b.floorW
-				}
+				t, p := b.lastOverlap(b.writes, r)
+				tr.propose(t, StallRAW, r.Buf, p)
+				tr.propose(b.floorW, StallRAW, r.Buf, -1)
 			}
 			for _, w := range writes { // WAW and WAR
 				b := &bufs[w.Buf]
-				if t := b.lastOverlap(b.writes, w); t > ready {
-					ready = t
-				}
-				if t := b.lastOverlap(b.reads, w); t > ready {
-					ready = t
-				}
-				if b.floorW > ready {
-					ready = b.floorW
-				}
-				if b.floorR > ready {
-					ready = b.floorR
-				}
+				t, p := b.lastOverlap(b.writes, w)
+				tr.propose(t, StallWAW, w.Buf, p)
+				t, p = b.lastOverlap(b.reads, w)
+				tr.propose(t, StallWAR, w.Buf, p)
+				tr.propose(b.floorW, StallWAW, w.Buf, -1)
+				tr.propose(b.floorR, StallWAR, w.Buf, -1)
 			}
 		}
 
 		start := pipeFree[pipe]
-		if ready > start {
-			start = ready
+		if tr.t > start {
+			start = tr.t
 		}
 		end := start + cost
+		stall := tr.resolve(pipeFree[pipe])
 		pipeFree[pipe] = end
-		if _, isBarrier := in.(*isa.BarrierInstr); isBarrier {
+		if isBarrier {
 			// Nothing may start before the barrier completes.
-			for i := range pipeFree {
-				pipeFree[i] = end
-			}
+			barrierFloor = end
 		}
 
 		// Record accesses for later hazards.
-		if _, isBarrier := in.(*isa.BarrierInstr); !isBarrier {
+		if !isBarrier {
 			for _, r := range in.Reads() {
 				b := &bufs[r.Buf]
-				b.reads = append(b.reads, interval{r.Off, r.End, end})
+				b.reads = append(b.reads, interval{r.Off, r.End, end, idx})
 				if len(b.reads) > historyCap {
 					b.reads = foldOldest(b.reads, &b.floorR)
 				}
 			}
 			for _, w := range in.Writes() {
 				b := &bufs[w.Buf]
-				b.writes = append(b.writes, interval{w.Off, w.End, end})
+				b.writes = append(b.writes, interval{w.Off, w.End, end, idx})
 				if len(b.writes) > historyCap {
 					b.writes = foldOldest(b.writes, &b.floorW)
 				}
@@ -281,7 +281,7 @@ func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 		}
 
 		if c.Trace != nil {
-			c.Trace.record(idx, in, start, end)
+			c.Trace.record(idx, in, start, end, stall)
 		}
 		stats.PipeBusy[pipe] += cost
 		stats.PipeInstrs[pipe]++

@@ -44,6 +44,10 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 		idx int
 		in  isa.Instr
 	}
+	type token struct {
+		t      int64 // availability time
+		setter int   // instruction index of the set_flag
+	}
 	var pipes [isa.NumPipes][]item
 	for idx, in := range prog.Instrs {
 		p := in.Pipe()
@@ -53,17 +57,21 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 	var pipeFree [isa.NumPipes]int64
 	start := make([]int64, len(prog.Instrs))
 	end := make([]int64, len(prog.Instrs))
-	tokens := map[[3]int][]int64{} // (src, dst, event) -> availability times
+	tokens := map[[3]int][]token{} // (src, dst, event) -> pending tokens
 	completed := 0
 	stats := &Stats{}
 	var barrierFloor int64
+	if c.Trace != nil {
+		c.Trace.grow(len(prog.Instrs))
+	}
 
 	for completed < len(prog.Instrs) {
 		progress := false
 		for p := isa.Pipe(0); p < isa.NumPipes; p++ {
 			for heads[p] < len(pipes[p]) {
 				it := pipes[p][heads[p]]
-				var ready int64 = barrierFloor
+				tr := newStallTracker()
+				tr.propose(barrierFloor, StallBarrier, 0, -1)
 				switch v := it.in.(type) {
 				case *isa.WaitFlagInstr:
 					key := [3]int{int(v.SrcPipe), int(v.DstPipe), v.Event}
@@ -71,9 +79,7 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 					if len(q) == 0 {
 						goto nextPipe // blocked on a token
 					}
-					if q[0] > ready {
-						ready = q[0]
-					}
+					tr.propose(q[0].t, StallFlagWait, 0, q[0].setter)
 					tokens[key] = q[1:]
 				case *isa.BarrierInstr:
 					// A barrier waits for every earlier instruction.
@@ -81,24 +87,23 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 						goto nextPipe
 					}
 					for _, f := range pipeFree {
-						if f > ready {
-							ready = f
-						}
+						tr.propose(f, StallBarrier, 0, -1)
 					}
 				}
 				s := pipeFree[p]
-				if ready > s {
-					s = ready
+				if tr.t > s {
+					s = tr.t
 				}
 				e := s + it.in.Cycles(c.Cost)
+				stall := tr.resolve(pipeFree[p])
 				pipeFree[p] = e
 				start[it.idx], end[it.idx] = s, e
 				if c.Trace != nil {
-					c.Trace.record(it.idx, it.in, s, e)
+					c.Trace.record(it.idx, it.in, s, e, stall)
 				}
 				if sf, ok := it.in.(*isa.SetFlagInstr); ok {
 					key := [3]int{int(sf.SrcPipe), int(sf.DstPipe), sf.Event}
-					tokens[key] = append(tokens[key], e)
+					tokens[key] = append(tokens[key], token{t: e, setter: it.idx})
 				}
 				if _, ok := it.in.(*isa.BarrierInstr); ok {
 					barrierFloor = e

@@ -1,0 +1,117 @@
+package aicore
+
+import (
+	"fmt"
+
+	"davinci/internal/isa"
+)
+
+// StallCause classifies why a scheduled instruction could not issue the
+// moment its pipeline became free — the software counterpart of the
+// per-unit stall counters the paper reads on the Ascend 910 (§VI). Every
+// cycle of the makespan is either busy, attributed to exactly one of these
+// causes, or idle (no instruction pending on the pipe), which is the
+// accounting identity internal/obs asserts.
+type StallCause uint8
+
+const (
+	// StallNone: the instruction issued as soon as it arrived.
+	StallNone StallCause = iota
+	// StallPipeBusy: the instruction waited only for its own pipeline's
+	// previous instruction. That wait is the predecessor's busy time, so a
+	// pipe-busy stall contributes zero gap cycles by construction.
+	StallPipeBusy
+	// StallRAW: a read had to wait for the last overlapping write of a
+	// buffer region (true dependence). Buf and Producer identify the
+	// blocking buffer and the producing instruction.
+	StallRAW
+	// StallWAR: a write had to wait for the last overlapping read.
+	StallWAR
+	// StallWAW: a write had to wait for the last overlapping write.
+	StallWAW
+	// StallFlagWait: a wait_flag blocked until its set_flag token became
+	// available; Producer is the setter's instruction index.
+	StallFlagWait
+	// StallBarrier: the instruction waited on a pipe barrier joining all
+	// pipelines (or, under Core.Serialize, on everything issued so far,
+	// which has the same join semantics).
+	StallBarrier
+	// NumStallCauses sizes per-cause accumulation arrays.
+	NumStallCauses
+)
+
+var stallNames = [...]string{"none", "pipe-busy", "raw", "war", "waw", "flag-wait", "barrier"}
+
+func (c StallCause) String() string {
+	if int(c) >= len(stallNames) {
+		return fmt.Sprintf("StallCause(%d)", int(c))
+	}
+	return stallNames[c]
+}
+
+// IsHazard reports whether the cause is a data hazard (Buf is meaningful).
+func (c StallCause) IsHazard() bool { return c == StallRAW || c == StallWAR || c == StallWAW }
+
+// Stall records the binding constraint that delayed one instruction.
+type Stall struct {
+	// Cause is the constraint that determined the instruction's ready
+	// time. When several constraints resolve at the same cycle the first
+	// one proposed wins (deterministic for a deterministic scheduler).
+	Cause StallCause
+	// Cycles is the idle gap this instruction left on its own pipeline:
+	// start − (previous completion on the pipe). Zero when the pipe itself
+	// was the binding constraint. Summed per pipe, these gaps plus busy
+	// time plus trailing idle equal the makespan exactly.
+	Cycles int64
+	// Buf is the buffer whose region blocked a hazard stall; meaningful
+	// only when Cause.IsHazard().
+	Buf isa.BufID
+	// Producer is the instruction index of the blocking access (hazards)
+	// or the token setter (flag waits); −1 when unknown — a barrier, or a
+	// hazard against the folded history floor (see bufTimes).
+	Producer int
+}
+
+func (s Stall) String() string {
+	switch {
+	case s.Cause.IsHazard() && s.Producer >= 0:
+		return fmt.Sprintf("%s %v by #%d (%d cyc)", s.Cause, s.Buf, s.Producer, s.Cycles)
+	case s.Cause.IsHazard():
+		return fmt.Sprintf("%s %v (%d cyc)", s.Cause, s.Buf, s.Cycles)
+	case s.Cause == StallFlagWait && s.Producer >= 0:
+		return fmt.Sprintf("%s set by #%d (%d cyc)", s.Cause, s.Producer, s.Cycles)
+	default:
+		return fmt.Sprintf("%s (%d cyc)", s.Cause, s.Cycles)
+	}
+}
+
+// stallTracker accumulates ready-time constraints during scheduling and
+// remembers the binding (latest) one. Strictly later constraints win, so
+// ties keep the first proposal and the attribution is deterministic.
+type stallTracker struct {
+	t        int64
+	cause    StallCause
+	buf      isa.BufID
+	producer int
+}
+
+func newStallTracker() stallTracker { return stallTracker{producer: -1} }
+
+func (s *stallTracker) propose(t int64, cause StallCause, buf isa.BufID, producer int) {
+	if t > s.t {
+		s.t, s.cause, s.buf, s.producer = t, cause, buf, producer
+	}
+}
+
+// resolve closes the tracker against the pipe's own availability: if the
+// tracked constraint lands after pipeFree the gap is attributed to it,
+// otherwise the pipe itself was the gate (pipe-busy, zero gap).
+func (s *stallTracker) resolve(pipeFree int64) Stall {
+	if s.t <= pipeFree {
+		if pipeFree > 0 {
+			return Stall{Cause: StallPipeBusy, Producer: -1}
+		}
+		return Stall{Cause: StallNone, Producer: -1}
+	}
+	return Stall{Cause: s.cause, Cycles: s.t - pipeFree, Buf: s.buf, Producer: s.producer}
+}

@@ -7,23 +7,72 @@ import (
 	"davinci/internal/isa"
 )
 
+// EntryKind distinguishes synchronization instructions in a trace, so
+// exporters (internal/obs) can render flag edges and barrier joins without
+// re-parsing instruction text.
+type EntryKind uint8
+
+const (
+	// KindInstr is an ordinary instruction.
+	KindInstr EntryKind = iota
+	// KindSetFlag is a set_flag; Flag holds (src, dst, event).
+	KindSetFlag
+	// KindWaitFlag is a wait_flag; Flag holds (src, dst, event).
+	KindWaitFlag
+	// KindBarrier is a full pipe barrier.
+	KindBarrier
+)
+
 // TraceEntry records one scheduled instruction.
 type TraceEntry struct {
 	Idx        int
 	Pipe       isa.Pipe
 	Start, End int64
 	Text       string
+	// Kind marks synchronization instructions (flags, barriers).
+	Kind EntryKind
+	// Flag is the (src pipe, dst pipe, event) triple for set/wait entries.
+	Flag [3]int
+	// Stall is the attributed reason this instruction waited, and the idle
+	// gap it left on its pipe (see StallCause for the accounting identity).
+	Stall Stall
 }
 
 // Trace collects the schedule of a run for visualization — the software
 // counterpart of the per-unit hardware counters the paper reads (§VI).
-// Attach one to Core.Trace before Run.
+// Attach one to Core.Trace before Run. A Trace accumulates entries across
+// runs on the same core; call Reset between runs for one timeline per run
+// (ops.Plan.Run does this automatically on tracing cores).
 type Trace struct {
 	Entries []TraceEntry
 }
 
-func (t *Trace) record(idx int, in isa.Instr, start, end int64) {
-	t.Entries = append(t.Entries, TraceEntry{Idx: idx, Pipe: in.Pipe(), Start: start, End: end, Text: in.String()})
+// Reset discards the recorded entries, keeping the backing capacity so a
+// trace reused across replays of the same plan does not reallocate — and,
+// more importantly, does not grow without bound.
+func (t *Trace) Reset() { t.Entries = t.Entries[:0] }
+
+// grow preallocates room for n more entries (one per instruction of the
+// program about to be scheduled), so recording never reallocates mid-run.
+func (t *Trace) grow(n int) {
+	if free := cap(t.Entries) - len(t.Entries); free < n {
+		entries := make([]TraceEntry, len(t.Entries), len(t.Entries)+n)
+		copy(entries, t.Entries)
+		t.Entries = entries
+	}
+}
+
+func (t *Trace) record(idx int, in isa.Instr, start, end int64, stall Stall) {
+	e := TraceEntry{Idx: idx, Pipe: in.Pipe(), Start: start, End: end, Text: in.String(), Stall: stall}
+	switch v := in.(type) {
+	case *isa.SetFlagInstr:
+		e.Kind, e.Flag = KindSetFlag, [3]int{int(v.SrcPipe), int(v.DstPipe), v.Event}
+	case *isa.WaitFlagInstr:
+		e.Kind, e.Flag = KindWaitFlag, [3]int{int(v.SrcPipe), int(v.DstPipe), v.Event}
+	case *isa.BarrierInstr:
+		e.Kind = KindBarrier
+	}
+	t.Entries = append(t.Entries, e)
 }
 
 // Makespan returns the completion time of the last instruction.
@@ -77,10 +126,17 @@ func (t *Trace) Gantt(w io.Writer, width int) {
 			any = true
 			lo := int(e.Start * int64(width) / m)
 			hi := int((e.End*int64(width) + m - 1) / m)
+			// Clamp into [0, width): an entry starting at the makespan
+			// boundary (Start == m, e.g. a zero-cost instruction after the
+			// last busy cycle) rounds lo to width, which the hi clamp alone
+			// would silently drop instead of rendering in the last column.
+			if lo >= width {
+				lo = width - 1
+			}
 			if hi > width {
 				hi = width
 			}
-			if lo == hi && lo < width {
+			if hi <= lo {
 				hi = lo + 1
 			}
 			for i := lo; i < hi; i++ {

@@ -1,0 +1,263 @@
+package aicore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/fp16"
+	"davinci/internal/isa"
+)
+
+// tracedChain builds the RAW program of TestHazardTiming on a traced core:
+// an MTE2 copy into a, then a vector read of a.
+func tracedChain(t *testing.T) (*Core, *Stats) {
+	t.Helper()
+	c := newCore()
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	d := ub.MustAlloc(4096)
+	p := cce.New("raw")
+	p.EmitCopy(isa.GM, 0, isa.UB, a, 4096)
+	p.EmitVec(isa.VCopy, isa.Contig(isa.UB, d), isa.Contig(isa.UB, a), isa.Operand{}, 0, isa.FullMask(), 16)
+	st, err := c.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
+}
+
+func TestTraceResetKeepsCapacity(t *testing.T) {
+	c, _ := tracedChain(t)
+	if len(c.Trace.Entries) != 2 {
+		t.Fatalf("entries: %d", len(c.Trace.Entries))
+	}
+	before := cap(c.Trace.Entries)
+	c.Trace.Reset()
+	if len(c.Trace.Entries) != 0 {
+		t.Errorf("entries after Reset: %d", len(c.Trace.Entries))
+	}
+	if cap(c.Trace.Entries) != before {
+		t.Errorf("Reset dropped capacity: %d -> %d", before, cap(c.Trace.Entries))
+	}
+}
+
+func TestTraceAccumulatesWithoutReset(t *testing.T) {
+	// Without Reset a trace grows across runs — the documented contract
+	// that Plan.Run relies on Reset to counter.
+	c := newCore()
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	p := cce.New("dup")
+	p.EmitDup(isa.UB, a, 1024, fp16.One)
+	for i := 1; i <= 3; i++ {
+		if _, err := c.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Trace.Entries) != i {
+			t.Fatalf("run %d: entries = %d", i, len(c.Trace.Entries))
+		}
+	}
+}
+
+func TestStallAttributionRAW(t *testing.T) {
+	c, st := tracedChain(t)
+	first, second := c.Trace.Entries[0], c.Trace.Entries[1]
+	if first.Stall.Cause != StallNone || first.Stall.Cycles != 0 {
+		t.Errorf("first instr stall = %s", first.Stall)
+	}
+	if second.Stall.Cause != StallRAW {
+		t.Fatalf("RAW chain attributed %s", second.Stall)
+	}
+	if second.Stall.Buf != isa.UB || second.Stall.Producer != 0 {
+		t.Errorf("RAW blame: buf %v producer %d", second.Stall.Buf, second.Stall.Producer)
+	}
+	// The vector pipe was free from cycle 0, so the whole wait for the
+	// copy is the attributed gap: start - 0 cycles.
+	if second.Stall.Cycles != second.Start {
+		t.Errorf("RAW stall %d cycles, issue gap %d", second.Stall.Cycles, second.Start)
+	}
+	if second.End != st.Cycles {
+		t.Errorf("last entry ends at %d, makespan %d", second.End, st.Cycles)
+	}
+}
+
+func TestStallAttributionPipeBusy(t *testing.T) {
+	c := newCore()
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	b := ub.MustAlloc(4096)
+	p := cce.New("serial-mte2")
+	p.EmitCopy(isa.GM, 0, isa.UB, a, 4096)
+	p.EmitCopy(isa.GM, 4096, isa.UB, b, 4096)
+	if _, err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Trace.Entries[1]
+	// Back-to-back on one pipe: no issue gap, so zero stall cycles, and
+	// the cause records that the pipe itself was the constraint.
+	if second.Stall.Cause != StallPipeBusy || second.Stall.Cycles != 0 {
+		t.Errorf("second copy stall = %s", second.Stall)
+	}
+}
+
+func TestStallAttributionBarrier(t *testing.T) {
+	c := newCore()
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	b := ub.MustAlloc(4096)
+	p := cce.New("barrier")
+	p.EmitCopy(isa.GM, 0, isa.UB, a, 4096)
+	p.EmitBarrier()
+	p.EmitDup(isa.UB, b, 1024, fp16.One)
+	if _, err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	var barrier, dup *TraceEntry
+	for i := range c.Trace.Entries {
+		e := &c.Trace.Entries[i]
+		switch {
+		case e.Kind == KindBarrier:
+			barrier = e
+		case e.Pipe == isa.PipeVector:
+			dup = e
+		}
+	}
+	if barrier == nil || dup == nil {
+		t.Fatalf("missing entries in %d-entry trace", len(c.Trace.Entries))
+	}
+	if barrier.Stall.Cause != StallBarrier || barrier.Stall.Cycles == 0 {
+		t.Errorf("barrier stall = %s (want barrier wait for the copy)", barrier.Stall)
+	}
+	if dup.Stall.Cause != StallBarrier || dup.Stall.Cycles == 0 {
+		t.Errorf("post-barrier dup stall = %s", dup.Stall)
+	}
+	if dup.Start < barrier.End {
+		t.Errorf("dup issued at %d, before barrier end %d", dup.Start, barrier.End)
+	}
+}
+
+func TestStallAttributionFlagWait(t *testing.T) {
+	c := New(buffer.Config{}, nil)
+	c.Trace = &Trace{}
+	p, _, _ := buildChain(c)
+	synced := cce.AutoSync(p)
+	if _, err := c.RunExplicit(synced); err != nil {
+		t.Fatal(err)
+	}
+	waits, stalled := 0, 0
+	for _, e := range c.Trace.Entries {
+		if e.Kind != KindWaitFlag {
+			continue
+		}
+		waits++
+		if e.Stall.Cycles == 0 {
+			continue
+		}
+		stalled++
+		if e.Stall.Cause != StallFlagWait {
+			t.Errorf("wait %d attributed %s", e.Idx, e.Stall)
+		}
+		if e.Stall.Producer < 0 {
+			t.Errorf("wait %d has no setter", e.Idx)
+			continue
+		}
+		var setter *TraceEntry
+		for i := range c.Trace.Entries {
+			if c.Trace.Entries[i].Idx == e.Stall.Producer {
+				setter = &c.Trace.Entries[i]
+			}
+		}
+		if setter == nil || setter.Kind != KindSetFlag || setter.Flag != e.Flag {
+			t.Errorf("wait %d blames idx %d, which is not the matching set_flag", e.Idx, e.Stall.Producer)
+		}
+	}
+	if waits == 0 {
+		t.Fatal("AutoSync produced no wait_flag entries")
+	}
+	if stalled == 0 {
+		t.Error("no wait_flag ever stalled; attribution untested")
+	}
+}
+
+func TestGanttBoundaryColumn(t *testing.T) {
+	// A zero-cost entry issued exactly at the makespan must still render
+	// in the last column instead of being silently dropped (lo == width).
+	tr := &Trace{Entries: []TraceEntry{
+		{Idx: 0, Pipe: isa.PipeVector, Start: 0, End: 100, Text: "vec"},
+		{Idx: 1, Pipe: isa.PipeScalar, Start: 100, End: 100, Text: "scalar"},
+	}}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 10)
+	lines := strings.Split(buf.String(), "\n")
+	var scalar string
+	for _, l := range lines {
+		if strings.HasPrefix(l, isa.PipeScalar.String()) {
+			scalar = l
+		}
+	}
+	if scalar == "" {
+		t.Fatalf("no scalar row in:\n%s", buf.String())
+	}
+	cols := scalar[strings.Index(scalar, "|")+1 : strings.LastIndex(scalar, "|")]
+	if !strings.HasSuffix(cols, "#") {
+		t.Errorf("boundary entry not in last column: %q", cols)
+	}
+	if strings.Count(cols, "#") != 1 {
+		t.Errorf("zero-cost entry should fill exactly one column: %q", cols)
+	}
+}
+
+func TestGanttZeroWidthRequest(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{{Pipe: isa.PipeVector, Start: 0, End: 10, Text: "v"}}}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 0) // clamped to the minimum width, must not panic
+	if !strings.Contains(buf.String(), "cycles 10") {
+		t.Errorf("gantt at width 0:\n%s", buf.String())
+	}
+}
+
+func TestTraceEmptyEdgeCases(t *testing.T) {
+	var tr Trace
+	if tr.Makespan() != 0 {
+		t.Errorf("empty makespan %d", tr.Makespan())
+	}
+	for p, u := range tr.Utilization() {
+		if u != 0 {
+			t.Errorf("empty utilization[%v] = %v", isa.Pipe(p), u)
+		}
+	}
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not reported")
+	}
+}
+
+func TestTraceSinglePipe(t *testing.T) {
+	c := newCore()
+	c.Trace = &Trace{}
+	ub := c.Mem.Space(isa.UB)
+	a := ub.MustAlloc(4096)
+	p := cce.New("vec-only")
+	p.EmitDup(isa.UB, a, 1024, fp16.One)
+	p.EmitDup(isa.UB, a, 1024, fp16.One)
+	if _, err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	util := c.Trace.Utilization()
+	if util[isa.PipeVector] != 1 {
+		t.Errorf("single-pipe utilization = %v, want 1", util[isa.PipeVector])
+	}
+	for p, u := range util {
+		if isa.Pipe(p) != isa.PipeVector && u != 0 {
+			t.Errorf("idle pipe %v utilization %v", isa.Pipe(p), u)
+		}
+	}
+}

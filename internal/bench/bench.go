@@ -18,6 +18,7 @@ import (
 	"davinci/internal/chip"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/obs"
 	"davinci/internal/ops"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
@@ -124,6 +125,11 @@ type Options struct {
 	// Reps repeats each measurement (default 1); the simulator is
 	// deterministic, so this demonstrates zero-width confidence intervals.
 	Reps int
+	// Metrics, when non-nil, collects every measured cell as a
+	// bench_cycles gauge (labeled experiment/input/impl) plus the chip
+	// and plan-cache counters of every device the experiments build —
+	// the payload of davinci-bench -metrics.
+	Metrics *obs.Registry
 }
 
 func (o Options) reps() int {
@@ -131,6 +137,23 @@ func (o Options) reps() int {
 		return 1
 	}
 	return o.Reps
+}
+
+// device builds the simulated chip for one experiment, registering its
+// counters on the run's shared metrics registry when one is set.
+func (o Options) device(cfg chip.Config) *chip.Chip {
+	if cfg.Metrics == nil {
+		cfg.Metrics = o.Metrics
+	}
+	return chip.New(cfg)
+}
+
+// record publishes one measured cell into the run's metrics registry.
+func (o Options) record(experiment, input, impl string, cycles float64) {
+	if o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge("bench_cycles", "experiment", experiment, "input", input, "impl", impl).Set(int64(cycles))
 }
 
 // measure runs fn Reps times and checks determinism, returning the cycle
@@ -190,11 +213,12 @@ func Fig7a(o Options) (*Table, error) {
 		Note:       "InceptionV3 inputs, kernel (3,3), stride (2,2), no padding; 32 AI Cores",
 		Columns:    []string{"standard", "im2col", "im2col speedup"},
 	}
-	dev := chip.New(o.Chip)
+	dev := o.device(o.Chip)
 	rng := rand.New(rand.NewSource(o.Seed))
 	for _, layer := range workloads.InceptionV3Fig7() {
 		in := layer.Input(rng)
 		p := layer.Params()
+		label := fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C)
 		var vals []float64
 		for _, variant := range []string{"standard", "im2col"} {
 			c, err := measure(o, func() (int64, error) {
@@ -207,10 +231,11 @@ func Fig7a(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.record("fig7a", label, variant, c)
 			vals = append(vals, c)
 		}
 		vals = append(vals, vals[0]/vals[1])
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 	}
 	t.Plans = dev.PlanStats()
 	return t, nil
@@ -223,11 +248,12 @@ func Fig7b(o Options) (*Table, error) {
 		Note:       "InceptionV3 inputs; the mask is saved in the Im2Col shape for training",
 		Columns:    []string{"standard", "im2col", "im2col speedup"},
 	}
-	dev := chip.New(o.Chip)
+	dev := o.device(o.Chip)
 	rng := rand.New(rand.NewSource(o.Seed))
 	for _, layer := range workloads.InceptionV3Fig7() {
 		in := layer.Input(rng)
 		p := layer.Params()
+		label := fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C)
 		var vals []float64
 		for _, variant := range []string{"standard", "im2col"} {
 			c, err := measure(o, func() (int64, error) {
@@ -240,10 +266,11 @@ func Fig7b(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.record("fig7b", label, variant, c)
 			vals = append(vals, c)
 		}
 		vals = append(vals, vals[0]/vals[1])
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 	}
 	t.Plans = dev.PlanStats()
 	return t, nil
@@ -256,7 +283,7 @@ func Fig7c(o Options) (*Table, error) {
 		Note:       "InceptionV3 inputs; merge step via 16-lane vadd vs Col2Im instructions",
 		Columns:    []string{"standard", "col2im", "col2im speedup"},
 	}
-	dev := chip.New(o.Chip)
+	dev := o.device(o.Chip)
 	rng := rand.New(rand.NewSource(o.Seed))
 	for _, layer := range workloads.InceptionV3Fig7() {
 		in := layer.Input(rng)
@@ -267,6 +294,7 @@ func Fig7c(o Options) (*Table, error) {
 		for i := 0; i < grad.Len(); i++ {
 			grad.SetFlat(i, fp16.FromFloat64(rng.Float64()))
 		}
+		label := fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C)
 		var vals []float64
 		for _, variant := range []string{"standard", "col2im"} {
 			c, err := measure(o, func() (int64, error) {
@@ -279,10 +307,11 @@ func Fig7c(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.record("fig7c", label, variant, c)
 			vals = append(vals, c)
 		}
 		vals = append(vals, vals[0]/vals[1])
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 	}
 	t.Plans = dev.PlanStats()
 	return t, nil
@@ -304,12 +333,13 @@ func Fig8(stride int, o Options) (*Table, error) {
 	}
 	cfg := o.Chip
 	cfg.Cores = 1
-	dev := chip.New(cfg)
+	dev := o.device(cfg)
 	rng := rand.New(rand.NewSource(o.Seed))
 	for _, hw := range workloads.Fig8Sizes(3, stride, o.Chip.Buffers.UBSize) {
 		p := isa.ConvParams{Ih: hw, Iw: hw, Kh: 3, Kw: 3, Sh: stride, Sw: stride}
 		in := tensor.New(1, 1, hw, hw, tensor.C0)
 		in.FillRandom(rng, 8)
+		label := fmt.Sprintf("%dx%d", hw, hw)
 		var vals []float64
 		for _, variant := range variants {
 			c, err := measure(o, func() (int64, error) {
@@ -322,9 +352,10 @@ func Fig8(stride int, o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.record(fmt.Sprintf("fig8_s%d", stride), label, variant, c)
 			vals = append(vals, c)
 		}
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%dx%d", hw, hw), Values: vals})
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 	}
 	t.Plans = dev.PlanStats()
 	return t, nil
@@ -366,11 +397,12 @@ func AvgPool(o Options) (*Table, error) {
 		Note:       "standard / im2col vector variants (§V-C) and the Cube-unit mapping (§VIII future work)",
 		Columns:    []string{"standard", "im2col", "cube", "im2col speedup"},
 	}
-	dev := chip.New(o.Chip)
+	dev := o.device(o.Chip)
 	rng := rand.New(rand.NewSource(o.Seed))
 	for _, layer := range workloads.InceptionV3Fig7() {
 		in := layer.Input(rng)
 		p := layer.Params()
+		label := fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C)
 		var vals []float64
 		for _, variant := range []string{"standard", "im2col", "cube"} {
 			c, err := measure(o, func() (int64, error) {
@@ -383,10 +415,11 @@ func AvgPool(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			o.record("avgpool", label, variant, c)
 			vals = append(vals, c)
 		}
 		vals = append(vals, vals[0]/vals[1])
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d,%d,%d", layer.H, layer.W, layer.C), Values: vals})
+		t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 	}
 	t.Plans = dev.PlanStats()
 	return t, nil

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"davinci/internal/aicore"
+	"davinci/internal/kernelcases"
+	"davinci/internal/obs"
+	"davinci/internal/ops"
+	"davinci/internal/workloads"
+)
+
+// TableISweep runs every built-in kernel on every Table I layer on a
+// single traced AI Core, checking the cycle-accounting identity
+// (busy + stalls + idle = makespan on every pipe) and the static bound
+// relation (total stalls >= simulated - busy bound) for each program.
+// Per-program cycles and stalls land in o.Metrics as bench_cycles /
+// bench_stall_cycles gauges, and stall cycles aggregate by cause into
+// sweep_stall_cycles counters — the payload CI archives as
+// BENCH_<rev>.json. Shapes a kernel cannot schedule are skipped, like
+// the chip-level tiling would; an identity violation is an error.
+func TableISweep(o Options) (*Table, error) {
+	t := &Table{
+		Experiment: "Table I sweep: every kernel on every layer (single core, traced)",
+		Note:       "cycles with static bounds and attributed stalls; accounting identity checked per program",
+		Columns:    []string{"cycles", "stall", "busy bound", "crit path"},
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	spec := ops.Spec{Buffers: o.Chip.Buffers}
+	skipped := 0
+	for _, layer := range workloads.TableI {
+		p := layer.Params()
+		for _, kc := range kernelcases.All() {
+			pl, err := kc.Plan(spec, p)
+			if err != nil {
+				if kernelcases.IsCapacitySkip(err) {
+					skipped++
+					continue
+				}
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: %w", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			core := aicore.New(o.Chip.Buffers, o.Chip.Cost)
+			core.Serialize = o.Chip.Serialize
+			core.Trace = &aicore.Trace{}
+			_, st, err := pl.Run(core, kc.Inputs(rng, p)...)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: %w", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			acct, err := obs.Account(core.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: accounting identity: %w", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			if acct.TotalStall < st.Cycles-pl.Perf.BusyBound {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: attributed stalls %d < simulated %d - busy bound %d",
+					kc.Name, layer.H, layer.W, layer.C, acct.TotalStall, st.Cycles, pl.Perf.BusyBound)
+			}
+			label := fmt.Sprintf("%-26s %3dx%3dx%4d", kc.Name, layer.H, layer.W, layer.C)
+			t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
+				float64(st.Cycles), float64(acct.TotalStall),
+				float64(pl.Perf.BusyBound), float64(pl.Perf.CritPath),
+			}})
+			if o.Metrics != nil {
+				input := fmt.Sprintf("%dx%dx%d", layer.H, layer.W, layer.C)
+				o.Metrics.Gauge("bench_cycles", "experiment", "sweep", "input", input, "impl", kc.Name).Set(st.Cycles)
+				o.Metrics.Gauge("bench_stall_cycles", "experiment", "sweep", "input", input, "impl", kc.Name).Set(acct.TotalStall)
+				for c := aicore.StallCause(0); c < aicore.NumStallCauses; c++ {
+					if v := acct.ByCause[c]; v > 0 {
+						o.Metrics.Counter("sweep_stall_cycles", "cause", c.String()).Add(v)
+					}
+				}
+				o.Metrics.Histogram("sweep_program_cycles", nil).Observe(st.Cycles)
+			}
+		}
+	}
+	t.Note += fmt.Sprintf("; %d kernel x layer programs checked, %d capacity skips", len(t.Rows), skipped)
+	return t, nil
+}

@@ -22,6 +22,7 @@ import (
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/lint/perf"
+	"davinci/internal/obs"
 	"davinci/internal/ops"
 	"davinci/internal/tensor"
 )
@@ -41,15 +42,27 @@ type Config struct {
 	Cost *isa.CostModel
 	// Serialize disables intra-core pipeline overlap (ablation).
 	Serialize bool
+	// Metrics is the registry the chip's counters (and its plan cache's)
+	// register in; nil gives the chip a private registry. Benchmarks pass
+	// a shared registry so one snapshot covers every device they build.
+	Metrics *obs.Registry
 }
 
 // Chip is a simulated multi-core device. Each chip owns a plan cache:
 // kernels are compiled once per (variant, shape) and replayed by every
 // core.
 type Chip struct {
-	cfg   Config
-	spec  ops.Spec
-	plans *ops.PlanCache
+	cfg     Config
+	spec    ops.Spec
+	plans   *ops.PlanCache
+	metrics *obs.Registry
+	// Per-tile instruments, registered once so the per-core goroutines in
+	// runTiles update them lock-free.
+	tiles      *obs.Counter
+	tileCycles *obs.Histogram
+	tileInstrs *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
 }
 
 // New creates a chip. Zero-valued config fields take Ascend 910 defaults.
@@ -57,10 +70,19 @@ func New(cfg Config) *Chip {
 	if cfg.Cores == 0 {
 		cfg.Cores = DefaultCores
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	return &Chip{
-		cfg:   cfg,
-		spec:  ops.Spec{Buffers: cfg.Buffers},
-		plans: ops.NewPlanCache(),
+		cfg:        cfg,
+		spec:       ops.Spec{Buffers: cfg.Buffers},
+		plans:      ops.NewPlanCacheOn(cfg.Metrics),
+		metrics:    cfg.Metrics,
+		tiles:      cfg.Metrics.Counter("chip_tiles"),
+		tileCycles: cfg.Metrics.Histogram("chip_tile_cycles", nil),
+		tileInstrs: cfg.Metrics.Counter("chip_tile_instrs"),
+		bytesIn:    cfg.Metrics.Counter("chip_bytes_in"),
+		bytesOut:   cfg.Metrics.Counter("chip_bytes_out"),
 	}
 }
 
@@ -69,6 +91,10 @@ func (c *Chip) Cores() int { return c.cfg.Cores }
 
 // PlanStats returns a snapshot of the chip's plan-cache counters.
 func (c *Chip) PlanStats() ops.CacheStats { return c.plans.Stats() }
+
+// Metrics returns the registry holding the chip's counters (tile counts,
+// per-tile cycle histogram, GM traffic) and its plan cache's counters.
+func (c *Chip) Metrics() *obs.Registry { return c.metrics }
 
 // PlanPerf pairs a compiled plan's identity with its static performance
 // analysis (internal/lint/perf), computed once at plan time.
@@ -112,6 +138,9 @@ type Stats struct {
 	// through the chip's cache so far, sorted by kernel name then
 	// parameters.
 	Perf []PlanPerf
+	// Metrics snapshots the chip's registry (tile histogram, GM traffic,
+	// plan-cache counters) at the end of the run.
+	Metrics *obs.Snapshot
 }
 
 func (s *Stats) String() string {
@@ -159,6 +188,13 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 				if err != nil {
 					return
 				}
+				// Lock-free atomic updates from every worker at once: the
+				// concurrent path the registry is built for.
+				c.tiles.Inc()
+				c.tileCycles.Observe(st.Cycles)
+				c.tileInstrs.Add(st.Instrs)
+				c.bytesIn.Add(st.BytesIn)
+				c.bytesOut.Add(st.BytesOut)
 			}
 		}(coreIdx)
 	}
@@ -184,6 +220,7 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 	stats.Cycles = stats.Work.Cycles
 	stats.Plans = c.plans.Stats()
 	stats.Perf = c.perfReports()
+	stats.Metrics = c.metrics.Snapshot()
 	return results, stats, nil
 }
 

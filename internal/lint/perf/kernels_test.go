@@ -2,115 +2,16 @@ package perf_test
 
 import (
 	"math/rand"
-	"strings"
 	"testing"
 
 	"davinci/internal/aicore"
 	"davinci/internal/buffer"
-	"davinci/internal/isa"
+	"davinci/internal/kernelcases"
 	"davinci/internal/lint"
 	"davinci/internal/lint/perf"
 	"davinci/internal/ops"
-	"davinci/internal/ref"
-	"davinci/internal/tensor"
 	"davinci/internal/workloads"
 )
-
-// convCh is the channel extent the convolution kernels are compiled for
-// in this sweep: one C0 slice, so the (1,1,H,W,C0) pooling tile doubles
-// as the convolution input.
-const convCh = tensor.C0
-
-// kernelCase is one built-in kernel: a plan compiler plus an input
-// builder for a given layer's parameters.
-type kernelCase struct {
-	name   string
-	plan   func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error)
-	inputs func(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor
-}
-
-func randTile(rng *rand.Rand, h, w int) *tensor.Tensor {
-	t := tensor.New(1, 1, h, w, tensor.C0)
-	t.FillRandom(rng, 8)
-	return t
-}
-
-func inTile(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-	return []*tensor.Tensor{randTile(rng, p.Ih, p.Iw)}
-}
-
-func gradTile(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-	oh, ow := p.OutDims()
-	return []*tensor.Tensor{randTile(rng, oh, ow)}
-}
-
-func maskGrad(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-	in := randTile(rng, p.Ih, p.Iw)
-	g := gradTile(rng, p)
-	return []*tensor.Tensor{ref.ArgmaxMask(in, p), g[0]}
-}
-
-func randWeights(rng *rand.Rand, p isa.ConvParams) *tensor.Tensor {
-	w := tensor.New(convCh, convCh, p.Kh, p.Kw)
-	w.FillRandom(rng, 4)
-	return w
-}
-
-// builtinKernels enumerates every planner the dispatch tables (and the
-// conv substrate) expose, with suitable single-tile inputs.
-func builtinKernels() []kernelCase {
-	var cases []kernelCase
-	forVariant := func(name string, fn func(string, ops.Spec, isa.ConvParams) (*ops.Plan, error), variants []string, in func(*rand.Rand, isa.ConvParams) []*tensor.Tensor) {
-		for _, v := range variants {
-			variant := v
-			cases = append(cases, kernelCase{
-				name:   name + "/" + variant,
-				plan:   func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) { return fn(variant, spec, p) },
-				inputs: in,
-			})
-		}
-	}
-	forVariant("maxpool_fwd", ops.PlanMaxPoolForward, []string{"standard", "im2col", "expansion", "xysplit"}, inTile)
-	forVariant("maxpool_fwd_argmax", ops.PlanMaxPoolForwardArgmax, []string{"standard", "im2col"}, inTile)
-	forVariant("maxpool_bwd", ops.PlanMaxPoolBackward, []string{"standard", "col2im"}, maskGrad)
-	forVariant("avgpool_fwd", ops.PlanAvgPoolForward, []string{"standard", "im2col", "cube"}, inTile)
-	for _, useCol2im := range []bool{false, true} {
-		use := useCol2im
-		name := "avgpool_bwd/standard"
-		if use {
-			name = "avgpool_bwd/col2im"
-		}
-		cases = append(cases, kernelCase{
-			name:   name,
-			plan:   func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) { return ops.PlanAvgPoolBackward(spec, p, use) },
-			inputs: gradTile,
-		})
-	}
-	cases = append(cases,
-		kernelCase{"conv2d",
-			func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
-				return ops.PlanConv2D(spec, p, convCh, convCh)
-			},
-			func(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-				return []*tensor.Tensor{randTile(rng, p.Ih, p.Iw), randWeights(rng, p)}
-			}},
-		kernelCase{"conv2d_bwd_data",
-			func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
-				return ops.PlanConv2DBackwardData(spec, p, convCh, convCh)
-			},
-			func(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-				return []*tensor.Tensor{gradTile(rng, p)[0], randWeights(rng, p)}
-			}},
-		kernelCase{"conv2d_bwd_weights",
-			func(spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
-				return ops.PlanConv2DBackwardWeights(spec, p, convCh, convCh)
-			},
-			func(rng *rand.Rand, p isa.ConvParams) []*tensor.Tensor {
-				return []*tensor.Tensor{gradTile(rng, p)[0], randTile(rng, p.Ih, p.Iw)}
-			}},
-	)
-	return cases
-}
 
 // TestBoundsEveryKernelEveryLayer is the analyzer's reality check (the
 // acceptance bar of this package): for every built-in kernel compiled
@@ -129,29 +30,28 @@ func TestBoundsEveryKernelEveryLayer(t *testing.T) {
 	checked := 0
 	for _, layer := range layers {
 		p := layer.Params()
-		for _, kc := range builtinKernels() {
-			pl, err := kc.plan(spec, p)
+		for _, kc := range kernelcases.All() {
+			pl, err := kc.Plan(spec, p)
 			if err != nil {
-				if strings.Contains(err.Error(), "does not fit") || strings.Contains(err.Error(), "exceed") ||
-					strings.Contains(err.Error(), "out of space") {
-					t.Logf("%s %dx%dx%d: skip (%v)", kc.name, layer.H, layer.W, layer.C, err)
+				if kernelcases.IsCapacitySkip(err) {
+					t.Logf("%s %dx%dx%d: skip (%v)", kc.Name, layer.H, layer.W, layer.C, err)
 					continue
 				}
-				t.Fatalf("%s %dx%dx%d: compile: %v", kc.name, layer.H, layer.W, layer.C, err)
+				t.Fatalf("%s %dx%dx%d: compile: %v", kc.Name, layer.H, layer.W, layer.C, err)
 			}
 			r := perf.Analyze(pl.Prog, perf.Options{})
 			core := aicore.New(buffer.Config{}, nil)
-			_, st, err := pl.Run(core, kc.inputs(rng, p)...)
+			_, st, err := pl.Run(core, kc.Inputs(rng, p)...)
 			if err != nil {
-				t.Fatalf("%s %dx%dx%d: run: %v", kc.name, layer.H, layer.W, layer.C, err)
+				t.Fatalf("%s %dx%dx%d: run: %v", kc.Name, layer.H, layer.W, layer.C, err)
 			}
 			if r.BusyBound > st.Cycles || st.Cycles > r.CritPath {
 				t.Errorf("%s %dx%dx%d: bound invariant violated: busy %d, simulated %d, critical path %d",
-					kc.name, layer.H, layer.W, layer.C, r.BusyBound, st.Cycles, r.CritPath)
+					kc.Name, layer.H, layer.W, layer.C, r.BusyBound, st.Cycles, r.CritPath)
 			}
 			if errs := lint.Errors(r.Diags); len(errs) > 0 {
 				t.Errorf("%s %dx%dx%d: %d error-severity perf diagnostic(s), first: %s",
-					kc.name, layer.H, layer.W, layer.C, len(errs), errs[0])
+					kc.Name, layer.H, layer.W, layer.C, len(errs), errs[0])
 			}
 			checked++
 		}

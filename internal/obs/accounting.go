@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"davinci/internal/aicore"
+	"davinci/internal/isa"
+)
+
+// PipeAccount partitions one pipeline's share of the makespan.
+type PipeAccount struct {
+	// Instrs is the number of instructions scheduled on the pipe.
+	Instrs int
+	// Busy is the total execution time.
+	Busy int64
+	// Stall is the total attributed issue-gap time: cycles the pipe sat
+	// with its next instruction blocked on another pipe's work.
+	Stall int64
+	// Idle is the trailing time after the pipe's last completion: cycles
+	// with no instruction pending. Busy + Stall + Idle == Makespan.
+	Idle int64
+	// LastEnd is the pipe's last completion time (Busy + Stall).
+	LastEnd int64
+	// ByCause splits Stall by aicore.StallCause.
+	ByCause [aicore.NumStallCauses]int64
+}
+
+// Accounting is the cycle-accounting view of one traced run: for every
+// pipe, busy + attributed stalls + idle = makespan, exactly.
+type Accounting struct {
+	Makespan   int64
+	Pipes      [isa.NumPipes]PipeAccount
+	TotalBusy  int64
+	TotalStall int64
+	// ByCause sums each pipe's per-cause stalls.
+	ByCause [aicore.NumStallCauses]int64
+}
+
+// Account folds an attributed trace into per-pipe cycle accounts and
+// verifies the accounting identity: on every pipe, each issue gap must be
+// covered by exactly the stall cycles the scheduler attributed, and
+// busy + stall + trailing idle must equal the makespan. A violation means
+// the scheduler mis-attributed a wait and is reported as an error — it is
+// a simulator bug, never a property of the program.
+func Account(tr *aicore.Trace) (*Accounting, error) {
+	a := &Accounting{Makespan: tr.Makespan()}
+	var prev [isa.NumPipes]int64
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if e.Pipe < 0 || e.Pipe >= isa.NumPipes {
+			return nil, fmt.Errorf("obs: instr %d (%s): pipe %v out of range", e.Idx, e.Text, e.Pipe)
+		}
+		p := &a.Pipes[e.Pipe]
+		if gap := e.Start - prev[e.Pipe]; gap != e.Stall.Cycles {
+			return nil, fmt.Errorf("obs: instr %d (%s) on %v: issue gap is %d cycles but attributed stall is %d (%s)",
+				e.Idx, e.Text, e.Pipe, gap, e.Stall.Cycles, e.Stall)
+		}
+		p.Instrs++
+		p.Busy += e.End - e.Start
+		p.Stall += e.Stall.Cycles
+		p.ByCause[e.Stall.Cause] += e.Stall.Cycles
+		prev[e.Pipe] = e.End
+		p.LastEnd = e.End
+	}
+	for pi := range a.Pipes {
+		p := &a.Pipes[pi]
+		if p.Busy+p.Stall != p.LastEnd {
+			return nil, fmt.Errorf("obs: pipe %v: busy %d + stall %d != last completion %d",
+				isa.Pipe(pi), p.Busy, p.Stall, p.LastEnd)
+		}
+		p.Idle = a.Makespan - p.LastEnd
+		if p.Idle < 0 {
+			return nil, fmt.Errorf("obs: pipe %v: completion %d beyond makespan %d", isa.Pipe(pi), p.LastEnd, a.Makespan)
+		}
+		a.TotalBusy += p.Busy
+		a.TotalStall += p.Stall
+		for c, v := range p.ByCause {
+			a.ByCause[c] += v
+		}
+	}
+	return a, nil
+}
+
+// Format renders the accounting as an aligned per-pipe breakdown with the
+// dominant stall causes, the view davinci-sim prints under -trace/-gantt.
+func (a *Accounting) Format(w io.Writer) {
+	fmt.Fprintf(w, "cycle accounting (makespan %d): busy + stalls + idle = makespan per pipe\n", a.Makespan)
+	for pi := range a.Pipes {
+		p := &a.Pipes[pi]
+		if p.Instrs == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-6s %8d busy (%5.1f%%)  %8d stall (%5.1f%%)  %8d idle (%5.1f%%)",
+			isa.Pipe(pi), p.Busy, pct(p.Busy, a.Makespan), p.Stall, pct(p.Stall, a.Makespan), p.Idle, pct(p.Idle, a.Makespan))
+		sep := "  <- "
+		for c := aicore.StallCause(0); c < aicore.NumStallCauses; c++ {
+			if p.ByCause[c] > 0 {
+				fmt.Fprintf(w, "%s%s %d", sep, c, p.ByCause[c])
+				sep = ", "
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}

@@ -1,0 +1,86 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"davinci/internal/aicore"
+	"davinci/internal/isa"
+	"davinci/internal/obs"
+)
+
+func TestAccountSyntheticTrace(t *testing.T) {
+	// MTE2 copies [0,40); the vector op waits on it (RAW) and runs
+	// [40,50); a second vector op issues back-to-back [50,60).
+	tr := &aicore.Trace{Entries: []aicore.TraceEntry{
+		{Idx: 0, Pipe: isa.PipeMTE2, Start: 0, End: 40, Text: "copy",
+			Stall: aicore.Stall{Cause: aicore.StallNone, Producer: -1}},
+		{Idx: 1, Pipe: isa.PipeVector, Start: 40, End: 50, Text: "vmax",
+			Stall: aicore.Stall{Cause: aicore.StallRAW, Cycles: 40, Buf: isa.UB, Producer: 0}},
+		{Idx: 2, Pipe: isa.PipeVector, Start: 50, End: 60, Text: "vmax",
+			Stall: aicore.Stall{Cause: aicore.StallPipeBusy, Producer: -1}},
+	}}
+	a, err := obs.Account(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 60 {
+		t.Errorf("makespan %d", a.Makespan)
+	}
+	mte2 := a.Pipes[isa.PipeMTE2]
+	if mte2.Busy != 40 || mte2.Stall != 0 || mte2.Idle != 20 {
+		t.Errorf("MTE2 account %+v", mte2)
+	}
+	vec := a.Pipes[isa.PipeVector]
+	if vec.Busy != 20 || vec.Stall != 40 || vec.Idle != 0 || vec.Instrs != 2 {
+		t.Errorf("VEC account %+v", vec)
+	}
+	if vec.ByCause[aicore.StallRAW] != 40 {
+		t.Errorf("VEC RAW cycles %d", vec.ByCause[aicore.StallRAW])
+	}
+	if a.TotalBusy != 60 || a.TotalStall != 40 || a.ByCause[aicore.StallRAW] != 40 {
+		t.Errorf("totals busy %d stall %d byCause %v", a.TotalBusy, a.TotalStall, a.ByCause)
+	}
+
+	var buf bytes.Buffer
+	a.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"makespan 60", "VEC", "raw 40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccountRejectsUncoveredGap(t *testing.T) {
+	// The instruction issues 10 cycles after its pipe freed but claims
+	// zero stall: the identity must flag the mis-attribution.
+	tr := &aicore.Trace{Entries: []aicore.TraceEntry{
+		{Idx: 0, Pipe: isa.PipeVector, Start: 10, End: 20, Text: "vmax",
+			Stall: aicore.Stall{Cause: aicore.StallNone, Producer: -1}},
+	}}
+	if _, err := obs.Account(tr); err == nil || !strings.Contains(err.Error(), "issue gap") {
+		t.Fatalf("uncovered gap not rejected: %v", err)
+	}
+}
+
+func TestAccountRejectsOverclaimedStall(t *testing.T) {
+	tr := &aicore.Trace{Entries: []aicore.TraceEntry{
+		{Idx: 0, Pipe: isa.PipeVector, Start: 5, End: 20, Text: "vmax",
+			Stall: aicore.Stall{Cause: aicore.StallRAW, Cycles: 9, Buf: isa.UB, Producer: -1}},
+	}}
+	if _, err := obs.Account(tr); err == nil {
+		t.Fatal("overclaimed stall not rejected")
+	}
+}
+
+func TestAccountEmptyTrace(t *testing.T) {
+	a, err := obs.Account(&aicore.Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 0 || a.TotalBusy != 0 || a.TotalStall != 0 {
+		t.Errorf("empty account %+v", a)
+	}
+}

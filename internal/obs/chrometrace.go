@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"davinci/internal/aicore"
+	"davinci/internal/isa"
+)
+
+// WriteChromeTrace exports an attributed trace as Chrome trace-event JSON,
+// loadable by Perfetto (https://ui.perfetto.dev) and chrome://tracing:
+//
+//   - one thread ("track") per pipeline, named and sorted in pipe order;
+//   - one complete slice per instruction (category "instr", "flag" or
+//     "barrier"), with the instruction index and text;
+//   - one "stall" slice per attributed issue gap, placed immediately
+//     before the stalled instruction and carrying cause, blocking buffer
+//     and producer index;
+//   - a flow arrow from every set_flag to the wait_flag that consumed its
+//     token, so cross-pipe synchronization reads as edges in the UI.
+//
+// One simulated cycle maps to one trace tick (microsecond); only ratios
+// are meaningful, as with the cycle counts themselves.
+func WriteChromeTrace(w io.Writer, tr *aicore.Trace) error {
+	bw := bufio.NewWriter(w)
+	ew := &eventWriter{w: bw}
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	ew.meta("process_name", -1, `{"name":"AI Core"}`)
+	var used [isa.NumPipes]bool
+	for _, e := range tr.Entries {
+		used[e.Pipe] = true
+	}
+	for p := isa.Pipe(0); p < isa.NumPipes; p++ {
+		if !used[p] {
+			continue
+		}
+		ew.meta("thread_name", int(p), fmt.Sprintf(`{"name":%s}`, quote(p.String())))
+		ew.meta("thread_sort_index", int(p), fmt.Sprintf(`{"sort_index":%d}`, int(p)))
+	}
+
+	// Pending set_flag tokens per (src, dst, event) channel, consumed in
+	// FIFO order exactly like the schedulers consume them.
+	type setter struct {
+		idx  int
+		pipe isa.Pipe
+		end  int64
+	}
+	pending := map[[3]int][]setter{}
+	flowID := 0
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		if e.Stall.Cycles > 0 {
+			args := fmt.Sprintf(`{"cause":%s,"producer":%d`, quote(e.Stall.Cause.String()), e.Stall.Producer)
+			if e.Stall.Cause.IsHazard() {
+				args += fmt.Sprintf(`,"buffer":%s`, quote(e.Stall.Buf.String()))
+			}
+			args += "}"
+			ew.slice("stall: "+e.Stall.String(), "stall", int(e.Pipe), e.Start-e.Stall.Cycles, e.Stall.Cycles, args)
+		}
+		cat := "instr"
+		switch e.Kind {
+		case aicore.KindSetFlag, aicore.KindWaitFlag:
+			cat = "flag"
+		case aicore.KindBarrier:
+			cat = "barrier"
+		}
+		ew.slice(e.Text, cat, int(e.Pipe), e.Start, e.End-e.Start, fmt.Sprintf(`{"idx":%d}`, e.Idx))
+
+		switch e.Kind {
+		case aicore.KindSetFlag:
+			pending[e.Flag] = append(pending[e.Flag], setter{idx: e.Idx, pipe: e.Pipe, end: e.End})
+		case aicore.KindWaitFlag:
+			q := pending[e.Flag]
+			if len(q) == 0 {
+				break // implicit-sync traces may order waits before sets; skip the edge
+			}
+			s := q[0]
+			pending[e.Flag] = q[1:]
+			flowID++
+			// Anchor the arrow inside the setter's slice (its last tick)
+			// so Perfetto binds it to the right slices on both ends.
+			ts := s.end - 1
+			if ts < 0 {
+				ts = 0
+			}
+			ew.event(fmt.Sprintf(`{"name":"flag","cat":"flag","ph":"s","id":%d,"pid":0,"tid":%d,"ts":%d}`, flowID, int(s.pipe), ts))
+			ew.event(fmt.Sprintf(`{"name":"flag","cat":"flag","ph":"f","bp":"e","id":%d,"pid":0,"tid":%d,"ts":%d}`, flowID, int(e.Pipe), e.Start))
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	if ew.err != nil {
+		return ew.err
+	}
+	return bw.Flush()
+}
+
+// eventWriter emits one JSON object per line with comma management.
+type eventWriter struct {
+	w     *bufio.Writer
+	wrote bool
+	err   error
+}
+
+func (ew *eventWriter) event(s string) {
+	if ew.err != nil {
+		return
+	}
+	if ew.wrote {
+		if _, ew.err = ew.w.WriteString(",\n"); ew.err != nil {
+			return
+		}
+	}
+	ew.wrote = true
+	_, ew.err = ew.w.WriteString(s)
+}
+
+// meta emits a metadata event; tid < 0 omits the thread id.
+func (ew *eventWriter) meta(name string, tid int, args string) {
+	t := ""
+	if tid >= 0 {
+		t = fmt.Sprintf(`"tid":%d,`, tid)
+	}
+	ew.event(fmt.Sprintf(`{"name":%s,"ph":"M","pid":0,%s"args":%s}`, quote(name), t, args))
+}
+
+// slice emits a complete ("X") event.
+func (ew *eventWriter) slice(name, cat string, tid int, ts, dur int64, args string) {
+	ew.event(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"args":%s}`,
+		quote(name), quote(cat), tid, ts, dur, args))
+}
+
+// quote JSON-encodes a string. Instruction texts are short and ASCII, but
+// going through encoding/json keeps the output valid for any input.
+func quote(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `"?"`
+	}
+	return string(b)
+}

@@ -1,0 +1,26 @@
+// Package obs is the telemetry layer of the simulator: it turns the raw
+// schedules and counters the other packages produce into machine-readable
+// performance data, the way the paper's evaluation reads per-unit hardware
+// cycle counters on the Ascend 910 (§VI).
+//
+// Three building blocks:
+//
+//   - Account consumes an attributed aicore.Trace and proves the per-pipe
+//     cycle-accounting identity busy + stalls + idle = makespan, breaking
+//     the stalls down by cause (pipe-busy, RAW/WAR/WAW hazard, flag wait,
+//     barrier join). This is what closes the gap between the static bounds
+//     of internal/lint/perf (busy <= simulated <= critpath) and the
+//     simulated cycle count: the difference is exactly attributed stall
+//     plus idle time.
+//
+//   - WriteChromeTrace exports the attributed timeline as Chrome
+//     trace-event JSON viewable in Perfetto (https://ui.perfetto.dev): one
+//     track per pipe, stall slices filling every issue gap, and set_flag ->
+//     wait_flag pairs as flow arrows.
+//
+//   - Registry is a dependency-free metrics registry (atomic counters,
+//     gauges and histograms with labeled, deterministic JSON snapshots)
+//     that unifies the previously ad-hoc counters of ops.PlanCache,
+//     internal/chip and internal/bench, and is safe under -race concurrent
+//     tile replay.
+package obs

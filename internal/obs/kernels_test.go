@@ -1,0 +1,77 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/kernelcases"
+	"davinci/internal/obs"
+	"davinci/internal/ops"
+	"davinci/internal/workloads"
+)
+
+// TestAccountingIdentityEveryKernelEveryLayer is the acceptance bar of
+// this package: for every built-in kernel on every Table I layer, the
+// attributed trace must satisfy, per pipe, busy + stalls + idle ==
+// makespan exactly (Account errors otherwise); total attributed stalls
+// must cover the gap between the simulated cycles and the static busy
+// bound of internal/lint/perf; and the exported Chrome trace must parse
+// as valid JSON with a non-empty traceEvents array.
+func TestAccountingIdentityEveryKernelEveryLayer(t *testing.T) {
+	layers := workloads.TableI
+	if testing.Short() {
+		layers = workloads.InceptionV3Fig7()
+	}
+	rng := rand.New(rand.NewSource(11))
+	spec := ops.Spec{}
+	checked := 0
+	for _, layer := range layers {
+		p := layer.Params()
+		for _, kc := range kernelcases.All() {
+			pl, err := kc.Plan(spec, p)
+			if err != nil {
+				if kernelcases.IsCapacitySkip(err) {
+					continue
+				}
+				t.Fatalf("%s %dx%dx%d: compile: %v", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			core := aicore.New(buffer.Config{}, nil)
+			core.Trace = &aicore.Trace{}
+			_, st, err := pl.Run(core, kc.Inputs(rng, p)...)
+			if err != nil {
+				t.Fatalf("%s %dx%dx%d: run: %v", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			acct, err := obs.Account(core.Trace)
+			if err != nil {
+				t.Fatalf("%s %dx%dx%d: accounting identity: %v", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			if acct.Makespan != st.Cycles {
+				t.Errorf("%s %dx%dx%d: accounted makespan %d != simulated %d",
+					kc.Name, layer.H, layer.W, layer.C, acct.Makespan, st.Cycles)
+			}
+			if acct.TotalStall < st.Cycles-pl.Perf.BusyBound {
+				t.Errorf("%s %dx%dx%d: attributed stalls %d do not cover simulated %d - busy bound %d",
+					kc.Name, layer.H, layer.W, layer.C, acct.TotalStall, st.Cycles, pl.Perf.BusyBound)
+			}
+			var buf bytes.Buffer
+			if err := obs.WriteChromeTrace(&buf, core.Trace); err != nil {
+				t.Fatalf("%s %dx%dx%d: export: %v", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatalf("%s %dx%dx%d: trace is not valid JSON: %v", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Errorf("%s %dx%dx%d: empty traceEvents", kc.Name, layer.H, layer.W, layer.C)
+			}
+			checked++
+		}
+	}
+	t.Logf("accounting identity checked on %d kernel x layer programs", checked)
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a dependency-free metrics registry: named, labeled counters,
+// gauges and histograms backed by atomics. Registration takes a lock;
+// updates are lock-free, so hot paths (per-tile replay across goroutines)
+// grab their instrument once and Add/Observe under -race safely.
+// Snapshots are deterministic: instruments sort by name, then labels.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// labelsOf pairs up a variadic key, value, key, value, ... list, sorted by
+// key for a canonical identity.
+func labelsOf(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key, value pairs)", kv))
+	}
+	ls := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+func keyOf(name string, ls []Label) string {
+	if len(ls) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	name   string
+	labels []Label
+	bounds []int64 // ascending finite upper bounds (value <= bound)
+	counts []atomic.Int64
+	over   atomic.Int64 // observations above the last bound
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.sum.Add(v)
+	h.n.Add(1)
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(h.bounds) {
+		h.over.Add(1)
+		return
+	}
+	h.counts[lo].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// DefaultCycleBounds are power-of-two histogram bounds wide enough for any
+// per-tile cycle count the benchmarks produce.
+func DefaultCycleBounds() []int64 {
+	bounds := make([]int64, 28)
+	for i := range bounds {
+		bounds[i] = 1 << (i + 4) // 16 .. 2^31
+	}
+	return bounds
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and key, value, ... labels.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	ls := labelsOf(kv)
+	key := keyOf(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: ls}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge with the given name
+// and labels.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	ls := labelsOf(kv)
+	key := keyOf(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: ls}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name and labels. bounds are ascending finite upper bounds; nil
+// takes DefaultCycleBounds. The first registration fixes the bounds.
+func (r *Registry) Histogram(name string, bounds []int64, kv ...string) *Histogram {
+	ls := labelsOf(kv)
+	key := keyOf(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultCycleBounds()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending: %v", key, bounds))
+		}
+	}
+	h := &Histogram{name: name, labels: ls, bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	r.hists[key] = h
+	return h
+}
+
+// MetricValue is one counter or gauge in a snapshot.
+type MetricValue struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Counts has one entry per
+// finite bound plus a final overflow bucket.
+type HistogramValue struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  int64             `json:"count"`
+	Sum    int64             `json:"sum"`
+	Bounds []int64           `json:"bounds"`
+	Counts []int64           `json:"counts"`
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures every instrument. Concurrent updates may land between
+// individual loads, but each value is itself a consistent atomic read.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make([]MetricValue, 0, len(r.counters)),
+		Gauges:     make([]MetricValue, 0, len(r.gauges)),
+		Histograms: make([]HistogramValue, 0, len(r.hists)),
+	}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: c.name, Labels: labelMap(c.labels), Value: c.Load()})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: g.name, Labels: labelMap(g.labels), Value: g.Load()})
+	}
+	for _, h := range r.hists {
+		hv := HistogramValue{
+			Name: h.name, Labels: labelMap(h.labels),
+			Count: h.Count(), Sum: h.Sum(),
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.bounds)+1),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		hv.Counts[len(h.bounds)] = h.over.Load()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sortMetrics(s.Counters)
+	sortMetrics(s.Gauges)
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return metricLess(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+	return s
+}
+
+func sortMetrics(ms []MetricValue) {
+	sort.Slice(ms, func(i, j int) bool {
+		return metricLess(ms[i].Name, ms[i].Labels, ms[j].Name, ms[j].Labels)
+	})
+}
+
+func metricLess(an string, al map[string]string, bn string, bl map[string]string) bool {
+	if an != bn {
+		return an < bn
+	}
+	return flattenLabels(al) < flattenLabels(bl)
+}
+
+func flattenLabels(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as indented JSON — the payload of
+// davinci-bench -metrics and the CI BENCH_<rev>.json artifacts.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -29,6 +29,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/lint"
 	"davinci/internal/lint/perf"
+	"davinci/internal/obs"
 	"davinci/internal/tensor"
 )
 
@@ -175,9 +176,14 @@ func (pl *Plan) Run(core *aicore.Core, inputs ...*tensor.Tensor) ([]*tensor.Tens
 // timing scoreboard, later ones only replay a flattened functional trace
 // of the program (see aicore.Flatten) whose data effects are bit-identical
 // but whose host cost is a fraction of interpreting every instruction.
-// Tracing cores always schedule (the trace needs real start/end times).
+// Tracing cores always schedule (the trace needs real start/end times);
+// the trace is reset first so each Run yields exactly one timeline instead
+// of entries accumulating without bound across replays.
 func (pl *Plan) replay(core *aicore.Core) (*aicore.Stats, error) {
 	key := timingKey{cost: *core.Cost, serialize: core.Serialize}
+	if core.Trace != nil {
+		core.Trace.Reset()
+	}
 	if core.Trace == nil {
 		if v, ok := pl.timings.Load(key); ok {
 			pl.flatOnce.Do(func() { pl.flat = aicore.Flatten(pl.Prog) })
@@ -278,12 +284,16 @@ func (s CacheStats) Sub(o CacheStats) CacheStats {
 
 // PlanCache is a concurrency-safe, shape-keyed cache of compiled plans.
 // Concurrent lookups of the same key compile once; the losers block until
-// the winner's plan (or compile error) is available.
+// the winner's plan (or compile error) is available. Its counters live in
+// an obs.Registry (the unified metrics layer), so a cache embedded in a
+// larger system — a chip, a benchmark run — reports through the same
+// snapshot as the rest of that system's telemetry.
 type PlanCache struct {
 	entries  sync.Map // PlanKey -> *cacheEntry
-	hits     atomic.Int64
-	misses   atomic.Int64
-	compiled atomic.Int64
+	metrics  *obs.Registry
+	hits     *obs.Counter
+	misses   *obs.Counter
+	compiled *obs.Counter
 }
 
 type cacheEntry struct {
@@ -295,8 +305,22 @@ type cacheEntry struct {
 	done atomic.Bool
 }
 
-// NewPlanCache creates an empty cache.
-func NewPlanCache() *PlanCache { return &PlanCache{} }
+// NewPlanCache creates an empty cache with a private metrics registry.
+func NewPlanCache() *PlanCache { return NewPlanCacheOn(obs.NewRegistry()) }
+
+// NewPlanCacheOn creates an empty cache whose counters register in r as
+// plan_cache_hits / plan_cache_misses / plan_cache_compiled.
+func NewPlanCacheOn(r *obs.Registry) *PlanCache {
+	return &PlanCache{
+		metrics:  r,
+		hits:     r.Counter("plan_cache_hits"),
+		misses:   r.Counter("plan_cache_misses"),
+		compiled: r.Counter("plan_cache_compiled"),
+	}
+}
+
+// Metrics returns the registry the cache's counters live in.
+func (c *PlanCache) Metrics() *obs.Registry { return c.metrics }
 
 // SharedPlans is the process-wide default cache used by the legacy
 // one-shot kernel entry points (MaxPoolFwdIm2col, ...), so even callers
@@ -337,14 +361,14 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 	e := &cacheEntry{}
 	if actual, loaded := c.entries.LoadOrStore(key, e); loaded {
 		e = actual.(*cacheEntry)
-		c.hits.Add(1)
+		c.hits.Inc()
 	} else {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	e.once.Do(func() {
 		e.plan, e.err = compile()
 		if e.err == nil {
-			c.compiled.Add(1)
+			c.compiled.Inc()
 		}
 		e.done.Store(true)
 	})

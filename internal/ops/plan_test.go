@@ -9,6 +9,7 @@ import (
 	"davinci/internal/buffer"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/obs"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
 )
@@ -230,6 +231,67 @@ func TestPlanCacheKeyCollision(t *testing.T) {
 	}
 	if st := c.Stats(); st.Hits != 1 {
 		t.Errorf("normalized-spec lookup missed: %+v", st)
+	}
+}
+
+// TestTraceOneTimelinePerRun pins the replay contract for tracing cores:
+// Plan.Run resets the attached trace, so repeated (memoized) replays yield
+// one timeline each instead of accumulating entries without bound.
+func TestTraceOneTimelinePerRun(t *testing.T) {
+	p := isa.ConvParams{Ih: 12, Iw: 12, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	in := randTile(5, p)
+	pl, err := PlanMaxPoolForward("im2col", Spec{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := newTestCore()
+	core.Trace = &aicore.Trace{}
+	var first int
+	for run := 1; run <= 3; run++ {
+		if _, _, err := pl.Run(core, in); err != nil {
+			t.Fatal(err)
+		}
+		if run == 1 {
+			first = len(core.Trace.Entries)
+			if first == 0 {
+				t.Fatal("traced run recorded no entries")
+			}
+			continue
+		}
+		if got := len(core.Trace.Entries); got != first {
+			t.Fatalf("run %d: %d trace entries, want %d (trace accumulating across replays)", run, got, first)
+		}
+	}
+}
+
+// TestPlanCacheMetrics checks that a cache built on a shared registry
+// publishes its hit/miss/compile counters there, in agreement with the
+// CacheStats view.
+func TestPlanCacheMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := NewPlanCacheOn(r)
+	p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
+	if _, err := c.MaxPoolForward("im2col", Spec{}, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MaxPoolForward("im2col", Spec{}, p); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"plan_cache_hits": 1, "plan_cache_misses": 1, "plan_cache_compiled": 1}
+	snap := r.Snapshot()
+	for _, m := range snap.Counters {
+		if v, ok := want[m.Name]; ok {
+			if m.Value != v {
+				t.Errorf("%s = %d, want %d", m.Name, m.Value, v)
+			}
+			delete(want, m.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("counter %s missing from registry snapshot", name)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Compiled != 1 {
+		t.Errorf("CacheStats %+v disagrees with registry", st)
 	}
 }
 
