@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"davinci/internal/bench"
 	"davinci/internal/buffer"
 	"davinci/internal/chip"
+	"davinci/internal/faults"
 	"davinci/internal/obs"
 )
 
@@ -33,6 +35,13 @@ func main() {
 	serialize := flag.Bool("serialize", false, "disable intra-core pipeline overlap (ablation)")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (cells, chip and plan-cache counters) to this file; - for stdout")
+	chaos := flag.Bool("chaos", false, "inject seeded faults and run every experiment through the resilient tile executor")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed (same seed = same faults, any goroutine schedule)")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "per-(tile,attempt) fault probability")
+	chaosKinds := flag.String("chaos-kinds", "transient,bitflip,droppedflag,stuckpipe", "comma-separated fault kinds to draw from")
+	chaosAttempts := flag.Int("chaos-attempts", 3, "attempts per tile before giving up (retry on a fresh core, requeue elsewhere)")
+	chaosWatchdog := flag.Duration("chaos-watchdog", time.Second, "wall-clock budget per tile attempt before the watchdog reclaims the core")
+	chaosDegrade := flag.Bool("chaos-degrade", false, "fall back to the host golden model for tiles that exhaust their retries")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -44,8 +53,26 @@ func main() {
 		Seed: *seed,
 		Reps: *reps,
 	}
-	if *metrics != "" {
+	if *metrics != "" || *chaos {
 		opts.Metrics = obs.NewRegistry()
+	}
+	if *chaos {
+		kinds, err := faults.ParseKinds(*chaosKinds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-bench: -chaos-kinds: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Chip.Resilience = chip.Resilience{
+			Enabled: true,
+			Injector: faults.New(faults.Config{
+				Seed:  *chaosSeed,
+				Rate:  *chaosRate,
+				Kinds: kinds,
+			}, opts.Metrics),
+			MaxAttempts: *chaosAttempts,
+			Watchdog:    *chaosWatchdog,
+			Degrade:     *chaosDegrade,
+		}
 	}
 
 	experiments := flag.Args()
@@ -58,12 +85,40 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *chaos {
+		printChaosSummary(os.Stdout, opts.Metrics.Snapshot())
+	}
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, opts.Metrics.Snapshot()); err != nil {
 			fmt.Fprintf(os.Stderr, "davinci-bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// printChaosSummary reports what the fault injector did and how the
+// resilient executor absorbed it, from the run's shared metrics registry.
+func printChaosSummary(w *os.File, s *obs.Snapshot) {
+	fmt.Fprintln(w, "chaos summary")
+	for _, k := range faults.AllKinds() {
+		if v, ok := s.CounterValue("faults_injected", "kind", k.String()); ok && v > 0 {
+			fmt.Fprintf(w, "  faults injected (%s): %d\n", k, v)
+		}
+	}
+	for _, c := range []struct{ name, what string }{
+		{"chip_tile_retries", "tile retries"},
+		{"chip_tile_requeues", "tile requeues onto other cores"},
+		{"chip_watchdog_trips", "watchdog trips (hung attempts reclaimed)"},
+		{"chip_cores_failed", "cores excluded after repeated failures"},
+		{"chip_tile_panics", "worker panics recovered"},
+		{"chip_tiles_degraded", "tiles degraded to the host golden model"},
+		{"chip_retry_backoff_cycles", "simulated backoff cycles charged"},
+	} {
+		if v, ok := s.CounterValue(c.name); ok && v > 0 {
+			fmt.Fprintf(w, "  %s: %d\n", c.what, v)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 func writeMetrics(path string, s *obs.Snapshot) error {

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 
 	"davinci/internal/chip"
+	"davinci/internal/faults"
 	"davinci/internal/isa"
 	"davinci/internal/nn"
 	"davinci/internal/ops"
@@ -56,7 +57,49 @@ type (
 	// compiled, cache hits and misses. Available per run via Stats.Plans
 	// and cumulatively via Device.PlanStats.
 	PlanCacheStats = ops.CacheStats
+	// Resilience configures the fault-tolerant tile executor (watchdog,
+	// retry/requeue, graceful degradation) via ChipConfig.Resilience.
+	Resilience = chip.Resilience
+	// DegradedTile reports one tile computed by the host-side golden
+	// model after its hardware retries were exhausted (Stats.Degraded).
+	DegradedTile = chip.DegradedTile
+	// TileError is a typed tile failure carrying the tile identity, core
+	// index, attempt number and (for hangs) the blocked pipe, unsatisfied
+	// wait_flag and stall-trace tail.
+	TileError = chip.TileError
+	// FaultConfig describes a deterministic seeded fault schedule for the
+	// chaos harness (internal/faults).
+	FaultConfig = faults.Config
+	// FaultKind classifies one injected fault (transient, bitflip,
+	// droppedflag, stuckpipe).
+	FaultKind = faults.Kind
+	// FaultInjector decides and arms seeded faults; pass one through
+	// Resilience.Injector.
+	FaultInjector = faults.Injector
 )
+
+// Tile-failure categories, matchable with errors.Is against a failed
+// run's error (see chip.TileError).
+var (
+	// ErrTileFault: an attempt failed with a detected hardware fault.
+	ErrTileFault = chip.ErrTileFault
+	// ErrTileHang: an attempt hung and the watchdog reclaimed the core.
+	ErrTileHang = chip.ErrTileHang
+	// ErrTilePanic: a tile worker panicked and was recovered.
+	ErrTilePanic = chip.ErrTilePanic
+	// ErrCoreFailed: a core exceeded its failure budget.
+	ErrCoreFailed = chip.ErrCoreFailed
+)
+
+// NewFaultInjector creates a deterministic seeded fault injector for
+// chaos runs; wire it into ChipConfig.Resilience.Injector. Its
+// faults_injected counters register in the device's metrics registry
+// when the device is built.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg, nil) }
+
+// ParseFaultKinds parses a comma-separated fault-kind list, e.g.
+// "transient,stuckpipe" (see internal/faults for the kind names).
+func ParseFaultKinds(s string) ([]FaultKind, error) { return faults.ParseKinds(s) }
 
 // C0 is the fractal channel-split length for Float16 (16 elements).
 const C0 = tensor.C0

@@ -6,6 +6,7 @@
 package aicore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,11 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/lint"
 )
+
+// ErrInterrupted is returned (wrapped with the program position) when a
+// run is abandoned because the core's Cancel channel closed — a chip-level
+// abort after another core failed, or a watchdog reclaiming a hung tile.
+var ErrInterrupted = errors.New("interrupted")
 
 // Core is one AI Core: a memory system plus a timing configuration.
 type Core struct {
@@ -34,6 +40,43 @@ type Core struct {
 	// RunExplicit before execution. cmd/davinci-lint uses it to capture
 	// the instruction streams the kernels emit for offline linting.
 	OnProgram func(*cce.Program)
+	// Cancel, when non-nil, cooperatively interrupts execution: every
+	// instruction loop polls it and returns ErrInterrupted once it is
+	// closed. The chip layer points it at a per-attempt context so a
+	// run-wide abort or a per-tile watchdog can reclaim a core that is
+	// mid-program (or hung inside a blocking hook).
+	Cancel <-chan struct{}
+	// OnInstr, when non-nil, observes every instruction immediately before
+	// its functional execution on the interpreted paths (Run, Replay,
+	// ExecOnly, RunExplicit); a non-nil error aborts the run. The fault
+	// injector (internal/faults) uses it to perturb runs at a chosen
+	// instruction. The flattened fast path does not consult it, so plans
+	// interpret the program while a hook is armed (see ops.Plan).
+	OnInstr func(idx int, in isa.Instr) error
+	// ReplayWith, when non-nil, replaces cached-program execution in
+	// ops.Plan.Run: the plan binds inputs and reads outputs as usual but
+	// delegates the replay itself to this hook. The fault injector uses it
+	// to run a perturbed copy of the program (e.g. with a set_flag
+	// dropped) under explicit synchronization semantics.
+	ReplayWith func(*cce.Program) (*Stats, error)
+	// HangOnDeadlock makes RunExplicit model a deadlocked program the way
+	// hardware would — spinning forever on the unsatisfied wait_flag —
+	// by blocking on Cancel before returning the DeadlockError. Without a
+	// Cancel channel the error returns immediately.
+	HangOnDeadlock bool
+}
+
+// interrupted polls the Cancel channel without blocking.
+func (c *Core) interrupted() bool {
+	if c.Cancel == nil {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // lintStrict runs the static verifier over prog with the core's buffer
@@ -188,6 +231,14 @@ func (c *Core) ExecOnly(prog *cce.Program) error {
 		c.OnProgram(prog)
 	}
 	for idx, in := range prog.Instrs {
+		if c.interrupted() {
+			return fmt.Errorf("aicore: %s instr %d: %w", prog.Name, idx, ErrInterrupted)
+		}
+		if c.OnInstr != nil {
+			if err := c.OnInstr(idx, in); err != nil {
+				return fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
+			}
+		}
 		if err := c.exec(in); err != nil {
 			return fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
 		}
@@ -211,6 +262,14 @@ func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 	}
 
 	for idx, in := range prog.Instrs {
+		if c.interrupted() {
+			return nil, fmt.Errorf("aicore: %s instr %d: %w", prog.Name, idx, ErrInterrupted)
+		}
+		if c.OnInstr != nil {
+			if err := c.OnInstr(idx, in); err != nil {
+				return nil, fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
+			}
+		}
 		// Functional execution in program order. In-order issue per pipe
 		// plus hazard-respecting start times make this equivalent to the
 		// timed order for data.

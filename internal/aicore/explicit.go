@@ -34,6 +34,14 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 	}
 	// Functional pass (program order).
 	for idx, in := range prog.Instrs {
+		if c.interrupted() {
+			return nil, fmt.Errorf("aicore: %s instr %d: %w", prog.Name, idx, ErrInterrupted)
+		}
+		if c.OnInstr != nil {
+			if err := c.OnInstr(idx, in); err != nil {
+				return nil, fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
+			}
+		}
 		if err := c.exec(in); err != nil {
 			return nil, fmt.Errorf("aicore: %s instr %d (%s): %w", prog.Name, idx, in, err)
 		}
@@ -129,7 +137,32 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 		nextPipe:
 		}
 		if !progress {
-			return nil, fmt.Errorf("aicore: %s deadlocked: a wait_flag has no matching set_flag", prog.Name)
+			dl := &DeadlockError{Program: prog.Name, Instr: -1}
+			for p := isa.Pipe(0); p < isa.NumPipes; p++ {
+				if heads[p] >= len(pipes[p]) {
+					continue
+				}
+				it := pipes[p][heads[p]]
+				if w, ok := it.in.(*isa.WaitFlagInstr); ok {
+					dl.Pipe = p
+					dl.Flag = [3]int{int(w.SrcPipe), int(w.DstPipe), w.Event}
+					dl.HasFlag = true
+					dl.Instr = it.idx
+					break
+				}
+				if dl.Instr < 0 {
+					// Fallback: a barrier blocked behind another pipe's
+					// starved wait; still name a blocked pipe.
+					dl.Pipe, dl.Instr = p, it.idx
+				}
+			}
+			if c.HangOnDeadlock && c.Cancel != nil {
+				// Hardware would spin on the wait forever: block until the
+				// watchdog (or a run-wide abort) reclaims the core, then
+				// surface the diagnosis.
+				<-c.Cancel
+			}
+			return nil, dl
 		}
 	}
 
@@ -140,6 +173,34 @@ func (c *Core) RunExplicit(prog *cce.Program) (*Stats, error) {
 			prog.Name, prod, prog.Instrs[prod], idx, prog.Instrs[idx], err)
 	}
 	return stats, nil
+}
+
+// DeadlockError reports that an explicitly synchronized program can make
+// no progress: some pipe's next instruction is a wait_flag whose set_flag
+// never arrives (e.g. because a fault dropped it). It names the blocked
+// pipe and the unsatisfied flag so a watchdog trip is diagnosable instead
+// of a silent hang.
+type DeadlockError struct {
+	// Program is the deadlocked program's name.
+	Program string
+	// Pipe is the pipeline blocked at the head of its queue.
+	Pipe isa.Pipe
+	// Flag is the (src pipe, dst pipe, event) triple of the unsatisfied
+	// wait_flag; meaningful when HasFlag is true.
+	Flag [3]int
+	// HasFlag reports whether the blocked instruction is a wait_flag (a
+	// barrier can also starve, transitively).
+	HasFlag bool
+	// Instr is the blocked instruction's index in the program.
+	Instr int
+}
+
+func (e *DeadlockError) Error() string {
+	if e.HasFlag {
+		return fmt.Sprintf("aicore: %s deadlocked: pipe %v blocked at instr %d on wait_flag(%v->%v, ev%d) with no matching set_flag",
+			e.Program, e.Pipe, e.Instr, isa.Pipe(e.Flag[0]), isa.Pipe(e.Flag[1]), e.Flag[2])
+	}
+	return fmt.Sprintf("aicore: %s deadlocked: pipe %v blocked at instr %d behind a starved wait_flag", e.Program, e.Pipe, e.Instr)
 }
 
 // findRace scans dependencies in program order and checks that the

@@ -296,6 +296,9 @@ func (c *Core) ExecFlat(fp *FlatProgram) error {
 	}
 	for i := range fp.ops {
 		op := &fp.ops[i]
+		if c.interrupted() {
+			return fmt.Errorf("aicore: %s instr %d: %w", fp.prog.Name, op.idx, ErrInterrupted)
+		}
 		if err := c.execFlat(op); err != nil {
 			return fmt.Errorf("aicore: %s instr %d (%s): %w", fp.prog.Name, op.idx, fp.prog.Instrs[op.idx], err)
 		}

@@ -13,6 +13,7 @@
 package chip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"davinci/internal/lint/perf"
 	"davinci/internal/obs"
 	"davinci/internal/ops"
+	"davinci/internal/ref"
 	"davinci/internal/tensor"
 )
 
@@ -46,6 +48,14 @@ type Config struct {
 	// register in; nil gives the chip a private registry. Benchmarks pass
 	// a shared registry so one snapshot covers every device they build.
 	Metrics *obs.Registry
+	// Context, when non-nil, bounds every run: cancelling it interrupts
+	// all in-flight cores, and a tile failure cancels the remaining
+	// tiles instead of letting every core run to its own first failure.
+	Context context.Context
+	// Resilience configures the fault-tolerant tile executor (watchdog,
+	// retry/requeue, graceful degradation, fault injection). The zero
+	// value leaves the executor in its fail-fast mode.
+	Resilience Resilience
 }
 
 // Chip is a simulated multi-core device. Each chip owns a plan cache:
@@ -63,6 +73,14 @@ type Chip struct {
 	tileInstrs *obs.Counter
 	bytesIn    *obs.Counter
 	bytesOut   *obs.Counter
+	// Resilience instruments (internal/chip/resilience.go).
+	tileRetries   *obs.Counter
+	tileRequeues  *obs.Counter
+	tilesDegraded *obs.Counter
+	watchdogTrips *obs.Counter
+	coresFailed   *obs.Counter
+	tilePanics    *obs.Counter
+	backoffCycles *obs.Counter
 }
 
 // New creates a chip. Zero-valued config fields take Ascend 910 defaults.
@@ -73,16 +91,26 @@ func New(cfg Config) *Chip {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Resilience.Injector != nil {
+		cfg.Resilience.Injector.Bind(cfg.Metrics)
+	}
 	return &Chip{
-		cfg:        cfg,
-		spec:       ops.Spec{Buffers: cfg.Buffers},
-		plans:      ops.NewPlanCacheOn(cfg.Metrics),
-		metrics:    cfg.Metrics,
-		tiles:      cfg.Metrics.Counter("chip_tiles"),
-		tileCycles: cfg.Metrics.Histogram("chip_tile_cycles", nil),
-		tileInstrs: cfg.Metrics.Counter("chip_tile_instrs"),
-		bytesIn:    cfg.Metrics.Counter("chip_bytes_in"),
-		bytesOut:   cfg.Metrics.Counter("chip_bytes_out"),
+		cfg:           cfg,
+		spec:          ops.Spec{Buffers: cfg.Buffers},
+		plans:         ops.NewPlanCacheOn(cfg.Metrics),
+		metrics:       cfg.Metrics,
+		tiles:         cfg.Metrics.Counter("chip_tiles"),
+		tileCycles:    cfg.Metrics.Histogram("chip_tile_cycles", nil),
+		tileInstrs:    cfg.Metrics.Counter("chip_tile_instrs"),
+		bytesIn:       cfg.Metrics.Counter("chip_bytes_in"),
+		bytesOut:      cfg.Metrics.Counter("chip_bytes_out"),
+		tileRetries:   cfg.Metrics.Counter("chip_tile_retries"),
+		tileRequeues:  cfg.Metrics.Counter("chip_tile_requeues"),
+		tilesDegraded: cfg.Metrics.Counter("chip_tiles_degraded"),
+		watchdogTrips: cfg.Metrics.Counter("chip_watchdog_trips"),
+		coresFailed:   cfg.Metrics.Counter("chip_cores_failed"),
+		tilePanics:    cfg.Metrics.Counter("chip_tile_panics"),
+		backoffCycles: cfg.Metrics.Counter("chip_retry_backoff_cycles"),
 	}
 }
 
@@ -141,6 +169,10 @@ type Stats struct {
 	// Metrics snapshots the chip's registry (tile histogram, GM traffic,
 	// plan-cache counters) at the end of the run.
 	Metrics *obs.Snapshot
+	// Degraded lists the tiles that fell back to the host-side golden
+	// model after exhausting their hardware retries (resilient executor
+	// with Degrade enabled), sorted by (N, C1). Empty on a clean run.
+	Degraded []DegradedTile
 }
 
 func (s *Stats) String() string {
@@ -155,21 +187,56 @@ type tileResult struct {
 	err   error
 }
 
+// tileRun executes one (n, c1) tile on a simulated core.
+type tileRun func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error)
+
+// tileFallback computes one tile on the host-side golden model
+// (internal/ref), for graceful degradation when hardware retries are
+// exhausted.
+type tileFallback func(ni, ci int) ([]*tensor.Tensor, error)
+
+// tileJob is one (n, c1) grid cell awaiting execution.
+type tileJob struct{ n, c1 int }
+
+// tileGrid enumerates the (n, c1) grid in row-major order.
+func tileGrid(n, c1 int) []tileJob {
+	jobs := make([]tileJob, 0, n*c1)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c1; ci++ {
+			jobs = append(jobs, tileJob{ni, ci})
+		}
+	}
+	return jobs
+}
+
 // runTiles fans the (n, c1) tile grid across simulated cores round-robin
 // and host goroutines, then aggregates stats: serial within a core,
 // parallel across cores. A core stops at its first failing tile; the
-// failures of all cores are joined into one error.
-func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error)) ([][]tileResult, *Stats, error) {
-	type job struct{ n, c1 int }
-	jobs := make([]job, 0, n*c1)
-	for ni := 0; ni < n; ni++ {
-		for ci := 0; ci < c1; ci++ {
-			jobs = append(jobs, job{ni, ci})
-		}
+// failures of all cores are joined into one error. With Config.Context
+// set, the first failure (or the caller's cancellation) interrupts every
+// in-flight core instead of letting each run to its own first failure.
+// With Resilience.Enabled, execution goes through the fault-tolerant
+// executor (resilience.go) instead: watchdog, retry/requeue, degradation.
+func (c *Chip) runTiles(n, c1 int, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
+	jobs := tileGrid(n, c1)
+	if c.cfg.Resilience.Enabled {
+		return c.runTilesResilient(jobs, run, fb)
 	}
-	perCore := make([][]job, c.cfg.Cores)
+	perCore := make([][]tileJob, c.cfg.Cores)
 	for i, j := range jobs {
 		perCore[i%c.cfg.Cores] = append(perCore[i%c.cfg.Cores], j)
+	}
+
+	// With a caller context, one cancellation covers the caller's own
+	// deadline and run-internal fail-fast; without one, behavior stays
+	// the legacy run-to-first-failure-per-core.
+	var done <-chan struct{}
+	var cancel context.CancelFunc
+	if c.cfg.Context != nil {
+		var runCtx context.Context
+		runCtx, cancel = context.WithCancel(c.cfg.Context)
+		defer cancel()
+		done = runCtx.Done()
 	}
 
 	results := make([][]tileResult, c.cfg.Cores)
@@ -182,10 +249,14 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 		go func(idx int) {
 			defer wg.Done()
 			core := c.newCore()
+			core.Cancel = done
 			for _, j := range perCore[idx] {
 				outs, st, err := run(core, j.n, j.c1)
 				results[idx] = append(results[idx], tileResult{n: j.n, c1: j.c1, outs: outs, stats: st, err: err})
 				if err != nil {
+					if cancel != nil {
+						cancel()
+					}
 					return
 				}
 				// Lock-free atomic updates from every worker at once: the
@@ -201,12 +272,20 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 	wg.Wait()
 
 	stats := &Stats{CoreCycles: make([]int64, c.cfg.Cores), Tiles: len(jobs)}
-	var errs []error
+	var errs, interrupted []error
 	for idx, rs := range results {
 		coreTotal := &aicore.Stats{}
 		for _, r := range rs {
 			if r.err != nil {
-				errs = append(errs, fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, r.n, r.c1, r.err))
+				wrapped := fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, r.n, r.c1, r.err)
+				if errors.Is(r.err, aicore.ErrInterrupted) {
+					// Secondary casualty of the fail-fast cancellation (or
+					// of the caller's context); keep it out of the join
+					// unless nothing more primary exists.
+					interrupted = append(interrupted, wrapped)
+				} else {
+					errs = append(errs, wrapped)
+				}
 				continue
 			}
 			coreTotal.AddSerial(r.stats)
@@ -216,6 +295,9 @@ func (c *Chip) runTiles(n, c1 int, run func(core *aicore.Core, ni, ci int) ([]*t
 	}
 	if len(errs) > 0 {
 		return nil, nil, errors.Join(errs...)
+	}
+	if len(interrupted) > 0 {
+		return nil, nil, errors.Join(interrupted...)
 	}
 	stats.Cycles = stats.Work.Cycles
 	stats.Plans = c.plans.Stats()
@@ -235,24 +317,34 @@ func checkFractalInput(in *tensor.Tensor) (n, c1 int, err error) {
 // "expansion" or "xysplit") over a full NC1HWC0 tensor. The variant is
 // compiled once through the chip's plan cache, then replayed per tile.
 func (c *Chip) MaxPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.MaxPoolForward(variant, c.spec, p)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(pl, in, p)
+	return c.poolForward(pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{ref.MaxPoolForward(tensor.SliceC1(in, ni, ci), p)}, nil
+	})
 }
 
 // AvgPoolForward runs a forward Avgpool variant ("standard", "im2col" or
 // "cube").
 func (c *Chip) AvgPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.AvgPoolForward(variant, c.spec, p)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(pl, in, p)
+	return c.poolForward(pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{ref.AvgPoolForward(tensor.SliceC1(in, ni, ci), p)}, nil
+	})
 }
 
-func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams, fb tileFallback) (*tensor.Tensor, *Stats, error) {
 	n, c1, err := checkFractalInput(in)
 	if err != nil {
 		return nil, nil, err
@@ -261,7 +353,7 @@ func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams) (*
 	out := tensor.New(n, c1, oh, ow, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(in, ni, ci))
-	})
+	}, fb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -277,6 +369,9 @@ func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams) (*
 // returning the pooled output and the argmax mask in the Im2Col shape
 // (N, C1, Kh, Kw, OhOw16, C0).
 func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *Stats, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.MaxPoolForwardArgmax(variant, c.spec, p)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("chip: %w", err)
@@ -290,6 +385,9 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 	mask = tensor.New(n, c1, p.Kh, p.Kw, p.PaddedPatches(), tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(in, ni, ci))
+	}, func(ni, ci int) ([]*tensor.Tensor, error) {
+		tile := tensor.SliceC1(in, ni, ci)
+		return []*tensor.Tensor{ref.MaxPoolForward(tile, p), ref.ArgmaxMask(tile, p)}, nil
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -307,6 +405,9 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 // the saved argmax mask; grad has the output shape (N, C1, Oh, Ow, C0).
 // The result has the input shape (N, C1, Ih, Iw, C0).
 func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.MaxPoolBackward(variant, c.spec, p)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
@@ -318,6 +419,9 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceOuter2(mask, ni, ci), tensor.SliceC1(grad, ni, ci))
+	}, func(ni, ci int) ([]*tensor.Tensor, error) {
+		mg := ref.MaxPoolBackward(tensor.SliceOuter2(mask, ni, ci), tensor.SliceC1(grad, ni, ci), p, p.Ih, p.Iw)
+		return []*tensor.Tensor{mg}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -333,6 +437,9 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 // AvgPoolBackward propagates Avgpool gradients (useCol2im selects the
 // accelerated merge, §V-C).
 func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.AvgPoolBackward(c.spec, p, useCol2im)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
@@ -344,6 +451,8 @@ func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im 
 	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(grad, ni, ci))
+	}, func(ni, ci int) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{ref.AvgPoolBackward(tensor.SliceC1(grad, ni, ci), p, p.Ih, p.Iw)}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -360,6 +469,9 @@ func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im 
 // the whole C1 extent on one core, so parallelization is across the batch
 // dimension only.
 func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
@@ -375,10 +487,15 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 	oh, ow := p.OutDims()
 	out := tensor.New(n, co1, oh, ow, tensor.C0)
 	imgBytes := in.Shape[1] * p.Ih * p.Iw * tensor.C0 * 2
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	sliceImg := func(ni int) *tensor.Tensor {
 		img := tensor.New(1, in.Shape[1], p.Ih, p.Iw, tensor.C0)
 		copy(img.Data, in.Data[ni*imgBytes:(ni+1)*imgBytes])
-		return pl.Run(core, img, weights)
+		return img
+	}
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		return pl.Run(core, sliceImg(ni), weights)
+	}, func(ni, _ int) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{ref.Conv2D(sliceImg(ni), weights, p)}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -396,6 +513,9 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 // (batch-parallel across cores, like Conv2D). c is the logical input
 // channel count.
 func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams, channels int) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
@@ -411,10 +531,15 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	oh, ow := p.OutDims()
 	gradBytes := grad.Shape[1] * oh * ow * tensor.C0 * 2
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	sliceGrad := func(ni int) *tensor.Tensor {
 		g := tensor.New(1, grad.Shape[1], oh, ow, tensor.C0)
 		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
-		return pl.Run(core, g, weights)
+		return g
+	}
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		return pl.Run(core, sliceGrad(ni), weights)
+	}, func(ni, _ int) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{ref.Conv2DBackwardData(sliceGrad(ni), weights, p, channels)}, nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -432,6 +557,9 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 // dW = dY^T x im2col(x), summing contributions over the batch. co and
 // channels are the logical output/input channel counts.
 func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, co, channels int) (*tensor.Tensor, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("chip: %w", err)
+	}
 	pl, err := c.plans.Conv2DBackwardWeights(c.spec, p, co, channels)
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
@@ -443,12 +571,19 @@ func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, c
 	oh, ow := p.OutDims()
 	gradBytes := grad.Shape[1] * oh * ow * tensor.C0 * 2
 	xBytes := x.Shape[1] * p.Ih * p.Iw * tensor.C0 * 2
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	sliceBatch := func(ni int) (*tensor.Tensor, *tensor.Tensor) {
 		g := tensor.New(1, grad.Shape[1], oh, ow, tensor.C0)
 		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
 		xi := tensor.New(1, x.Shape[1], p.Ih, p.Iw, tensor.C0)
 		copy(xi.Data, x.Data[ni*xBytes:(ni+1)*xBytes])
+		return g, xi
+	}
+	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+		g, xi := sliceBatch(ni)
 		return pl.Run(core, g, xi)
+	}, func(ni, _ int) ([]*tensor.Tensor, error) {
+		g, xi := sliceBatch(ni)
+		return []*tensor.Tensor{ref.Conv2DBackwardWeights(g, xi, p, co, channels)}, nil
 	})
 	if err != nil {
 		return nil, nil, err

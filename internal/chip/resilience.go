@@ -1,0 +1,552 @@
+package chip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"davinci/internal/aicore"
+	"davinci/internal/faults"
+	"davinci/internal/tensor"
+)
+
+// Resilience configures the fault-tolerant tile executor. With Enabled
+// set, runTiles routes through a scheduler that keeps the default static
+// round-robin placement for first attempts but adds, per tile attempt:
+//
+//   - a watchdog that interrupts an attempt making no progress after
+//     Watchdog of host wall time and converts the hang into a typed
+//     *TileError (ErrTileHang) naming the blocked pipe, the unsatisfied
+//     wait_flag when known, and the tail of the stall-attributed trace;
+//   - bounded retry on a FRESH core — a faulted core's scratch-pads may
+//     hold corrupted data, so retries never reuse the failing core's
+//     state — requeued onto a different healthy core when one exists;
+//   - per-core failure budgets: a core exceeding CoreFailLimit failed
+//     attempts is marked bad and excluded from the retry pool;
+//   - optional graceful degradation: a tile that exhausts MaxAttempts
+//     falls back to the host-side golden model (internal/ref) and is
+//     reported in Stats.Degraded instead of failing the run;
+//   - panic containment: a panicking tile worker is recovered into an
+//     ErrTilePanic carrying the core index, tile identity and stack.
+//
+// Retry backoff is simulated bookkeeping only: each retry adds
+// BackoffCycles << (attempt-1) to the chip_retry_backoff_cycles counter
+// without sleeping the host or perturbing the deterministic cycle
+// accounting of successful attempts.
+type Resilience struct {
+	// Enabled routes runTiles through the resilient executor.
+	Enabled bool
+	// Injector, when non-nil, perturbs tile attempts with deterministic
+	// seeded faults (internal/faults) — the chaos harness.
+	Injector *faults.Injector
+	// MaxAttempts bounds hardware attempts per tile (first try included);
+	// 0 means 3.
+	MaxAttempts int
+	// Watchdog is the per-attempt host wall-clock budget before a hung
+	// core is reclaimed; 0 means 1s.
+	Watchdog time.Duration
+	// CoreFailLimit is how many failed attempts mark a core bad; 0 means 3.
+	CoreFailLimit int
+	// Degrade enables the golden-model fallback for tiles that exhaust
+	// their attempts (reported in Stats.Degraded). Off, such tiles fail
+	// the run.
+	Degrade bool
+	// BackoffCycles is the base of the simulated exponential retry
+	// backoff; 0 means 1024.
+	BackoffCycles int64
+	// TraceTail is how many trailing trace entries a hang report carries;
+	// 0 means 8, negative disables attempt tracing (hang reports then
+	// carry no schedule tail, and replays may use the fast flattened
+	// path).
+	TraceTail int
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.Watchdog <= 0 {
+		r.Watchdog = time.Second
+	}
+	if r.CoreFailLimit <= 0 {
+		r.CoreFailLimit = 3
+	}
+	if r.BackoffCycles <= 0 {
+		r.BackoffCycles = 1024
+	}
+	if r.TraceTail == 0 {
+		r.TraceTail = 8
+	}
+	return r
+}
+
+// DegradedTile reports one tile computed by the host-side golden model
+// after its hardware attempts were exhausted.
+type DegradedTile struct {
+	// N, C1 identify the tile.
+	N, C1 int
+	// Attempts is how many hardware attempts were made.
+	Attempts int
+	// LastErr is the final hardware failure, stringified for reporting.
+	LastErr string
+}
+
+// retryJob is one pending tile attempt in the resilient scheduler.
+type retryJob struct {
+	n, c1   int
+	attempt int
+	// excluded are core indices that already failed this tile; the retry
+	// queue will not hand the job back to them.
+	excluded map[int]bool
+	// lastErr is the failure that caused this retry (nil for reassigned
+	// first attempts).
+	lastErr error
+}
+
+// resilientRun is the shared state of one resilient runTiles execution.
+type resilientRun struct {
+	chip *Chip
+	res  Resilience
+	run  tileRun
+	fb   tileFallback
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []retryJob
+	remaining int
+	fatal     []error
+	results   [][]tileResult
+	degraded  []DegradedTile
+	coreFails []int
+	bad       []bool
+}
+
+// runTilesResilient is the fault-tolerant counterpart of runTiles' static
+// fan-out. First attempts keep the static round-robin placement (so a
+// fault-free run is scheduled exactly like the default path); failures
+// are classified, retried on fresh cores through a shared requeue, and
+// optionally degraded to the golden model.
+func (c *Chip) runTilesResilient(jobs []tileJob, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
+	parent := c.cfg.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	r := &resilientRun{
+		chip:      c,
+		res:       c.cfg.Resilience.withDefaults(),
+		run:       run,
+		fb:        fb,
+		ctx:       ctx,
+		cancel:    cancel,
+		remaining: len(jobs),
+		results:   make([][]tileResult, c.cfg.Cores),
+		coreFails: make([]int, c.cfg.Cores),
+		bad:       make([]bool, c.cfg.Cores),
+	}
+	r.cond = sync.NewCond(&r.mu)
+
+	perCore := make([][]tileJob, c.cfg.Cores)
+	for i, j := range jobs {
+		perCore[i%c.cfg.Cores] = append(perCore[i%c.cfg.Cores], j)
+	}
+	var wg sync.WaitGroup
+	for coreIdx := 0; coreIdx < c.cfg.Cores; coreIdx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			r.worker(idx, perCore[idx])
+		}(coreIdx)
+	}
+	wg.Wait()
+
+	if len(r.fatal) > 0 {
+		return nil, nil, errors.Join(r.fatal...)
+	}
+
+	stats := &Stats{CoreCycles: make([]int64, c.cfg.Cores), Tiles: len(jobs)}
+	for idx, rs := range r.results {
+		coreTotal := &aicore.Stats{}
+		for _, res := range rs {
+			coreTotal.AddSerial(res.stats)
+		}
+		stats.CoreCycles[idx] = coreTotal.Cycles
+		stats.Work.AddParallel(coreTotal)
+	}
+	sort.Slice(r.degraded, func(i, j int) bool {
+		if r.degraded[i].N != r.degraded[j].N {
+			return r.degraded[i].N < r.degraded[j].N
+		}
+		return r.degraded[i].C1 < r.degraded[j].C1
+	})
+	stats.Degraded = r.degraded
+	stats.Cycles = stats.Work.Cycles
+	stats.Plans = c.plans.Stats()
+	stats.Perf = c.perfReports()
+	stats.Metrics = c.metrics.Snapshot()
+	return r.results, stats, nil
+}
+
+// worker is one core's host goroutine: static first attempts, then the
+// shared retry queue until all tiles are finalized (or the run aborts).
+func (r *resilientRun) worker(idx int, static []tileJob) {
+	for i, j := range static {
+		if r.exiting() {
+			return
+		}
+		if r.isBad(idx) {
+			// A bad core stops taking work; its untried tiles move to
+			// healthy cores.
+			r.reassign(idx, static[i:])
+			return
+		}
+		r.attempt(idx, retryJob{n: j.n, c1: j.c1, attempt: 1})
+	}
+	for {
+		j, ok := r.pop(idx)
+		if !ok {
+			return
+		}
+		r.attempt(idx, j)
+	}
+}
+
+func (r *resilientRun) exiting() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.remaining == 0 || len(r.fatal) > 0
+}
+
+func (r *resilientRun) isBad(idx int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bad[idx]
+}
+
+// pop blocks until a retry job this core may run is available, all tiles
+// are finalized, the run went fatal, or this core was marked bad.
+func (r *resilientRun) pop(idx int) (retryJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.remaining == 0 || len(r.fatal) > 0 || r.bad[idx] {
+			return retryJob{}, false
+		}
+		for i, j := range r.queue {
+			if !j.excluded[idx] {
+				r.queue = append(r.queue[:i], r.queue[i+1:]...)
+				return j, true
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+// attempt runs one tile attempt on a fresh core with the watchdog armed
+// and (when configured) a fault injected, then classifies the outcome.
+func (r *resilientRun) attempt(idx int, j retryJob) {
+	if r.ctx.Err() != nil {
+		// Already aborted: don't race the watchdog watcher to start an
+		// attempt that must not run.
+		r.noteAborted()
+		return
+	}
+	c := r.chip
+	core := c.newCore()
+	if r.res.TraceTail > 0 {
+		core.Trace = &aicore.Trace{}
+	}
+	if r.res.Injector != nil {
+		r.res.Injector.Arm(core, r.res.Injector.Decide(faults.Tile{N: j.n, C1: j.c1}, j.attempt))
+	}
+
+	// Watchdog: a per-attempt cancel channel closed by a timer (hang) or
+	// by the run-wide context (fail-fast abort, caller cancellation).
+	cancelCh := make(chan struct{})
+	stopWatch := make(chan struct{})
+	var wdFired atomic.Bool
+	core.Cancel = cancelCh
+	go func() {
+		timer := time.NewTimer(r.res.Watchdog)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			wdFired.Store(true)
+			close(cancelCh)
+		case <-r.ctx.Done():
+			close(cancelCh)
+		case <-stopWatch:
+		}
+	}()
+	outs, st, err := r.guardedRun(core, idx, j)
+	close(stopWatch)
+
+	if err == nil {
+		r.finalizeSuccess(idx, j, outs, st)
+		return
+	}
+	if r.ctx.Err() != nil && !wdFired.Load() {
+		// Casualty of the run-wide abort, not a failure of this tile.
+		r.noteAborted()
+		return
+	}
+	if te := r.classify(idx, j, core, err, wdFired.Load()); te != nil {
+		r.handleFailure(idx, j, te)
+	} else {
+		// Not a fault, hang or panic: a deterministic bug (bad plan, bad
+		// shape). Retrying cannot help; fail the run.
+		r.setFatal(fmt.Errorf("chip: core %d tile (%d,%d): %w", idx, j.n, j.c1, err))
+	}
+}
+
+// guardedRun invokes the tile closure with panic containment (satellite:
+// a panicking worker becomes a typed error, not a crashed process).
+func (r *resilientRun) guardedRun(core *aicore.Core, idx int, j retryJob) (outs []*tensor.Tensor, st *aicore.Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &TileError{
+				N: j.n, C1: j.c1, Core: idx, Attempt: j.attempt,
+				Kind:  ErrTilePanic,
+				Cause: fmt.Errorf("panic: %v", rec),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	outs, st, err = r.run(core, j.n, j.c1)
+	return
+}
+
+// classify turns a failed attempt into a typed *TileError, or nil when
+// the failure is deterministic (not retryable).
+func (r *resilientRun) classify(idx int, j retryJob, core *aicore.Core, err error, hung bool) *TileError {
+	var te *TileError
+	if errors.As(err, &te) {
+		return te // panic path, already typed
+	}
+	e := &TileError{N: j.n, C1: j.c1, Core: idx, Attempt: j.attempt, Cause: err}
+	var dl *aicore.DeadlockError
+	var sp *faults.StuckPipeError
+	switch {
+	case hung:
+		e.Kind = ErrTileHang
+		r.chip.watchdogTrips.Inc()
+		if errors.As(err, &dl) {
+			e.Pipe, e.Flag, e.HasFlag = dl.Pipe, dl.Flag, dl.HasFlag
+		} else if errors.As(err, &sp) {
+			e.Pipe = sp.Pipe
+		}
+		if core.Trace != nil {
+			tail := core.Trace.Entries
+			if len(tail) > r.res.TraceTail {
+				tail = tail[len(tail)-r.res.TraceTail:]
+			}
+			e.TraceTail = append([]aicore.TraceEntry(nil), tail...)
+		}
+	default:
+		if _, injected := faults.IsInjected(err); injected {
+			e.Kind = ErrTileFault
+		} else if errors.As(err, &dl) {
+			// A deadlock that surfaced without hanging (no watchdog wait)
+			// is still a sync failure of this attempt.
+			e.Kind = ErrTileHang
+			e.Pipe, e.Flag, e.HasFlag = dl.Pipe, dl.Flag, dl.HasFlag
+		} else {
+			return nil
+		}
+	}
+	return e
+}
+
+// handleFailure books the failed attempt and either schedules a retry,
+// degrades the tile, or fails the run.
+func (r *resilientRun) handleFailure(idx int, j retryJob, te *TileError) {
+	c := r.chip
+	if errors.Is(te.Kind, ErrTilePanic) {
+		c.tilePanics.Inc()
+	}
+
+	r.mu.Lock()
+	r.coreFails[idx]++
+	newlyBad := !r.bad[idx] && r.coreFails[idx] >= r.res.CoreFailLimit
+	if newlyBad {
+		r.bad[idx] = true
+		c.coresFailed.Inc()
+	}
+	var exhausted []retryJob
+	if newlyBad {
+		// Queued jobs whose only eligible core just went bad must move or
+		// be finalized, or the run would stall with every worker waiting.
+		exhausted = append(exhausted, r.rebalanceLocked()...)
+	}
+	retryScheduled := false
+	if j.attempt < r.res.MaxAttempts {
+		nj := retryJob{n: j.n, c1: j.c1, attempt: j.attempt + 1, excluded: excludeSet(j.excluded, idx), lastErr: te}
+		c.tileRetries.Inc()
+		// Simulated exponential backoff: bookkeeping only, never a host
+		// sleep, never added to the deterministic core cycle accounting.
+		c.backoffCycles.Add(r.res.BackoffCycles << (j.attempt - 1))
+		retryScheduled = r.pushLocked(nj)
+	}
+	r.mu.Unlock()
+
+	if !retryScheduled {
+		r.finalizeExhausted(idx, j, te)
+	}
+	for _, ex := range exhausted {
+		r.finalizeExhausted(idx, ex, ex.lastErr)
+	}
+}
+
+// excludeSet copies prev and adds idx.
+func excludeSet(prev map[int]bool, idx int) map[int]bool {
+	next := make(map[int]bool, len(prev)+1)
+	for k, v := range prev {
+		next[k] = v
+	}
+	next[idx] = true
+	return next
+}
+
+// pushLocked enqueues a retry for any healthy non-excluded core,
+// loosening the exclusion set when every healthy core has already failed
+// the tile. Returns false when no healthy core remains at all.
+func (r *resilientRun) pushLocked(j retryJob) bool {
+	if !r.runnableLocked(j) {
+		if !r.anyHealthyLocked() {
+			return false
+		}
+		// Every healthy core already failed this tile once; retrying
+		// there still beats giving up.
+		j.excluded = nil
+	} else if len(j.excluded) > 0 {
+		r.chip.tileRequeues.Inc()
+	}
+	r.queue = append(r.queue, j)
+	r.cond.Broadcast()
+	return true
+}
+
+func (r *resilientRun) runnableLocked(j retryJob) bool {
+	for idx := range r.bad {
+		if !r.bad[idx] && !j.excluded[idx] {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *resilientRun) anyHealthyLocked() bool {
+	for _, b := range r.bad {
+		if !b {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalanceLocked re-checks every queued job after a core went bad,
+// loosening exclusions where possible and extracting jobs with no
+// eligible core left for the caller to finalize.
+func (r *resilientRun) rebalanceLocked() (exhausted []retryJob) {
+	kept := r.queue[:0]
+	for _, j := range r.queue {
+		switch {
+		case r.runnableLocked(j):
+			kept = append(kept, j)
+		case r.anyHealthyLocked():
+			j.excluded = nil
+			kept = append(kept, j)
+		default:
+			exhausted = append(exhausted, j)
+		}
+	}
+	r.queue = kept
+	return exhausted
+}
+
+// reassign pushes a bad core's untried tiles onto healthy cores.
+func (r *resilientRun) reassign(idx int, rest []tileJob) {
+	r.mu.Lock()
+	var exhausted []retryJob
+	for _, j := range rest {
+		nj := retryJob{n: j.n, c1: j.c1, attempt: 1, excluded: map[int]bool{idx: true},
+			lastErr: &CoreFailedError{Core: idx, Failures: r.coreFails[idx]}}
+		if !r.pushLocked(nj) {
+			exhausted = append(exhausted, nj)
+		}
+	}
+	r.mu.Unlock()
+	for _, ex := range exhausted {
+		r.finalizeExhausted(idx, ex, ex.lastErr)
+	}
+}
+
+func (r *resilientRun) finalizeSuccess(idx int, j retryJob, outs []*tensor.Tensor, st *aicore.Stats) {
+	c := r.chip
+	r.mu.Lock()
+	r.results[idx] = append(r.results[idx], tileResult{n: j.n, c1: j.c1, outs: outs, stats: st})
+	r.remaining--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	c.tiles.Inc()
+	c.tileCycles.Observe(st.Cycles)
+	c.tileInstrs.Add(st.Instrs)
+	c.bytesIn.Add(st.BytesIn)
+	c.bytesOut.Add(st.BytesOut)
+}
+
+// finalizeExhausted handles a tile with no hardware attempts left:
+// golden-model degradation when enabled, otherwise run failure.
+func (r *resilientRun) finalizeExhausted(idx int, j retryJob, cause error) {
+	if cause == nil {
+		cause = &CoreFailedError{Core: idx}
+	}
+	if !r.res.Degrade || r.fb == nil {
+		r.setFatal(fmt.Errorf("chip: tile (%d,%d) failed after %d attempt(s): %w", j.n, j.c1, j.attempt, cause))
+		return
+	}
+	outs, err := r.fb(j.n, j.c1)
+	if err != nil {
+		r.setFatal(fmt.Errorf("chip: tile (%d,%d): golden fallback failed: %w", j.n, j.c1, err))
+		return
+	}
+	r.chip.tilesDegraded.Inc()
+	r.mu.Lock()
+	// Degraded tiles contribute data but no cycles: the host, not a core,
+	// computed them.
+	r.results[idx] = append(r.results[idx], tileResult{n: j.n, c1: j.c1, outs: outs, stats: &aicore.Stats{}})
+	r.degraded = append(r.degraded, DegradedTile{N: j.n, C1: j.c1, Attempts: j.attempt, LastErr: cause.Error()})
+	r.remaining--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// setFatal records a run-killing error and aborts every in-flight core.
+func (r *resilientRun) setFatal(err error) {
+	r.mu.Lock()
+	r.fatal = append(r.fatal, err)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// noteAborted records the caller's cancellation (once) when an attempt
+// died from the run-wide abort rather than its own failure.
+func (r *resilientRun) noteAborted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.fatal) == 0 {
+		r.fatal = append(r.fatal, fmt.Errorf("chip: run aborted: %w", r.ctx.Err()))
+		r.cond.Broadcast()
+	}
+}

@@ -304,6 +304,33 @@ func flattenLabels(m map[string]string) string {
 	return b.String()
 }
 
+// CounterValue returns the value of the named counter in the snapshot,
+// matching labels given as alternating key/value pairs (the same form
+// Registry.Counter takes). The second result is false when no such
+// counter was registered — which is distinct from a counter at zero.
+func (s *Snapshot) CounterValue(name string, labels ...string) (int64, bool) {
+	want := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		want[labels[i]] = labels[i+1]
+	}
+	for _, c := range s.Counters {
+		if c.Name != name || len(c.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if c.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
 // WriteJSON writes the snapshot as indented JSON — the payload of
 // davinci-bench -metrics and the CI BENCH_<rev>.json artifacts.
 func (s *Snapshot) WriteJSON(w io.Writer) error {

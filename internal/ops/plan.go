@@ -180,11 +180,19 @@ func (pl *Plan) Run(core *aicore.Core, inputs ...*tensor.Tensor) ([]*tensor.Tens
 // the trace is reset first so each Run yields exactly one timeline instead
 // of entries accumulating without bound across replays.
 func (pl *Plan) replay(core *aicore.Core) (*aicore.Stats, error) {
+	if core.ReplayWith != nil {
+		// A replay hook (fault injection) substitutes its own execution of
+		// the cached program; its timing is not the plan's deterministic
+		// schedule, so nothing is memoized.
+		return core.ReplayWith(pl.Prog)
+	}
 	key := timingKey{cost: *core.Cost, serialize: core.Serialize}
 	if core.Trace != nil {
 		core.Trace.Reset()
 	}
-	if core.Trace == nil {
+	if core.Trace == nil && core.OnInstr == nil {
+		// The flattened fast path bypasses per-instruction hooks, so an
+		// armed OnInstr (fault injection) forces interpretation.
 		if v, ok := pl.timings.Load(key); ok {
 			pl.flatOnce.Do(func() { pl.flat = aicore.Flatten(pl.Prog) })
 			if err := core.ExecFlat(pl.flat); err != nil {
@@ -198,8 +206,10 @@ func (pl *Plan) replay(core *aicore.Core) (*aicore.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	memo := *st
-	pl.timings.Store(key, &memo)
+	if core.OnInstr == nil {
+		memo := *st
+		pl.timings.Store(key, &memo)
+	}
 	return st, nil
 }
 
