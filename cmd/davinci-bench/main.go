@@ -6,11 +6,15 @@
 //	davinci-bench [flags] [experiment ...]
 //
 // Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
-// perf, sweep, all (default: all). "sweep" runs every built-in kernel on
-// every Table I layer on a traced core, checking the cycle-accounting
-// identity per program; with -metrics FILE, every measured cell plus the
-// chip and plan-cache counters are dumped as a JSON snapshot (the CI
-// BENCH_<rev>.json artifact).
+// perf, sweep, optsweep, all (default: all). "sweep" runs every built-in
+// kernel on every Table I layer on a traced core, checking the
+// cycle-accounting identity per program; "optsweep" compiles the same
+// programs baseline vs the static optimizer (internal/opt) and fails if
+// any translation-validated program got slower — the CI opt regression
+// gate. -opt N compiles every other experiment's plans at that optimizer
+// level. With -metrics FILE, every measured cell plus the chip,
+// plan-cache and opt_rewrites counters are dumped as a JSON snapshot (the
+// CI BENCH_<rev>.json artifact).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"davinci/internal/chip"
 	"davinci/internal/faults"
 	"davinci/internal/obs"
+	"davinci/internal/opt"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	reps := flag.Int("reps", 1, "repetitions per measurement (verifies determinism)")
 	serialize := flag.Bool("serialize", false, "disable intra-core pipeline overlap (ablation)")
+	optLevel := flag.Int("opt", 0, "static optimizer level for compiled plans (0=off, 1=rewrites, 2=+rescheduling)")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (cells, chip and plan-cache counters) to this file; - for stdout")
 	chaos := flag.Bool("chaos", false, "inject seeded faults and run every experiment through the resilient tile executor")
@@ -49,6 +55,7 @@ func main() {
 			Cores:     *cores,
 			Buffers:   buffer.Config{UBSize: *ub, L1Size: *l1},
 			Serialize: *serialize,
+			Opt:       opt.Level(*optLevel),
 		},
 		Seed: *seed,
 		Reps: *reps,
@@ -169,6 +176,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.PerfTable(opts))
 	case "sweep":
 		return emit(bench.TableISweep(opts))
+	case "optsweep":
+		return emit(bench.OptSweep(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -183,6 +192,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, all)")
 	}
 }

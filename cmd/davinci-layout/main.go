@@ -3,9 +3,15 @@
 // Im2Col load sequence produces, labelling each row with its source
 // coordinates (or PAD for zero-padding positions).
 //
+// With -mode program it prints a compiled kernel's instruction stream
+// instead — the program the layout feeds — and with -opt N the stream
+// after the static optimizer (internal/opt), alongside its
+// translation-validated rewrite report.
+//
 // Example (the exact Fig. 5 configuration):
 //
 //	davinci-layout -h 8 -w 8 -k 2 -s 2
+//	davinci-layout -h 8 -w 8 -k 2 -s 2 -mode program -opt 2
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"os"
 
 	"davinci/internal/isa"
+	"davinci/internal/ops"
+	"davinci/internal/opt"
 	"davinci/internal/scu"
 )
 
@@ -24,13 +32,22 @@ func main() {
 	s := flag.Int("s", 2, "stride")
 	pad := flag.Int("pad", 0, "zero padding on every side")
 	maxFractals := flag.Int("fractals", 8, "maximum fractals to print")
-	mode := flag.String("mode", "im2col", "im2col (Fig. 5 load map) or col2im (Fig. 6 scatter map)")
+	mode := flag.String("mode", "im2col", "im2col (Fig. 5 load map), col2im (Fig. 6 scatter map) or program (compiled instruction stream)")
+	variant := flag.String("variant", "im2col", "with -mode program: the maxpool-forward variant to compile")
+	optLevel := flag.Int("opt", 0, "with -mode program: static optimizer level (0=off, 1=rewrites, 2=+rescheduling)")
 	flag.Parse()
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
 	if err := p.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "davinci-layout: %v\n", err)
 		os.Exit(1)
+	}
+	if *mode == "program" {
+		if err := printProgram(p, *variant, opt.Level(*optLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-layout: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	oh, ow := p.OutDims()
 	fmt.Printf("input (%d,%d)  kernel (%d,%d)  stride (%d,%d)  padding %d\n", *h, *w, *k, *k, *s, *s, *pad)
@@ -78,6 +95,28 @@ func main() {
 	if total := p.Kh * p.Kw * p.Fractals(); printed < total {
 		fmt.Printf("... %d more fractals (raise -fractals to print them)\n", total-printed)
 	}
+}
+
+// printProgram dumps a compiled maxpool-forward plan's instruction stream
+// with per-instruction pipe assignments — the program the Fig. 5 layout
+// feeds — plus the optimizer's rewrite report when a level is set.
+func printProgram(p isa.ConvParams, variant string, level opt.Level) error {
+	pl, err := ops.PlanMaxPoolForward(variant, ops.Spec{Opt: level}, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s: %d instructions\n", pl.Prog.Name, len(pl.Prog.Instrs))
+	if r := pl.Opt; r != nil {
+		fmt.Printf("optimizer: %s\n", r.Summary())
+		for _, rw := range r.Rewrites {
+			fmt.Printf("  %s\n", rw)
+		}
+	}
+	fmt.Println()
+	for i, in := range pl.Prog.Instrs {
+		fmt.Printf("%4d  %-6s %s\n", i, in.Pipe(), in)
+	}
+	return nil
 }
 
 // printCol2im renders the Fig. 6 view: for every input-image cell, the

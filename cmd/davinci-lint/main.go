@@ -17,12 +17,21 @@
 // Perf warnings are advisory; only error-severity perf diagnostics (the
 // analyzer's internal self-checks) set exit status 1.
 //
+// With -opt N every kernel is compiled twice — baseline and through the
+// static optimizer (internal/opt) at that level — and the rewrite report
+// is printed: instruction and cycle deltas plus how many of the perf
+// diagnostics the optimizer targets (coalescable runs, serializing
+// set/wait pairs, dead barriers) were discharged. A rejected
+// optimization, a slower optimized program, or a surviving targeted
+// diagnostic sets exit status 1, so the mode doubles as a CI gate.
+//
 // Example:
 //
 //	davinci-lint                  # Fig. 7 InceptionV3 layers
 //	davinci-lint -all             # every Table I layer
 //	davinci-lint -perf            # static performance report + lint
 //	davinci-lint -perf -json      # the same, machine-readable
+//	davinci-lint -opt 2 -all      # optimizer rewrite report, every layer
 //	davinci-lint -fixture broken  # demo diagnostics on a broken program
 package main
 
@@ -40,6 +49,7 @@ import (
 	"davinci/internal/lint"
 	"davinci/internal/lint/perf"
 	"davinci/internal/ops"
+	"davinci/internal/opt"
 	"davinci/internal/workloads"
 )
 
@@ -53,6 +63,7 @@ func run(args []string, out io.Writer) int {
 	all := fs.Bool("all", false, "lint every Table I layer (default: the three Fig. 7 InceptionV3 layers)")
 	perfMode := fs.Bool("perf", false, "print the static performance report (bounds, occupancy, stalls) instead of the correctness lint")
 	jsonOut := fs.Bool("json", false, "with -perf, emit the reports as JSON")
+	optLevel := fs.Int("opt", 0, "compile through the static optimizer at this level and print the rewrite report (before/after cycles and targeted diagnostics)")
 	fixture := fs.String("fixture", "", "lint a named broken fixture instead of the kernels (available: broken)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +71,9 @@ func run(args []string, out io.Writer) int {
 
 	switch *fixture {
 	case "":
+		if *optLevel > 0 {
+			return optKernels(out, *all, opt.Level(*optLevel))
+		}
 		if *perfMode {
 			return perfKernels(out, *all, *jsonOut)
 		}
@@ -254,6 +268,89 @@ func perfKernels(out io.Writer, all, jsonOut bool) int {
 		if err := enc.Encode(rows); err != nil {
 			fmt.Fprintf(out, "davinci-lint: %v\n", err)
 			return 2
+		}
+	}
+	return status
+}
+
+// targetedDiag reports whether a perf diagnostic is one the optimizer is
+// expected to discharge: coalescable repeat=1 runs, serializing set/wait
+// pairs, and dead barriers.
+func targetedDiag(msg string) bool {
+	return strings.Contains(msg, "fuse via the repeat parameter") ||
+		strings.Contains(msg, "serialize with no overlapping work") ||
+		strings.Contains(msg, "orders no cross-pipe dependent accesses")
+}
+
+// optKernels compiles every built-in kernel twice — baseline and through
+// the static optimizer — and prints the rewrite report: instruction and
+// cycle deltas, the translation-validation verdict, and how many of the
+// perf diagnostics the optimizer targets were discharged. A rejected
+// optimization, a slower optimized program, or a surviving targeted
+// diagnostic fails the gate.
+func optKernels(out io.Writer, all bool, level opt.Level) int {
+	status := 0
+	fmt.Fprintf(out, "%-38s %6s %6s %9s %9s %6s %5s %5s %s\n",
+		"KERNEL", "INSTRS", ">OPT", "CYCLES", ">OPT", "SAVED%", "TDIAG", ">OPT", "VERDICT")
+	layers := workloads.InceptionV3Fig7()
+	if all {
+		layers = workloads.TableI
+	}
+	for _, l := range layers {
+		p := l.Params()
+		for _, k := range builtinKernels() {
+			if k.direct && !smallest(layers, l) {
+				continue
+			}
+			label := fmt.Sprintf("%s@%s/%d", k.name, l.Network, l.Index)
+			base, err := k.plan(ops.Spec{}, p)
+			if err != nil {
+				if unschedulable(err) {
+					fmt.Fprintf(out, "%-38s skip (%v)\n", label, err)
+					continue
+				}
+				fmt.Fprintf(out, "%-38s %v\n", label, err)
+				status = 1
+				continue
+			}
+			pl, err := k.plan(ops.Spec{Opt: level}, p)
+			if err != nil {
+				fmt.Fprintf(out, "%-38s optimizing compile: %v\n", label, err)
+				status = 1
+				continue
+			}
+			r := pl.Opt
+			before, after := 0, 0
+			for _, d := range base.Perf.Diags {
+				if targetedDiag(d.Msg) {
+					before++
+				}
+			}
+			for _, d := range pl.Perf.Diags {
+				if targetedDiag(d.Msg) {
+					after++
+				}
+			}
+			if r == nil {
+				fmt.Fprintf(out, "%-38s optimizing spec produced no opt report\n", label)
+				status = 1
+				continue
+			}
+			verdict := "ok"
+			switch {
+			case r.Rejected != "":
+				verdict, status = "REJECTED: "+r.Rejected, 1
+			case r.Cycles > r.BaselineCycles:
+				verdict, status = "SLOWER", 1
+			case after > 0:
+				verdict, status = "TARGETED DIAGS SURVIVE", 1
+			}
+			pct := float64(0)
+			if r.BaselineCycles > 0 {
+				pct = 100 * float64(r.Saved()) / float64(r.BaselineCycles)
+			}
+			fmt.Fprintf(out, "%-38s %6d %6d %9d %9d %5.1f%% %5d %5d %s\n",
+				label, r.BaselineInstrs, r.Instrs, r.BaselineCycles, r.Cycles, pct, before, after, verdict)
 		}
 	}
 	return status

@@ -4,7 +4,10 @@
 // view of §VI. With -trace it also exports the attributed schedule as
 // Chrome trace-event JSON for Perfetto (https://ui.perfetto.dev), and with
 // -gantt it prints an ASCII timeline plus the per-pipe cycle accounting
-// (busy + attributed stalls + idle = makespan).
+// (busy + attributed stalls + idle = makespan). With -opt N the plan is
+// compiled through the static optimizer (internal/opt) at that level and
+// the translation-validated rewrite report is printed; the result is
+// still verified against the reference model.
 //
 // Example:
 //
@@ -23,6 +26,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/obs"
 	"davinci/internal/ops"
+	"davinci/internal/opt"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
 )
@@ -40,6 +44,7 @@ func main() {
 	verify := flag.Bool("verify", true, "check the result against the reference model")
 	trace := flag.String("trace", "", "write the attributed schedule to this file as Chrome trace-event JSON (Perfetto)")
 	gantt := flag.Bool("gantt", false, "print an ASCII per-pipeline timeline and the cycle accounting")
+	optLevel := flag.Int("opt", 0, "static optimizer level (0=off, 1=rewrites, 2=+rescheduling); prints the rewrite report")
 	flag.Parse()
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
@@ -54,7 +59,7 @@ func main() {
 		core.Trace = &aicore.Trace{}
 	}
 
-	st, pl, err := dispatch(core, *op, *variant, in, p, *verify)
+	st, pl, err := dispatch(core, *op, *variant, in, p, *verify, opt.Level(*optLevel))
 	if err != nil {
 		fatal(err)
 	}
@@ -64,6 +69,12 @@ func main() {
 	fmt.Printf("cycles: %d\n", st.Cycles)
 	if r := pl.Perf; r != nil {
 		fmt.Printf("static bounds: %d (pipe occupancy) <= cycles <= %d (critical path)\n", r.BusyBound, r.CritPath)
+	}
+	if r := pl.Opt; r != nil {
+		fmt.Printf("optimizer: %s\n", r.Summary())
+		for _, rw := range r.Rewrites {
+			fmt.Printf("  %s\n", rw)
+		}
 	}
 	fmt.Printf("instructions: %d\n", st.Instrs)
 	fmt.Printf("global-memory traffic: %d bytes in, %d bytes out\n", st.BytesIn, st.BytesOut)
@@ -107,7 +118,7 @@ func main() {
 // dispatch compiles the requested kernel once through the Plan API,
 // replays it on the core, and verifies the outputs against the
 // reference model.
-func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool) (*aicore.Stats, *ops.Plan, error) {
+func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool, level opt.Level) (*aicore.Stats, *ops.Plan, error) {
 	check := func(got, want *tensor.Tensor, what string) error {
 		if !verify {
 			return nil
@@ -119,6 +130,7 @@ func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.Co
 		return nil
 	}
 	spec := ops.SpecFor(core)
+	spec.Opt = level
 	var (
 		pl     *ops.Plan
 		err    error

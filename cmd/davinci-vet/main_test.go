@@ -1,0 +1,141 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src, pkgDir string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "synthetic.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return checkFile(fset, file, pkgDir)
+}
+
+func wantFinding(t *testing.T, fs []finding, substr string) {
+	t.Helper()
+	for _, f := range fs {
+		if strings.Contains(f.msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding containing %q in %v", substr, fs)
+}
+
+func TestSealedProgramMutationFlagged(t *testing.T) {
+	src := `package x
+func f(pl *Plan) {
+	pl.Prog.Emit(nil)
+	pl.Prog.EmitCopy(0, 0, 0, 0, 0)
+	pl.Prog.Instrs = nil
+	pl.Prog.Instrs = append(pl.Prog.Instrs, nil)
+}`
+	fs := check(t, src, "internal/ops")
+	if len(fs) != 4 {
+		t.Fatalf("got %d findings, want 4: %v", len(fs), fs)
+	}
+	wantFinding(t, fs, "emit into a sealed program (pl.Prog.Emit)")
+	wantFinding(t, fs, "write to a sealed program's instruction stream")
+}
+
+func TestOptPackageExemptFromMutationRule(t *testing.T) {
+	src := `package opt
+func f(res *Result) {
+	res.Prog.Emit(nil)
+	res.Prog.Instrs = nil
+}`
+	for _, dir := range []string{"internal/opt", "internal/opt/sub"} {
+		if fs := check(t, src, dir); len(fs) != 0 {
+			t.Errorf("%s: got findings %v, want none", dir, fs)
+		}
+	}
+}
+
+func TestSealedProgramReadsAllowed(t *testing.T) {
+	src := `package x
+func f(pl *Plan) {
+	n := len(pl.Prog.Instrs)
+	for _, in := range pl.Prog.Instrs {
+		_ = in
+	}
+	_ = n
+	synced := AutoSync(pl.Prog)
+	_ = synced
+	local := New("p")
+	local.Emit(nil)
+}`
+	if fs := check(t, src, "cmd/davinci-lint"); len(fs) != 0 {
+		t.Errorf("got findings %v, want none", fs)
+	}
+}
+
+func TestNonCanonicalLabelKeyFlagged(t *testing.T) {
+	src := `package x
+func f(r *Registry) {
+	r.Counter("reqs", "flavor", "mint").Inc()
+	r.Gauge("depth", "impl", "a", "shade", "b").Set(1)
+	r.Histogram("lat", nil, "weird", "k").Observe(2)
+}`
+	fs := check(t, src, "internal/chip")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(fs), fs)
+	}
+	wantFinding(t, fs, `non-canonical metric label key "flavor"`)
+	wantFinding(t, fs, `non-canonical metric label key "shade"`)
+	wantFinding(t, fs, `non-canonical metric label key "weird"`)
+}
+
+func TestCanonicalLabelsPass(t *testing.T) {
+	src := `package x
+func f(r *Registry) {
+	r.Counter("opt_rewrites", "pass", name).Add(1)
+	r.Counter("faults_injected", "kind", k.String()).Inc()
+	r.Gauge("bench_cycles", "experiment", "sweep", "input", input, "impl", impl).Set(c)
+	r.Histogram("sweep_program_cycles", nil).Observe(c)
+	r.Counter("plan_cache_hits").Inc()
+}`
+	if fs := check(t, src, "internal/bench"); len(fs) != 0 {
+		t.Errorf("got findings %v, want none", fs)
+	}
+}
+
+func TestOddLabelListFlagged(t *testing.T) {
+	src := `package x
+func f(r *Registry) {
+	r.Counter("reqs", "kind").Inc()
+}`
+	fs := check(t, src, "internal/chip")
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(fs), fs)
+	}
+	wantFinding(t, fs, "odd metric label list")
+}
+
+func TestDynamicCallsSkipped(t *testing.T) {
+	src := `package x
+func f(r *Registry, name string, kv []string) {
+	r.Counter(name, "flavor", "mint").Inc()
+	r.Counter("reqs", kv...).Inc()
+	r.Counter("reqs", key, "v").Inc()
+}`
+	if fs := check(t, src, "internal/chip"); len(fs) != 0 {
+		t.Errorf("got findings %v, want none", fs)
+	}
+}
+
+// TestVetRepo runs the checker over the real repository tree: the
+// committed code must be clean, and the walk must skip testdata.
+func TestVetRepo(t *testing.T) {
+	findings, err := vet("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -247,16 +247,15 @@ func (c *Core) ExecOnly(prog *cce.Program) error {
 }
 
 // schedule is the shared body of Run and Replay: functional execution in
-// program order plus the implicit-sync timing scoreboard. Every start time
-// it computes is identical to the pre-attribution scoreboard: a barrier now
-// raises a floor proposed to every later instruction instead of rewriting
-// pipeFree, which yields the same maximum while letting the wait surface as
-// an attributed stall on the pipe that actually pays it.
+// program order plus the implicit-sync timing scoreboard (see board, which
+// also backs the static Time oracle). Every start time the board computes
+// is identical to the pre-attribution scoreboard: a barrier raises a floor
+// proposed to every later instruction instead of rewriting pipeFree, which
+// yields the same maximum while letting the wait surface as an attributed
+// stall on the pipe that actually pays it.
 func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 	stats := &Stats{}
-	var pipeFree [isa.NumPipes]int64
-	var barrierFloor int64
-	bufs := make([]bufTimes, isa.NumBufs)
+	board := newBoard(c.Cost, c.Serialize)
 	if c.Trace != nil {
 		c.Trace.grow(len(prog.Instrs))
 	}
@@ -279,65 +278,8 @@ func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 
 		pipe := in.Pipe()
 		cost := in.Cycles(c.Cost)
-		_, isBarrier := in.(*isa.BarrierInstr)
-
 		tr := newStallTracker()
-		tr.propose(barrierFloor, StallBarrier, 0, -1)
-		if isBarrier || c.Serialize {
-			// Wait for everything issued so far (a barrier join; Serialize
-			// imposes the same join before every instruction).
-			tr.propose(stats.Cycles, StallBarrier, 0, -1)
-			for _, f := range pipeFree {
-				tr.propose(f, StallBarrier, 0, -1)
-			}
-		} else {
-			reads, writes := in.Reads(), in.Writes()
-			for _, r := range reads { // RAW
-				b := &bufs[r.Buf]
-				t, p := b.lastOverlap(b.writes, r)
-				tr.propose(t, StallRAW, r.Buf, p)
-				tr.propose(b.floorW, StallRAW, r.Buf, -1)
-			}
-			for _, w := range writes { // WAW and WAR
-				b := &bufs[w.Buf]
-				t, p := b.lastOverlap(b.writes, w)
-				tr.propose(t, StallWAW, w.Buf, p)
-				t, p = b.lastOverlap(b.reads, w)
-				tr.propose(t, StallWAR, w.Buf, p)
-				tr.propose(b.floorW, StallWAW, w.Buf, -1)
-				tr.propose(b.floorR, StallWAR, w.Buf, -1)
-			}
-		}
-
-		start := pipeFree[pipe]
-		if tr.t > start {
-			start = tr.t
-		}
-		end := start + cost
-		stall := tr.resolve(pipeFree[pipe])
-		pipeFree[pipe] = end
-		if isBarrier {
-			// Nothing may start before the barrier completes.
-			barrierFloor = end
-		}
-
-		// Record accesses for later hazards.
-		if !isBarrier {
-			for _, r := range in.Reads() {
-				b := &bufs[r.Buf]
-				b.reads = append(b.reads, interval{r.Off, r.End, end, idx})
-				if len(b.reads) > historyCap {
-					b.reads = foldOldest(b.reads, &b.floorR)
-				}
-			}
-			for _, w := range in.Writes() {
-				b := &bufs[w.Buf]
-				b.writes = append(b.writes, interval{w.Off, w.End, end, idx})
-				if len(b.writes) > historyCap {
-					b.writes = foldOldest(b.writes, &b.floorW)
-				}
-			}
-		}
+		start, end, stall := board.place(in, idx, &tr)
 
 		if c.Trace != nil {
 			c.Trace.record(idx, in, start, end, stall)
@@ -353,9 +295,7 @@ func (c *Core) schedule(prog *cce.Program) (*Stats, error) {
 				stats.BytesOut += int64(cp.Bytes())
 			}
 		}
-		if end > stats.Cycles {
-			stats.Cycles = end
-		}
 	}
+	stats.Cycles = board.cycles
 	return stats, nil
 }

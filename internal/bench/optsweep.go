@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"davinci/internal/kernelcases"
+	"davinci/internal/ops"
+	"davinci/internal/opt"
+	"davinci/internal/workloads"
+)
+
+// OptSweep compiles every built-in kernel on every Table I layer twice —
+// baseline and under the static optimizer at LevelSchedule — and reports
+// the scheduled-makespan delta per program. Both cycle columns come from
+// the optimizer's own translation-validated report (aicore.Time, the
+// exact implicit-sync makespan Run would measure), so no replay is
+// needed. Any program the gate rejects, or that compiles slower with the
+// optimizer on, is an error: this is the CI regression gate. Per-program
+// cycles land in o.Metrics as bench_cycles gauges under impl
+// "<kernel>/base" and "<kernel>/opt", next to the plan-cache
+// opt_rewrites / opt_cycles_saved counters the optimizing plans bump.
+func OptSweep(o Options) (*Table, error) {
+	t := &Table{
+		Experiment: fmt.Sprintf("Optimizer sweep: every kernel on every layer, %v vs baseline", opt.LevelSchedule),
+		Note:       "cycles are the scheduled makespan (aicore.Time); every optimized program is translation-validated",
+		Columns:    []string{"base", "opt", "saved", "speedup"},
+	}
+	spec := ops.Spec{Buffers: o.Chip.Buffers, Opt: opt.LevelSchedule}
+	cache := ops.NewPlanCache()
+	if o.Metrics != nil {
+		cache = ops.NewPlanCacheOn(o.Metrics)
+	}
+	skipped, faster := 0, 0
+	byPass := map[string]int{}
+	for _, layer := range workloads.TableI {
+		p := layer.Params()
+		for _, kc := range kernelcases.All() {
+			key := ops.PlanKey{Kernel: kc.Name, Params: p, Spec: spec}
+			pl, err := cache.Get(key, func() (*ops.Plan, error) { return kc.Plan(spec, p) })
+			if err != nil {
+				if kernelcases.IsCapacitySkip(err) {
+					skipped++
+					continue
+				}
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: %w", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			r := pl.Opt
+			if r == nil {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: optimizing spec produced no opt report", kc.Name, layer.H, layer.W, layer.C)
+			}
+			if !r.Validated || r.Rejected != "" {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: optimization rejected: %s", kc.Name, layer.H, layer.W, layer.C, r.Summary())
+			}
+			if r.Cycles > r.BaselineCycles {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: optimized program slower: %s", kc.Name, layer.H, layer.W, layer.C, r.Summary())
+			}
+			if r.Cycles < r.BaselineCycles {
+				faster++
+			}
+			for _, rw := range r.Rewrites {
+				byPass[rw.Pass] += rw.Applied
+			}
+			label := fmt.Sprintf("%-26s %3dx%3dx%4d", kc.Name, layer.H, layer.W, layer.C)
+			t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
+				float64(r.BaselineCycles), float64(r.Cycles),
+				float64(r.Saved()), float64(r.BaselineCycles) / float64(r.Cycles),
+			}})
+			input := fmt.Sprintf("%dx%dx%d", layer.H, layer.W, layer.C)
+			o.record("optsweep", input, kc.Name+"/base", float64(r.BaselineCycles))
+			o.record("optsweep", input, kc.Name+"/opt", float64(r.Cycles))
+		}
+	}
+	passes := make([]string, 0, len(byPass))
+	for p := range byPass {
+		passes = append(passes, p)
+	}
+	sort.Strings(passes)
+	note := ""
+	for _, p := range passes {
+		note += fmt.Sprintf(" %s:%d", p, byPass[p])
+	}
+	t.Note += fmt.Sprintf("; %d/%d programs faster, %d capacity skips; rewrites:%s",
+		faster, len(t.Rows), skipped, note)
+	t.Plans = cache.Stats()
+	return t, nil
+}

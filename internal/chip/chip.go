@@ -25,6 +25,7 @@ import (
 	"davinci/internal/lint/perf"
 	"davinci/internal/obs"
 	"davinci/internal/ops"
+	"davinci/internal/opt"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
 )
@@ -44,6 +45,10 @@ type Config struct {
 	Cost *isa.CostModel
 	// Serialize disables intra-core pipeline overlap (ablation).
 	Serialize bool
+	// Opt selects the static optimizer level (internal/opt) applied to
+	// every plan the chip compiles; 0 (opt.LevelNone) runs the kernels'
+	// emitted programs untouched.
+	Opt opt.Level
 	// Metrics is the registry the chip's counters (and its plan cache's)
 	// register in; nil gives the chip a private registry. Benchmarks pass
 	// a shared registry so one snapshot covers every device they build.
@@ -96,7 +101,7 @@ func New(cfg Config) *Chip {
 	}
 	return &Chip{
 		cfg:           cfg,
-		spec:          ops.Spec{Buffers: cfg.Buffers},
+		spec:          ops.Spec{Buffers: cfg.Buffers, Opt: cfg.Opt},
 		plans:         ops.NewPlanCacheOn(cfg.Metrics),
 		metrics:       cfg.Metrics,
 		tiles:         cfg.Metrics.Counter("chip_tiles"),

@@ -4,190 +4,50 @@ import (
 	"fmt"
 
 	"davinci/internal/cce"
-	"davinci/internal/isa"
+	"davinci/internal/depgraph"
 )
-
-// pipeVec is a symbolic vector clock: pipeVec[p] counts how many
-// instructions at the front of pipe p's issue queue are guaranteed
-// complete.
-type pipeVec [isa.NumPipes]int
-
-func (a pipeVec) join(b pipeVec) pipeVec {
-	for i := range a {
-		if b[i] > a[i] {
-			a[i] = b[i]
-		}
-	}
-	return a
-}
 
 // checkHazards recomputes cross-pipe RAW/WAW/WAR dependencies exactly the
 // way cce.AutoSync does, then verifies that the program's explicit
 // schedule orders every one of them — without trusting AutoSync itself.
 //
-// The verification replays aicore.RunExplicit's issue discipline
-// symbolically: per-pipe in-order queues, counting tokens for
-// set_flag/wait_flag, and barriers that wait for everything before them.
-// Instead of cycle times, each instruction gets a vector clock of
-// completions guaranteed before it starts. A dependency from producer j
-// (on pipe q) to consumer i is ordered if and only if i's start clock
-// shows j's position on q complete. Because pipes issue in order, checking
-// the latest conflicting access per producing pipe covers every earlier
-// one on that pipe — the same argument AutoSync relies on when it syncs
-// only the latest producer.
+// Both the dependence set and the symbolic schedule replay live in
+// internal/depgraph, shared with the static optimizer (internal/opt): the
+// verification replays aicore.RunExplicit's issue discipline symbolically
+// (per-pipe in-order queues, counting tokens for set_flag/wait_flag, and
+// barriers that wait for everything before them), giving each instruction
+// a vector clock of completions guaranteed before it starts. A dependency
+// from producer j (on pipe q) to consumer i is ordered if and only if i's
+// start clock shows j's position on q complete. Because pipes issue in
+// order, checking the latest conflicting access per producing pipe covers
+// every earlier one on that pipe — the same argument AutoSync relies on
+// when it syncs only the latest producer.
 func checkHazards(prog *cce.Program) []Diagnostic {
-	n := len(prog.Instrs)
-	type item struct {
-		idx int
-		in  isa.Instr
+	sched := depgraph.Replay(prog)
+	if len(sched.Deadlocked) > 0 {
+		// Deadlock: every pipe with pending work is blocked on a token
+		// that will never arrive (the sync pass pinpoints the unmatched
+		// channel). Coverage analysis would be noise here.
+		var diags []Diagnostic
+		for _, idx := range sched.Deadlocked {
+			diags = append(diags, Diagnostic{
+				Pass: "hazard", Sev: SevError, Index: idx, Instr: prog.Instrs[idx].String(),
+				Msg: fmt.Sprintf("schedule deadlocks: %v is blocked here with no token available", sched.PipeOf[idx]),
+			})
+		}
+		return diags
 	}
-	var pipes [isa.NumPipes][]item
-	pipeOf := make([]isa.Pipe, n)
-	pos := make([]int, n) // position within the pipe's issue queue
-	for idx, in := range prog.Instrs {
-		p := in.Pipe()
-		pipeOf[idx] = p
-		pos[idx] = len(pipes[p])
-		pipes[p] = append(pipes[p], item{idx, in})
-	}
-	// before[i][p] counts instructions on pipe p with program index < i:
-	// the completions a barrier at index i waits for.
-	before := make([]pipeVec, n+1)
-	for idx := range prog.Instrs {
-		before[idx+1] = before[idx]
-		before[idx+1][pipeOf[idx]]++
-	}
-
-	startClock := make([]pipeVec, n)
-	var heads [isa.NumPipes]int
-	var pipeClock [isa.NumPipes]pipeVec
-	tokens := map[flagKey][]pipeVec{}
-	completed := make([]bool, n)
-	completedCount, firstIncomplete := 0, 0
 
 	var diags []Diagnostic
-	for completedCount < n {
-		progress := false
-		for p := isa.Pipe(0); p < isa.NumPipes; p++ {
-			for heads[p] < len(pipes[p]) {
-				it := pipes[p][heads[p]]
-				clk := pipeClock[p]
-				switch v := it.in.(type) {
-				case *isa.WaitFlagInstr:
-					k := flagKey{v.SrcPipe, v.DstPipe, v.Event}
-					q := tokens[k]
-					if len(q) == 0 {
-						goto nextPipe // blocked until a token arrives
-					}
-					clk = clk.join(q[0])
-					tokens[k] = q[1:]
-				case *isa.BarrierInstr:
-					for firstIncomplete < n && completed[firstIncomplete] {
-						firstIncomplete++
-					}
-					if firstIncomplete < it.idx {
-						goto nextPipe // an earlier instruction is still pending
-					}
-					clk = clk.join(before[it.idx])
-				}
-				if pos[it.idx] > clk[p] {
-					clk[p] = pos[it.idx] // in-order issue: earlier same-pipe work is done
-				}
-				startClock[it.idx] = clk
-				end := clk
-				end[p] = pos[it.idx] + 1
-				if sf, ok := it.in.(*isa.SetFlagInstr); ok {
-					k := flagKey{sf.SrcPipe, sf.DstPipe, sf.Event}
-					tokens[k] = append(tokens[k], end)
-				}
-				if _, ok := it.in.(*isa.BarrierInstr); ok {
-					// Nothing later on any pipe starts before the barrier ends.
-					for q := range pipeClock {
-						pipeClock[q] = pipeClock[q].join(end)
-					}
-				}
-				pipeClock[p] = end
-				completed[it.idx] = true
-				completedCount++
-				heads[p]++
-				progress = true
-			}
-		nextPipe:
-		}
-		if !progress {
-			// Deadlock: every pipe with pending work is blocked on a
-			// token that will never arrive (the sync pass pinpoints the
-			// unmatched channel). Coverage analysis would be noise here.
-			for p := isa.Pipe(0); p < isa.NumPipes; p++ {
-				if heads[p] < len(pipes[p]) {
-					it := pipes[p][heads[p]]
-					diags = append(diags, Diagnostic{
-						Pass: "hazard", Sev: SevError, Index: it.idx, Instr: it.in.String(),
-						Msg: fmt.Sprintf("schedule deadlocks: %v is blocked here with no token available", p),
-					})
-				}
-			}
-			return diags
-		}
-	}
-
-	// Dependency scan, mirroring cce.AutoSync: program order, latest
-	// conflicting cross-pipe access per producing pipe, barriers cut the
-	// analysis (they order everything across them).
-	type access struct {
-		idx    int
-		pipe   isa.Pipe
-		region isa.Region
-	}
-	type dep struct {
-		idx    int
-		kind   string
-		region isa.Region
-	}
-	var writes, reads []access
-	for idx, in := range prog.Instrs {
-		if _, ok := in.(*isa.BarrierInstr); ok {
-			writes, reads = nil, nil
+	for _, d := range depgraph.CrossPipeDeps(prog) {
+		if sched.Ordered(d.Consumer, d.Producer) {
 			continue
 		}
-		pipe := pipeOf[idx]
-		var latest [isa.NumPipes]*dep
-		consider := func(list []access, kind string, r isa.Region) {
-			for _, a := range list {
-				if a.pipe == pipe || !a.region.Overlaps(r) {
-					continue
-				}
-				if cur := latest[a.pipe]; cur == nil || a.idx > cur.idx {
-					latest[a.pipe] = &dep{a.idx, kind, r}
-				}
-			}
-		}
-		inReads, inWrites := in.Reads(), in.Writes()
-		for _, r := range inReads {
-			consider(writes, "read-after-write", r)
-		}
-		for _, w := range inWrites {
-			consider(writes, "write-after-write", w)
-			consider(reads, "write-after-read", w)
-		}
-		for p, d := range latest {
-			if d == nil {
-				continue
-			}
-			if startClock[idx][p] < pos[d.idx]+1 {
-				diags = append(diags, Diagnostic{
-					Pass: "hazard", Sev: SevError, Index: idx, Instr: in.String(), Region: d.region,
-					Msg: fmt.Sprintf("%s dependency on instr %d (%s) over %v is not ordered by any flag or barrier",
-						d.kind, d.idx, prog.Instrs[d.idx], d.region),
-				})
-			}
-		}
-		for _, r := range inReads {
-			reads = append(reads, access{idx, pipe, r})
-		}
-		for _, w := range inWrites {
-			writes = append(writes, access{idx, pipe, w})
-		}
+		diags = append(diags, Diagnostic{
+			Pass: "hazard", Sev: SevError, Index: d.Consumer, Instr: prog.Instrs[d.Consumer].String(), Region: d.Region,
+			Msg: fmt.Sprintf("%s dependency on instr %d (%s) over %v is not ordered by any flag or barrier",
+				d.Kind, d.Producer, prog.Instrs[d.Producer], d.Region),
+		})
 	}
 	return diags
 }

@@ -1,0 +1,23 @@
+package obs
+
+// CanonicalLabelKeys is the closed set of metric label keys this repo
+// uses. Keeping the key vocabulary small and shared is what makes
+// snapshots joinable across subsystems — the chip's fault counters, the
+// plan cache's optimizer counters and the bench gauges all meet in one
+// BENCH_<rev>.json — so new keys are added here deliberately, not minted
+// ad hoc at call sites. cmd/davinci-vet enforces that every literal label
+// key passed to Counter/Gauge/Histogram is in this set.
+var CanonicalLabelKeys = map[string]bool{
+	// cause attributes stall cycles to a scoreboard reason (aicore.StallCause).
+	"cause": true,
+	// experiment names the bench experiment a cell belongs to ("fig7a", "sweep", "optsweep").
+	"experiment": true,
+	// impl names the kernel implementation or variant measured ("im2col", "maxpool_bwd/standard/opt").
+	"impl": true,
+	// input identifies the workload shape ("147x147x64").
+	"input": true,
+	// kind classifies injected faults (faults.Kind).
+	"kind": true,
+	// pass names an optimizer pass ("coalesce-vec", "reschedule").
+	"pass": true,
+}

@@ -30,6 +30,7 @@ import (
 	"davinci/internal/lint"
 	"davinci/internal/lint/perf"
 	"davinci/internal/obs"
+	"davinci/internal/opt"
 	"davinci/internal/tensor"
 )
 
@@ -44,6 +45,13 @@ type Spec struct {
 	// Strict lints the program at compile time (amortizing what
 	// aicore.Core.Strict previously paid on every run).
 	Strict bool
+	// Opt selects the static optimizer level applied when the plan is
+	// sealed (internal/opt). The optimized program must pass the
+	// translation-validation gate — lint-clean, bit-identical global
+	// memory, no cycle regression — or the plan keeps the baseline; either
+	// way the outcome is recorded in Plan.Opt. Part of the cache key, so
+	// optimized and baseline plans of one shape coexist.
+	Opt opt.Level
 }
 
 // SpecFor derives the Spec matching an existing core, so the legacy
@@ -100,7 +108,12 @@ type Plan struct {
 	// Perf is the static performance analysis of Prog under the default
 	// cost model, computed once at compile time: occupancy lower bound,
 	// critical-path upper bound, utilization metrics and perf diagnostics.
+	// Under an optimizing Spec it describes the optimized program.
 	Perf *perf.Report
+	// Opt is the optimizer's report when the Spec requested a level above
+	// opt.LevelNone (what each pass rewrote, cycles saved, or why the
+	// result was rejected and the baseline kept); nil otherwise.
+	Opt *opt.Result
 
 	slots  []gmSlot
 	outs   []gmRead
@@ -246,8 +259,10 @@ func (b *planner) output(addr int, shape ...int) {
 }
 
 // seal validates the emitted program (and lints it under a strict spec),
-// records the plan's global-memory footprint, and returns the finished
-// immutable plan.
+// applies the spec's optimizer level, records the plan's global-memory
+// footprint, and returns the finished immutable plan. Optimization
+// happens here — after validation, before the perf analysis — so every
+// downstream consumer (replay, perf reports, traces) sees one program.
 func (b *planner) seal(prog *cce.Program, spec Spec) (*Plan, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -257,6 +272,10 @@ func (b *planner) seal(prog *cce.Program, spec Spec) (*Plan, error) {
 		if errs := lint.Errors(diags); len(errs) > 0 {
 			return nil, fmt.Errorf("ops: %s: strict lint: %d error(s), first: %s", prog.Name, len(errs), errs[0])
 		}
+	}
+	if spec.Opt > opt.LevelNone {
+		b.pl.Opt = opt.Optimize(prog, opt.Options{Level: spec.Opt, Buffers: spec.Buffers})
+		prog = b.pl.Opt.Prog
 	}
 	b.pl.Prog = prog
 	b.pl.Perf = perf.Analyze(prog, perf.Options{Caps: spec.Buffers.Capacities()})
@@ -379,6 +398,17 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 		e.plan, e.err = compile()
 		if e.err == nil {
 			c.compiled.Inc()
+			if r := e.plan.Opt; r != nil {
+				for _, rw := range r.Rewrites {
+					c.metrics.Counter("opt_rewrites", "pass", rw.Pass).Add(int64(rw.Applied))
+				}
+				if saved := r.Saved(); saved > 0 {
+					c.metrics.Counter("opt_cycles_saved").Add(saved)
+				}
+				if r.Rejected != "" {
+					c.metrics.Counter("opt_rejected").Inc()
+				}
+			}
 		}
 		e.done.Store(true)
 	})

@@ -1,0 +1,138 @@
+package opt_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"davinci/internal/aicore"
+	"davinci/internal/buffer"
+	"davinci/internal/kernelcases"
+	"davinci/internal/ops"
+	"davinci/internal/opt"
+	"davinci/internal/workloads"
+)
+
+// targetedDiag reports whether a perf diagnostic is one the optimizer is
+// expected to discharge: coalescable repeat=1 runs, serializing set/wait
+// pairs, and dead barriers.
+func targetedDiag(msg string) bool {
+	return strings.Contains(msg, "fuse via the repeat parameter") ||
+		strings.Contains(msg, "serialize with no overlapping work") ||
+		strings.Contains(msg, "orders no cross-pipe dependent accesses")
+}
+
+// TestSweepOptimizedKernels is the acceptance gate over the full kernel x
+// Table I sweep: every optimized program must validate (bit-identical
+// global memory, lint-clean), must never be slower than its baseline, must
+// carry none of the perf diagnostics the optimizer targets — and a
+// substantial fraction of the sweep must get measurably faster.
+func TestSweepOptimizedKernels(t *testing.T) {
+	var mu sync.Mutex
+	faster, total := 0, 0
+	t.Run("cases", func(t *testing.T) {
+		for _, c := range kernelcases.All() {
+			c := c
+			t.Run(strings.ReplaceAll(c.Name, "/", "_"), func(t *testing.T) {
+				t.Parallel()
+				for _, l := range workloads.TableI {
+					name := fmt.Sprintf("%s_%d", l.Network, l.Index)
+					p := l.Params()
+					pl, err := c.Plan(ops.Spec{Opt: opt.LevelSchedule}, p)
+					if kernelcases.IsCapacitySkip(err) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					r := pl.Opt
+					if r == nil {
+						t.Fatalf("%s: optimizing spec produced no opt report", name)
+					}
+					if !r.Validated || r.Rejected != "" {
+						t.Errorf("%s: optimization not validated: %s", name, r.Summary())
+						continue
+					}
+					if r.Cycles > r.BaselineCycles {
+						t.Errorf("%s: optimized program slower: %s", name, r.Summary())
+					}
+					for _, d := range pl.Perf.Diags {
+						if targetedDiag(d.Msg) {
+							t.Errorf("%s: targeted diagnostic survives optimization: %s", name, d.Msg)
+						}
+					}
+					mu.Lock()
+					total++
+					if r.Cycles < r.BaselineCycles {
+						faster++
+					}
+					mu.Unlock()
+				}
+			})
+		}
+	})
+	if total == 0 {
+		t.Fatal("sweep compiled no programs")
+	}
+	t.Logf("sweep: %d/%d programs measurably faster under %v", faster, total, opt.LevelSchedule)
+	if 4*faster < total {
+		t.Errorf("only %d/%d optimized programs are faster; want at least 25%%", faster, total)
+	}
+}
+
+// TestQuickCheckOptimizedOutputs is the randomized equivalence check: for
+// a seeded permutation of the Table I shapes, every kernel's baseline and
+// optimized plans must produce bit-identical outputs on random inputs.
+// Subtests run in parallel so `go test -race` also exercises concurrent
+// compilation and replay of optimizing plans.
+func TestQuickCheckOptimizedOutputs(t *testing.T) {
+	perm := rand.New(rand.NewSource(20260808)).Perm(len(workloads.TableI))
+	layers := make([]workloads.CNNLayer, 0, 3)
+	for _, i := range perm[:3] {
+		layers = append(layers, workloads.TableI[i])
+	}
+	for ci, c := range kernelcases.All() {
+		c, ci := c, ci
+		t.Run(strings.ReplaceAll(c.Name, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			for li, l := range layers {
+				name := fmt.Sprintf("%s_%d", l.Network, l.Index)
+				p := l.Params()
+				base, err := c.Plan(ops.Spec{}, p)
+				if kernelcases.IsCapacitySkip(err) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				optimized, err := c.Plan(ops.Spec{Opt: opt.LevelRewrite}, p)
+				if err != nil {
+					t.Fatalf("%s: optimizing compile: %v", name, err)
+				}
+				rng := rand.New(rand.NewSource(int64(1000*ci + li)))
+				inputs := c.Inputs(rng, p)
+				coreA := aicore.New(buffer.Config{}, nil)
+				coreB := aicore.New(buffer.Config{}, nil)
+				outsA, _, err := base.Run(coreA, inputs...)
+				if err != nil {
+					t.Fatalf("%s: baseline run: %v", name, err)
+				}
+				outsB, _, err := optimized.Run(coreB, inputs...)
+				if err != nil {
+					t.Fatalf("%s: optimized run: %v", name, err)
+				}
+				if len(outsA) != len(outsB) {
+					t.Fatalf("%s: output count %d vs %d", name, len(outsA), len(outsB))
+				}
+				for i := range outsA {
+					if !bytes.Equal(outsA[i].Data, outsB[i].Data) {
+						t.Errorf("%s: output %d diverges between baseline and optimized plans", name, i)
+					}
+				}
+			}
+		})
+	}
+}
