@@ -6,15 +6,18 @@
 //	davinci-bench [flags] [experiment ...]
 //
 // Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
-// perf, sweep, optsweep, all (default: all). "sweep" runs every built-in
-// kernel on every Table I layer on a traced core, checking the
+// perf, sweep, optsweep, autosched, all (default: all). "sweep" runs every
+// built-in kernel on every Table I layer on a traced core, checking the
 // cycle-accounting identity per program; "optsweep" compiles the same
 // programs baseline vs the static optimizer (internal/opt) and fails if
 // any translation-validated program got slower — the CI opt regression
-// gate. -opt N compiles every other experiment's plans at that optimizer
-// level. With -metrics FILE, every measured cell plus the chip,
-// plan-cache and opt_rewrites counters are dumped as a JSON snapshot (the
-// CI BENCH_<rev>.json artifact).
+// gate. "autosched" compiles the same programs with the schedule search
+// (internal/sched) and fails if a searched schedule regresses on any
+// program — the autoscheduler regression gate. -opt N compiles every
+// other experiment's plans at that optimizer level. With -metrics FILE,
+// every measured cell plus the chip, plan-cache, opt_rewrites and
+// sched_* counters are dumped as a JSON snapshot (the CI BENCH_<rev>.json
+// artifact).
 package main
 
 import (
@@ -178,6 +181,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.TableISweep(opts))
 	case "optsweep":
 		return emit(bench.OptSweep(opts))
+	case "autosched":
+		return emit(bench.AutoschedSweep(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -192,6 +197,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, autosched, all)")
 	}
 }

@@ -8,10 +8,17 @@
 // after the static optimizer (internal/opt), alongside its
 // translation-validated rewrite report.
 //
+// With -mode schedule it runs the schedule search (internal/sched) for
+// the kernel named by -kernel and dumps the candidate frontier: every
+// ScheduleParams the enumerator tried, its static makespan bounds, the
+// oracle-confirmed cycles where the search paid for a simulation, and
+// which candidate won.
+//
 // Example (the exact Fig. 5 configuration):
 //
 //	davinci-layout -h 8 -w 8 -k 2 -s 2
 //	davinci-layout -h 8 -w 8 -k 2 -s 2 -mode program -opt 2
+//	davinci-layout -h 112 -w 112 -k 3 -s 2 -mode schedule -kernel maxpool_fwd/standard
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/ops"
 	"davinci/internal/opt"
+	"davinci/internal/sched"
 	"davinci/internal/scu"
 )
 
@@ -32,9 +40,10 @@ func main() {
 	s := flag.Int("s", 2, "stride")
 	pad := flag.Int("pad", 0, "zero padding on every side")
 	maxFractals := flag.Int("fractals", 8, "maximum fractals to print")
-	mode := flag.String("mode", "im2col", "im2col (Fig. 5 load map), col2im (Fig. 6 scatter map) or program (compiled instruction stream)")
+	mode := flag.String("mode", "im2col", "im2col (Fig. 5 load map), col2im (Fig. 6 scatter map), program (compiled instruction stream) or schedule (autoscheduler candidate frontier)")
 	variant := flag.String("variant", "im2col", "with -mode program: the maxpool-forward variant to compile")
 	optLevel := flag.Int("opt", 0, "with -mode program: static optimizer level (0=off, 1=rewrites, 2=+rescheduling)")
+	kernel := flag.String("kernel", "maxpool_fwd/standard", "with -mode schedule: the family/variant kernel to search")
 	flag.Parse()
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
@@ -44,6 +53,13 @@ func main() {
 	}
 	if *mode == "program" {
 		if err := printProgram(p, *variant, opt.Level(*optLevel)); err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-layout: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mode == "schedule" {
+		if err := printSchedule(p, *kernel); err != nil {
 			fmt.Fprintf(os.Stderr, "davinci-layout: %v\n", err)
 			os.Exit(1)
 		}
@@ -115,6 +131,43 @@ func printProgram(p isa.ConvParams, variant string, level opt.Level) error {
 	fmt.Println()
 	for i, in := range pl.Prog.Instrs {
 		fmt.Printf("%4d  %-6s %s\n", i, in.Pipe(), in)
+	}
+	return nil
+}
+
+// printSchedule runs the autoscheduler for one kernel and dumps the
+// candidate frontier: the hand-tuned default first, then every valid
+// candidate by ascending critical path, then the candidates the
+// enumerator proposed but the lowering rejected as outside the kernel's
+// schedule space.
+func printSchedule(p isa.ConvParams, kernel string) error {
+	res, err := sched.Search(kernel, ops.Spec{}, p, sched.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule frontier for %s on input (%d,%d) kernel (%d,%d) stride (%d,%d):\n",
+		res.Kernel, p.Ih, p.Iw, p.Kh, p.Kw, p.Sh, p.Sw)
+	fmt.Printf("%s\n\n", res.Report.Summary())
+	fmt.Printf("%-44s %10s %10s %10s  %s\n", "schedule", "critpath", "busybound", "cycles", "status")
+	for _, c := range res.Candidates {
+		if c.Invalid != "" {
+			fmt.Printf("%-44s %10s %10s %10s  rejected: %s\n", c.Params, "-", "-", "-", c.Invalid)
+			continue
+		}
+		status := "bounded"
+		switch {
+		case res.Report.Accepted && c.Resolved == res.Report.Params:
+			status = "ACCEPTED"
+		case c.Default:
+			status = "default"
+		case c.Confirmed:
+			status = "confirmed"
+		}
+		cycles := "-"
+		if c.Confirmed {
+			cycles = fmt.Sprintf("%d", c.Cycles)
+		}
+		fmt.Printf("%-44s %10d %10d %10s  %s\n", c.Resolved, c.CritPath, c.BusyBound, cycles, status)
 	}
 	return nil
 }

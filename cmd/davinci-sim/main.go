@@ -7,7 +7,11 @@
 // (busy + attributed stalls + idle = makespan). With -opt N the plan is
 // compiled through the static optimizer (internal/opt) at that level and
 // the translation-validated rewrite report is printed; the result is
-// still verified against the reference model.
+// still verified against the reference model. With -autosched the
+// schedule search (internal/sched) picks the schedule instead of the
+// hand-tuned default: the chosen ScheduleParams and the search summary
+// are printed, and the oracle-predicted cycles can be compared against
+// the simulated makespan on the line below.
 //
 // Example:
 //
@@ -28,6 +32,7 @@ import (
 	"davinci/internal/ops"
 	"davinci/internal/opt"
 	"davinci/internal/ref"
+	_ "davinci/internal/sched" // registers the autoscheduler -autosched dispatches to
 	"davinci/internal/tensor"
 )
 
@@ -45,6 +50,7 @@ func main() {
 	trace := flag.String("trace", "", "write the attributed schedule to this file as Chrome trace-event JSON (Perfetto)")
 	gantt := flag.Bool("gantt", false, "print an ASCII per-pipeline timeline and the cycle accounting")
 	optLevel := flag.Int("opt", 0, "static optimizer level (0=off, 1=rewrites, 2=+rescheduling); prints the rewrite report")
+	autosched := flag.Bool("autosched", false, "search the schedule space (internal/sched) instead of using the hand-tuned default; prints the chosen ScheduleParams and predicted vs simulated cycles")
 	flag.Parse()
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
@@ -59,7 +65,7 @@ func main() {
 		core.Trace = &aicore.Trace{}
 	}
 
-	st, pl, err := dispatch(core, *op, *variant, in, p, *verify, opt.Level(*optLevel))
+	st, pl, err := dispatch(core, *op, *variant, in, p, *verify, opt.Level(*optLevel), *autosched)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +81,11 @@ func main() {
 		for _, rw := range r.Rewrites {
 			fmt.Printf("  %s\n", rw)
 		}
+	}
+	if a := pl.Auto; a != nil {
+		fmt.Printf("autoschedule: %s\n", a.Summary())
+		fmt.Printf("  schedule: %s\n", pl.Sched)
+		fmt.Printf("  predicted %d cycles (oracle), simulated %d cycles\n", a.Cycles, st.Cycles)
 	}
 	fmt.Printf("instructions: %d\n", st.Instrs)
 	fmt.Printf("global-memory traffic: %d bytes in, %d bytes out\n", st.BytesIn, st.BytesOut)
@@ -118,7 +129,7 @@ func main() {
 // dispatch compiles the requested kernel once through the Plan API,
 // replays it on the core, and verifies the outputs against the
 // reference model.
-func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool, level opt.Level) (*aicore.Stats, *ops.Plan, error) {
+func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.ConvParams, verify bool, level opt.Level, autosched bool) (*aicore.Stats, *ops.Plan, error) {
 	check := func(got, want *tensor.Tensor, what string) error {
 		if !verify {
 			return nil
@@ -131,6 +142,7 @@ func dispatch(core *aicore.Core, op, variant string, in *tensor.Tensor, p isa.Co
 	}
 	spec := ops.SpecFor(core)
 	spec.Opt = level
+	spec.AutoSchedule = autosched
 	var (
 		pl     *ops.Plan
 		err    error

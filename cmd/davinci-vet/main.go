@@ -12,10 +12,11 @@
 //     reached through a .Prog field: everywhere else, calls like
 //     x.Prog.Emit(...) or writes to x.Prog.Instrs are errors.
 //
-//  2. Metric labels come from the canonical vocabulary. Every literal
-//     label key passed to obs Counter/Gauge/Histogram constructors must be
-//     in obs.CanonicalLabelKeys, and label lists must have even length —
-//     ad-hoc keys fracture the BENCH_<rev>.json join surface.
+//  2. Metrics come from the canonical vocabulary. Every literal metric
+//     name passed to obs Counter/Gauge/Histogram constructors must be in
+//     obs.CanonicalMetricNames, every literal label key in
+//     obs.CanonicalLabelKeys, and label lists must have even length —
+//     ad-hoc names and keys fracture the BENCH_<rev>.json join surface.
 //
 // Usage:
 //
@@ -194,10 +195,12 @@ func isProgField(expr ast.Expr, field string) bool {
 	return sel.Sel.Name == field && isProgField(sel.X, "Prog")
 }
 
-// checkLabels enforces the canonical metric label vocabulary on
-// Counter/Gauge/Histogram constructor calls. Only literal keys are
-// checkable statically; calls spreading a slice (ellipsis) or passing
-// computed keys are skipped.
+// checkLabels enforces the canonical metric vocabulary on
+// Counter/Gauge/Histogram constructor calls: the name check runs on every
+// call with a literal first argument (even when the labels are spread
+// dynamically), the label checks only where the keys are literal. Calls
+// with a computed name are skipped — they are some other type's method,
+// or dynamic in a way this tool cannot judge.
 func checkLabels(call *ast.CallExpr, sel *ast.SelectorExpr, report func(ast.Node, string, ...any)) {
 	var labelStart int
 	switch sel.Sel.Name {
@@ -208,13 +211,18 @@ func checkLabels(call *ast.CallExpr, sel *ast.SelectorExpr, report func(ast.Node
 	default:
 		return
 	}
-	if len(call.Args) <= labelStart || call.Ellipsis.IsValid() {
+	if len(call.Args) < labelStart {
 		return
 	}
-	// The first argument must be a literal metric name; anything else is
-	// some other type's method, or a dynamic call this tool cannot judge.
 	name, ok := stringLit(call.Args[0])
 	if !ok {
+		return
+	}
+	if !obs.CanonicalMetricNames[name] {
+		report(call.Args[0], "non-canonical metric name %q on %s (add it to obs.CanonicalMetricNames deliberately, not ad hoc)",
+			name, sel.Sel.Name)
+	}
+	if len(call.Args) <= labelStart || call.Ellipsis.IsValid() {
 		return
 	}
 	labels := call.Args[labelStart:]

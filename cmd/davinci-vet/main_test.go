@@ -77,9 +77,9 @@ func f(pl *Plan) {
 func TestNonCanonicalLabelKeyFlagged(t *testing.T) {
 	src := `package x
 func f(r *Registry) {
-	r.Counter("reqs", "flavor", "mint").Inc()
-	r.Gauge("depth", "impl", "a", "shade", "b").Set(1)
-	r.Histogram("lat", nil, "weird", "k").Observe(2)
+	r.Counter("chip_tiles", "flavor", "mint").Inc()
+	r.Gauge("bench_cycles", "impl", "a", "shade", "b").Set(1)
+	r.Histogram("sweep_program_cycles", nil, "weird", "k").Observe(2)
 }`
 	fs := check(t, src, "internal/chip")
 	if len(fs) != 3 {
@@ -88,6 +88,25 @@ func f(r *Registry) {
 	wantFinding(t, fs, `non-canonical metric label key "flavor"`)
 	wantFinding(t, fs, `non-canonical metric label key "shade"`)
 	wantFinding(t, fs, `non-canonical metric label key "weird"`)
+}
+
+func TestNonCanonicalMetricNameFlagged(t *testing.T) {
+	// The name rule fires even with no labels at all, and even when the
+	// labels are spread dynamically.
+	src := `package x
+func f(r *Registry, kv []string) {
+	r.Counter("reqs").Inc()
+	r.Gauge("depth", kv...).Set(1)
+	r.Histogram("lat", nil).Observe(2)
+	r.Counter("sched_candidates").Inc()
+}`
+	fs := check(t, src, "internal/chip")
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(fs), fs)
+	}
+	wantFinding(t, fs, `non-canonical metric name "reqs"`)
+	wantFinding(t, fs, `non-canonical metric name "depth"`)
+	wantFinding(t, fs, `non-canonical metric name "lat"`)
 }
 
 func TestCanonicalLabelsPass(t *testing.T) {
@@ -107,7 +126,7 @@ func f(r *Registry) {
 func TestOddLabelListFlagged(t *testing.T) {
 	src := `package x
 func f(r *Registry) {
-	r.Counter("reqs", "kind").Inc()
+	r.Counter("chip_tiles", "kind").Inc()
 }`
 	fs := check(t, src, "internal/chip")
 	if len(fs) != 1 {
@@ -120,8 +139,8 @@ func TestDynamicCallsSkipped(t *testing.T) {
 	src := `package x
 func f(r *Registry, name string, kv []string) {
 	r.Counter(name, "flavor", "mint").Inc()
-	r.Counter("reqs", kv...).Inc()
-	r.Counter("reqs", key, "v").Inc()
+	r.Counter("chip_tiles", kv...).Inc()
+	r.Counter("chip_tiles", key, "v").Inc()
 }`
 	if fs := check(t, src, "internal/chip"); len(fs) != 0 {
 		t.Errorf("got findings %v, want none", fs)

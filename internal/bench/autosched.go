@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"davinci/internal/kernelcases"
+	"davinci/internal/ops"
+	_ "davinci/internal/sched" // registers the autoscheduler ops dispatches to
+	"davinci/internal/workloads"
+)
+
+// AutoschedSweep compiles every built-in kernel on every Table I layer
+// under an AutoSchedule spec and reports searched vs hand-tuned cycles
+// per program. Both cycle columns come from the search's own report
+// (aicore.Time, the exact implicit-sync makespan Run would measure). A
+// searched schedule slower than the hand-tuned default on any program is
+// an error: this is the CI regression gate — the search may only ever
+// match or beat the hand-written lowerings, because every accepted
+// schedule had to win under the cycle oracle and pass the validation
+// gate (lint-clean, bound invariant, bit-identical outputs). Per-program
+// cycles land in o.Metrics as bench_cycles gauges under impl
+// "<kernel>/default" and "<kernel>/auto", next to the plan-cache
+// sched_candidates / sched_accepted / sched_cycles_saved counters the
+// searching plans bump.
+func AutoschedSweep(o Options) (*Table, error) {
+	t := &Table{
+		Experiment: "Autoschedule sweep: every kernel on every layer, searched schedule vs hand-tuned default",
+		Note:       "cycles are the scheduled makespan (aicore.Time); every accepted schedule passed the validation gate",
+		Columns:    []string{"default", "auto", "saved", "speedup"},
+	}
+	spec := ops.Spec{Buffers: o.Chip.Buffers, AutoSchedule: true}
+	cache := ops.NewPlanCache()
+	if o.Metrics != nil {
+		cache = ops.NewPlanCacheOn(o.Metrics)
+	}
+	skipped, faster, accepted := 0, 0, 0
+	var wall time.Duration
+	for _, layer := range workloads.TableI {
+		p := layer.Params()
+		for _, kc := range kernelcases.All() {
+			key := ops.PlanKey{Kernel: kc.Name, Params: p, Spec: spec}
+			pl, err := cache.Get(key, func() (*ops.Plan, error) { return kc.Plan(spec, p) })
+			if err != nil {
+				if kernelcases.IsCapacitySkip(err) {
+					skipped++
+					continue
+				}
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: %w", kc.Name, layer.H, layer.W, layer.C, err)
+			}
+			a := pl.Auto
+			if a == nil {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: autoschedule spec produced no search report", kc.Name, layer.H, layer.W, layer.C)
+			}
+			if a.Cycles > a.BaselineCycles {
+				return nil, fmt.Errorf("bench: %s %dx%dx%d: searched schedule slower than hand-tuned: %s", kc.Name, layer.H, layer.W, layer.C, a.Summary())
+			}
+			if a.Accepted {
+				accepted++
+			}
+			if a.Cycles < a.BaselineCycles {
+				faster++
+			}
+			wall += time.Duration(a.WallNanos)
+			label := fmt.Sprintf("%-26s %3dx%3dx%4d", kc.Name, layer.H, layer.W, layer.C)
+			t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
+				float64(a.BaselineCycles), float64(a.Cycles),
+				float64(a.Saved()), float64(a.BaselineCycles) / float64(a.Cycles),
+			}})
+			input := fmt.Sprintf("%dx%dx%d", layer.H, layer.W, layer.C)
+			o.record("autosched", input, kc.Name+"/default", float64(a.BaselineCycles))
+			o.record("autosched", input, kc.Name+"/auto", float64(a.Cycles))
+		}
+	}
+	t.Note += fmt.Sprintf("; %d/%d programs faster (%d schedules accepted), %d capacity skips; search wall time %v",
+		faster, len(t.Rows), accepted, skipped, wall.Round(time.Millisecond))
+	t.Plans = cache.Stats()
+	return t, nil
+}

@@ -27,6 +27,7 @@ import (
 	"davinci/internal/ops"
 	"davinci/internal/opt"
 	"davinci/internal/ref"
+	_ "davinci/internal/sched" // registers the autoscheduler Config.AutoSchedule dispatches to
 	"davinci/internal/tensor"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	// every plan the chip compiles; 0 (opt.LevelNone) runs the kernels'
 	// emitted programs untouched.
 	Opt opt.Level
+	// AutoSchedule routes every kernel compilation through the schedule
+	// search (internal/sched): each plan the chip caches is the searched
+	// winner when it beats the hand-tuned schedule under the cycle oracle
+	// and passes the validation gate, the default otherwise. The sched_*
+	// counters land in Metrics via the plan cache.
+	AutoSchedule bool
 	// Metrics is the registry the chip's counters (and its plan cache's)
 	// register in; nil gives the chip a private registry. Benchmarks pass
 	// a shared registry so one snapshot covers every device they build.
@@ -101,7 +108,7 @@ func New(cfg Config) *Chip {
 	}
 	return &Chip{
 		cfg:           cfg,
-		spec:          ops.Spec{Buffers: cfg.Buffers, Opt: cfg.Opt},
+		spec:          ops.Spec{Buffers: cfg.Buffers, Opt: cfg.Opt, AutoSchedule: cfg.AutoSchedule},
 		plans:         ops.NewPlanCacheOn(cfg.Metrics),
 		metrics:       cfg.Metrics,
 		tiles:         cfg.Metrics.Counter("chip_tiles"),

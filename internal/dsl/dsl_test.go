@@ -241,3 +241,57 @@ func TestStrategyStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleDirectives checks the explicit-schedule path: Tile/Buffers
+// steer the lowering without changing results, and the schedule point is
+// recorded on the Schedule builder.
+func TestScheduleDirectives(t *testing.T) {
+	input, output := listing1(1, 2, 12, 10, 3, 3, 2, 2)
+	rng := rand.New(rand.NewSource(5))
+	in := tensor.New(1, 2, 12, 10, tensor.C0)
+	in.FillRandom(rng, 4)
+	p := isa.ConvParams{Ih: 12, Iw: 10, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	want := ref.MaxPoolForward(in, p)
+
+	s := CreateSchedule(output).TensorizeIm2col().Tile(1).Buffers(1)
+	if s.Params().Band != 1 || s.Params().Buffers != 1 {
+		t.Fatalf("schedule params = %+v", s.Params())
+	}
+	got, _, err := Build(newCore(), s, map[*Placeholder]*tensor.Tensor{input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(got, want) != 0 {
+		t.Error("tiled schedule diverges from reference model")
+	}
+
+	// A band the Unified Buffer cannot hold is an invalid schedule, not a
+	// silent clamp.
+	_, _, err = Build(newCore(), CreateSchedule(output).Tile(1 << 20), map[*Placeholder]*tensor.Tensor{input: in})
+	if err == nil {
+		t.Fatal("oversized tile accepted")
+	}
+}
+
+// TestScheduleAuto checks the autoschedule path end to end: the search
+// adopts a validated schedule (or the default) and results stay exact.
+func TestScheduleAuto(t *testing.T) {
+	input, output := listing1(1, 2, 12, 10, 3, 3, 2, 2)
+	rng := rand.New(rand.NewSource(6))
+	in := tensor.New(1, 2, 12, 10, tensor.C0)
+	in.FillRandom(rng, 4)
+	p := isa.ConvParams{Ih: 12, Iw: 10, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+	want := ref.MaxPoolForward(in, p)
+
+	s := CreateSchedule(output).AutoSchedule()
+	if !s.Auto() {
+		t.Fatal("AutoSchedule not recorded")
+	}
+	got, _, err := Build(newCore(), s, map[*Placeholder]*tensor.Tensor{input: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(got, want) != 0 {
+		t.Error("autoscheduled build diverges from reference model")
+	}
+}

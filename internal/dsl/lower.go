@@ -8,6 +8,7 @@ import (
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/ops"
+	_ "davinci/internal/sched" // registers the autoscheduler ops dispatches to
 	"davinci/internal/tensor"
 )
 
@@ -133,19 +134,25 @@ func buildPool(core *aicore.Core, s *Schedule, pat *poolPattern, inputs map[*Pla
 		return nil, nil, fmt.Errorf("dsl: no binding for placeholder %s", pat.in.Name)
 	}
 	spec := ops.SpecFor(core)
+	family := "maxpool_fwd"
+	if pat.op != ReduceMax {
+		family = "avgpool_fwd"
+		if s.Strategy() != StrategyStandard && s.Strategy() != StrategyIm2col {
+			return nil, nil, fmt.Errorf("dsl: no %v lowering for %v pooling", s.Strategy(), pat.op)
+		}
+	}
+	kernel := family + "/" + s.Strategy().String()
 	var (
 		pl  *ops.Plan
 		err error
 	)
-	switch {
-	case pat.op == ReduceMax:
-		pl, err = ops.PlanMaxPoolForward(s.Strategy().String(), spec, pat.p)
-	case s.Strategy() == StrategyStandard:
-		pl, err = ops.PlanAvgPoolForward("standard", spec, pat.p)
-	case s.Strategy() == StrategyIm2col:
-		pl, err = ops.PlanAvgPoolForward("im2col", spec, pat.p)
-	default:
-		return nil, nil, fmt.Errorf("dsl: no %v lowering for %v pooling", s.Strategy(), pat.op)
+	if s.Auto() {
+		// Delegate every schedule decision to the search layer; the
+		// declared strategy seeds the search but the mode is an axis.
+		spec.AutoSchedule = true
+		pl, err = ops.AutoScheduled(kernel, spec, pat.p)
+	} else {
+		pl, err = ops.CompileKernel(kernel, spec, pat.p, s.Params())
 	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("dsl: %w", err)

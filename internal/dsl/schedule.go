@@ -1,6 +1,15 @@
 package dsl
 
-import "fmt"
+import (
+	"fmt"
+
+	"davinci/internal/ops"
+)
+
+// ScheduleParams re-exports the schedule layer's parameter point: the DSL
+// schedule is a thin builder over the same searchable space the kernel
+// lowerings consume.
+type ScheduleParams = ops.ScheduleParams
 
 // Strategy selects the lowering of a pooling computation — the choice the
 // paper's schedules make by declaring custom intrinsics (§VI).
@@ -37,10 +46,15 @@ func (s Strategy) String() string {
 // Schedule is an execution strategy for one computation. Like a TVM
 // schedule it never changes results, only performance (§IV-A: "the
 // programmer is free to test multiple optimization strategies by rewriting
-// a schedule without changing the algorithm").
+// a schedule without changing the algorithm"). Beyond the lowering
+// strategy it carries the full ScheduleParams point — band tiling, buffer
+// rotation, every knob the schedule layer exposes — and can delegate the
+// whole choice to the autoscheduler.
 type Schedule struct {
 	Out      *Computation
 	strategy Strategy
+	params   ScheduleParams
+	auto     bool
 }
 
 // CreateSchedule starts a default (standard-lowering) schedule. The C1
@@ -71,3 +85,41 @@ func (s *Schedule) SplitXY() *Schedule {
 
 // Strategy reports the selected lowering.
 func (s *Schedule) Strategy() Strategy { return s.strategy }
+
+// Tile splits the output into bands of the given size (output rows for
+// the direct lowerings, patch fractals for the Im2col ones) — the TVM
+// split primitive. 0 keeps the hand-tuned band.
+func (s *Schedule) Tile(band int) *Schedule {
+	s.params.Band = band
+	return s
+}
+
+// Buffers sets the UB rotation depth: 2 double-buffers band transfers
+// against compute, 1 runs single-buffered. 0 keeps the hand-tuned choice.
+func (s *Schedule) Buffers(n int) *Schedule {
+	s.params.Buffers = n
+	return s
+}
+
+// With replaces the schedule's full parameter point (the strategy set via
+// TensorizeIm2col/Expand/SplitXY still selects the lowering mode).
+func (s *Schedule) With(sp ScheduleParams) *Schedule {
+	s.params = sp
+	return s
+}
+
+// AutoSchedule delegates every schedule decision — including the lowering
+// mode — to the search layer (internal/sched): the build enumerates the
+// kernel's schedule space, keeps the hand-tuned default unless a searched
+// candidate beats it under the cycle oracle, and validates the winner
+// before adopting it.
+func (s *Schedule) AutoSchedule() *Schedule {
+	s.auto = true
+	return s
+}
+
+// Params reports the schedule's explicit parameter point.
+func (s *Schedule) Params() ScheduleParams { return s.params }
+
+// Auto reports whether the schedule delegates to the search layer.
+func (s *Schedule) Auto() bool { return s.auto }

@@ -21,3 +21,45 @@ var CanonicalLabelKeys = map[string]bool{
 	// pass names an optimizer pass ("coalesce-vec", "reschedule").
 	"pass": true,
 }
+
+// CanonicalMetricNames is the closed set of metric names this repo
+// publishes. Like the label keys, names are minted here deliberately so
+// every snapshot — bench artifacts, chip telemetry, the plan cache's
+// optimizer and autoscheduler counters — speaks one vocabulary.
+// cmd/davinci-vet enforces that every literal name passed to
+// Counter/Gauge/Histogram is in this set.
+var CanonicalMetricNames = map[string]bool{
+	// Plan cache (internal/ops).
+	"plan_cache_hits":     true,
+	"plan_cache_misses":   true,
+	"plan_cache_compiled": true,
+	// Static optimizer outcomes, per compiled plan (internal/ops, from opt.Result).
+	"opt_rewrites":     true,
+	"opt_cycles_saved": true,
+	"opt_rejected":     true,
+	// Autoscheduler outcomes, per compiled plan (internal/ops, from ops.AutoSchedReport).
+	"sched_candidates":   true,
+	"sched_pruned":       true,
+	"sched_accepted":     true,
+	"sched_cycles_saved": true,
+	// Multi-core execution (internal/chip).
+	"chip_tiles":               true,
+	"chip_tile_cycles":         true,
+	"chip_tile_instrs":         true,
+	"chip_bytes_in":            true,
+	"chip_bytes_out":           true,
+	"chip_tile_retries":        true,
+	"chip_tile_requeues":       true,
+	"chip_tiles_degraded":      true,
+	"chip_watchdog_trips":      true,
+	"chip_cores_failed":        true,
+	"chip_tile_panics":         true,
+	"chip_retry_backoff_cycles": true,
+	// Fault injection (internal/faults).
+	"faults_injected": true,
+	// Benchmark measurements (internal/bench).
+	"bench_cycles":         true,
+	"bench_stall_cycles":   true,
+	"sweep_stall_cycles":   true,
+	"sweep_program_cycles": true,
+}

@@ -14,9 +14,19 @@ import (
 // with its maximum — one full-mask vcmp per (kh, kw) slice — and stored in
 // the Im2Col output shape, which keeps overlapping patches separated
 // (§V-A).
-func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
-	b := newPlanner("maxpool_fwd_argmax_im2col", spec, p)
-	pl, err := planIm2col(b, p, "maxpool_fwd_argmax_im2col", 0)
+func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_fwd_argmax_im2col"
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	b := newPlanner(name, spec, p)
+	pl, err := planIm2col(b, p, name, 0, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -40,14 +50,14 @@ func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
 		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
 		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
 		prog.EmitDup(isa.UB, outUB, bandPatches*tensor.C0, fp16.NegativeInfinity)
-		emitColReduce(prog, isa.VMax, colUB, outUB, kk, fb)
+		emitColReduce(prog, sp, isa.VMax, colUB, outUB, kk, fb)
 
 		// Mask: compare each (kh, kw) slice against the broadcast maximum,
 		// overwriting the im2col data in place (it is no longer needed).
 		reps := fb * 2
 		for s := 0; s < kk; s++ {
 			slice := isa.Contig(isa.UB, colUB+s*fb*isa.FractalBytes)
-			prog.EmitVec(isa.VCmpEq, slice, slice, isa.Contig(isa.UB, outUB), 0, isa.FullMask(), reps)
+			emitVecChunked(prog, sp, isa.VCmpEq, slice, slice, isa.Contig(isa.UB, outUB), 0, isa.FullMask(), reps)
 			if tail := bandPatches - valid; tail > 0 {
 				// The fractal tail compared 0 == 0; the saved mask keeps
 				// tail rows zero (they carry no patch).
@@ -69,7 +79,10 @@ func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.bind = bindTile("maxpool_fwd_argmax_im2col", p)
+	plan.bind = bindTile(name, p)
+	plan.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: pl.band, Buffers: pl.buffers, RepeatChunk: resolvedRepeatChunk(sp),
+	}
 	return plan, nil
 }
 
@@ -101,11 +114,21 @@ func runArgmax(pl *Plan, core *aicore.Core, in *tensor.Tensor) (*tensor.Tensor, 
 // build the argmax mask, which is stored in the same Im2Col shape as the
 // accelerated version ("saving this mask is independent of the use of
 // Im2Col instructions", §V-A) but costs one vcmp per (oh, ow, kh).
-func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
+func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_fwd_argmax_standard"
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	b := newPlanner("maxpool_fwd_argmax_standard", spec, p)
+	if err := noKnob(name, sp.RepeatChunk, "repeat_chunk"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	b := newPlanner(name, spec, p)
 	core := b.core
 	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
@@ -128,16 +151,25 @@ func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
 		return nil, err
 	}
 
-	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
-	perBand := func(b int) int { return inRows(b)*inRowB + b*outRowB + kk*b*outRowB }
-	band := maxBand(ubAvail(core), oh, func(b int) int { return 2 * perBand(b) })
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), oh, perBand)
-		buffers = 1
-		if band == 0 {
-			return nil, errTooLarge("maxpool_fwd_argmax_standard", pp)
+	saturated := pp.Sw == 1
+	switch sp.Saturate {
+	case SatAuto:
+	case SatFull:
+		if pp.Sw != 1 {
+			return nil, badSchedule(name, "saturate=full needs consecutive patches (Sw == 1), have Sw=%d", pp.Sw)
 		}
+	case SatNarrow:
+		saturated = false
+	default:
+		return nil, badSchedule(name, "saturate=%d: unknown mask-width choice", sp.Saturate)
+	}
+
+	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
+	band, buffers, err := resolveBand(name, pp, ubAvail(core), oh, sp, func(b, n int) int {
+		return n * (inRows(b)*inRowB + b*outRowB + kk*b*outRowB)
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	var inUB, outUB, maskUB [2]int
@@ -154,7 +186,7 @@ func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
 		bandPatches := b * ow
 		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, isa.UB, iUB, inRows(b)*inRowB)
 		prog.EmitDup(isa.UB, oUB, bandPatches*tensor.C0, fp16.NegativeInfinity)
-		if pp.Sw == 1 {
+		if saturated {
 			emitReduceRowsSaturated(prog, isa.VMax, pp, iUB, oUB, b, ow)
 		} else {
 			emitReduceStrided(prog, isa.VMax, pp, iUB, oUB, b, ow)
@@ -197,7 +229,10 @@ func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl.bind = bindPaddedTile("maxpool_fwd_argmax_standard", p)
+	pl.bind = bindPaddedTile(name, p)
+	pl.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: band, Buffers: buffers, Saturate: resolvedSaturate(saturated),
+	}
 	return pl, nil
 }
 

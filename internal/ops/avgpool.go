@@ -47,19 +47,47 @@ func AvgPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*
 	return runSingle(pl, core, in)
 }
 
-// PlanAvgPoolBackward compiles the Avgpool backward pass. The equivalent
-// mask contains 1 in all positions (every input contributes to a sum,
-// §V-C), so the kernel scales the incoming gradients by 1/(Kh*Kw) and
-// merges them — with 16-lane vadds when useCol2im is false (the standard
-// lowering) or with Col2Im instructions when true. Run takes (grad) and
-// returns (dx).
+// planAvgPoolBwdStandard and planAvgPoolBwdCol2im are the two Avgpool
+// backward lowering modes as schedule-parameterized planners.
+func planAvgPoolBwdStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planAvgPoolBackward(spec, p, false, sp)
+}
+
+func planAvgPoolBwdCol2im(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planAvgPoolBackward(spec, p, true, sp)
+}
+
+// PlanAvgPoolBackward compiles the Avgpool backward pass with the
+// hand-tuned default schedule (or a searched one, under an AutoSchedule
+// Spec). The equivalent mask contains 1 in all positions (every input
+// contributes to a sum, §V-C), so the kernel scales the incoming
+// gradients by 1/(Kh*Kw) and merges them — with 16-lane vadds when
+// useCol2im is false (the standard lowering) or with Col2Im instructions
+// when true. Run takes (grad) and returns (dx).
 func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, error) {
+	variant := "standard"
+	if useCol2im {
+		variant = "col2im"
+	}
+	return planVariant("avgpool_bwd", "avgpool backward", variant, spec, p)
+}
+
+func planAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool, sp ScheduleParams) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	name := "avgpool_bwd_standard"
 	if useCol2im {
 		name = "avgpool_bwd_col2im"
+	}
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
 	}
 	b := newPlanner(name, spec, p)
 	core := b.core
@@ -79,15 +107,11 @@ func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, er
 		patchRows := (b*isa.FractalPatches+ow-1)/ow + 1
 		return min(p.Ih, (patchRows-1)*p.Sh+p.Kh)
 	}
-	need := func(b int) int { return 2*b*isa.FractalBytes + rowsFor(b)*inRowB }
-	band := maxBand(ubAvail(core), fracs, need)
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), fracs, func(b int) int { return b*isa.FractalBytes + rowsFor(b)*inRowB })
-		buffers = 1
-		if band == 0 {
-			return nil, errTooLarge("avgpool_bwd", p)
-		}
+	band, buffers, err := resolveBand(name, p, ubAvail(core), fracs, sp, func(b, n int) int {
+		return n*b*isa.FractalBytes + rowsFor(b)*inRowB
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	var gradUB [2]int
@@ -109,7 +133,10 @@ func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, er
 		if tail := bandPatches - valid; tail > 0 {
 			prog.EmitDup(isa.UB, gUB+valid*Block, tail*tensor.C0, fp16.Zero)
 		}
-		prog.EmitElementwiseScalar(isa.VMuls, isa.UB, gUB, gUB, 0, bandPatches*tensor.C0, avgScale(p))
+		// Scale by 1/(Kh*Kw), sliced at the schedule's repeat-chunk cap
+		// (bandPatches*C0 is a whole number of full-mask repeats).
+		emitVecChunked(prog, sp, isa.VMuls, isa.Contig(isa.UB, gUB), isa.Contig(isa.UB, gUB),
+			isa.Contig(isa.UB, 0), avgScale(p), isa.FullMask(), fb*2)
 
 		// Output row band with boundary accumulation (as in backward max).
 		lo, hi := patchRowRange(p, ow, patches, pa, pa+bandPatches)
@@ -172,6 +199,9 @@ func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, er
 			return nil, fmt.Errorf("ops: avgpool_bwd: grad shape %v, want (1,1,%d,%d,%d)", grad.Shape, oh, ow, tensor.C0)
 		}
 		return inputs, nil
+	}
+	pl.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: band, Buffers: buffers, RepeatChunk: resolvedRepeatChunk(sp),
 	}
 	return pl, nil
 }

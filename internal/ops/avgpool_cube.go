@@ -21,11 +21,33 @@ import (
 // complements rather than replaces the Im2col vector kernel. The plan is
 // the conv plan with a bind step that synthesizes the diagonal weights, so
 // Run takes just (in) like the other forward variants.
-func planAvgPoolFwdCube(spec Spec, p isa.ConvParams) (*Plan, error) {
+func planAvgPoolFwdCube(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	// The Cube lowering delegates its schedule to the conv planner, which
+	// exposes no vector-schedule axes; only the mode itself is searchable.
+	if err := noKnob("avgpool_fwd_cube", sp.Band, "band"); err != nil {
+		return nil, err
+	}
+	if err := noKnob("avgpool_fwd_cube", sp.Buffers, "buffers"); err != nil {
+		return nil, err
+	}
+	if err := noKnob("avgpool_fwd_cube", sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob("avgpool_fwd_cube", sp.RepeatChunk, "repeat_chunk"); err != nil {
+		return nil, err
+	}
+	if err := noKnob("avgpool_fwd_cube", sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob("avgpool_fwd_cube", sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	spec.AutoSchedule = false
 	pl, err := PlanConv2D(spec, p, tensor.C0, tensor.C0)
 	if err != nil {
 		return nil, err
 	}
+	pl.Sched = ScheduleParams{Mode: sp.Mode}
 	convBind := pl.bind
 	pl.Name = "avgpool_fwd_cube"
 	pl.bind = func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {

@@ -1,0 +1,105 @@
+package ops
+
+import (
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/isa"
+	"davinci/internal/workloads"
+)
+
+// linearMaxBand is the obviously-correct reference for maxBand: scan every
+// band from limit down and return the first that fits.
+func linearMaxBand(avail, limit int, need func(int) int) int {
+	for b := limit; b >= 1; b-- {
+		if need(b) <= avail {
+			return b
+		}
+	}
+	return 0
+}
+
+// TestMaxBandMatchesLinearReference pins the binary search against the
+// linear scan on the cost curves the pooling lowerings actually use —
+// row-window curves with the (b-1)*Sh+Kh input overhang, fractal-granular
+// step curves, and the double-buffered variants of both — across every
+// Table I layer and a spread of capacities around the real UB size. The
+// curves are non-decreasing but not strictly increasing (the ceil-to-
+// fractal steps plateau), which is exactly the shape a naive bisection
+// gets wrong.
+func TestMaxBandMatchesLinearReference(t *testing.T) {
+	for _, layer := range workloads.TableI {
+		p := layer.Params()
+		oh, ow := p.OutDims()
+		inRowB := p.Iw * Block
+		outRowB := ow * Block
+		inRows := func(b int) int { return (b-1)*p.Sh + p.Kh }
+		rowsFor := func(fracs int) int {
+			patches := fracs * isa.FractalPatches
+			lastRow := (patches - 1) / ow
+			return min(lastRow*p.Sh+p.Kh, p.Ih)
+		}
+		curves := []struct {
+			name  string
+			limit int
+			need  func(int) int
+		}{
+			{"rows", oh, func(b int) int { return inRows(b)*inRowB + b*outRowB }},
+			{"rows2x", oh, func(b int) int { return 2 * (inRows(b)*inRowB + b*outRowB) }},
+			{"fracs", p.Fractals(), func(b int) int { return b*isa.FractalBytes + rowsFor(b)*inRowB }},
+			{"fracs2x", p.Fractals(), func(b int) int { return 2*b*isa.FractalBytes + rowsFor(b)*inRowB }},
+			{"expand", oh, func(b int) int { return p.Kh*p.Kw*b*outRowB + b*outRowB + inRows(b)*inRowB }},
+		}
+		avails := []int{
+			0, 1,
+			buffer.DefaultUBSize / 64,
+			buffer.DefaultUBSize / 7,
+			buffer.DefaultUBSize / 2,
+			buffer.DefaultUBSize - 8*Block,
+			buffer.DefaultUBSize * 4,
+		}
+		for _, c := range curves {
+			for _, avail := range avails {
+				got := maxBand(avail, c.limit, c.need)
+				want := linearMaxBand(avail, c.limit, c.need)
+				if got != want {
+					t.Fatalf("%dx%dx%d %s avail=%d limit=%d: maxBand=%d, linear reference=%d",
+						layer.H, layer.W, layer.C, c.name, avail, c.limit, got, want)
+				}
+				// Pin the exact-boundary capacities too: the largest band's
+				// cost and one byte less straddle the accept/reject edge.
+				if want > 0 {
+					for _, edge := range []int{c.need(want), c.need(want) - 1} {
+						if got, ref := maxBand(edge, c.limit, c.need), linearMaxBand(edge, c.limit, c.need); got != ref {
+							t.Fatalf("%dx%dx%d %s avail=%d (edge) limit=%d: maxBand=%d, linear reference=%d",
+								layer.H, layer.W, layer.C, c.name, edge, c.limit, got, ref)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxBandDegenerate pins the contract's edges: a non-positive limit
+// and a curve that overflows the capacity at band 1 both return 0, and a
+// free curve returns the limit.
+func TestMaxBandDegenerate(t *testing.T) {
+	flat := func(int) int { return 10 }
+	for _, tc := range []struct {
+		name         string
+		avail, limit int
+		need         func(int) int
+		want         int
+	}{
+		{"zero-limit", 100, 0, flat, 0},
+		{"negative-limit", 100, -3, flat, 0},
+		{"over-at-one", 9, 5, flat, 0},
+		{"exact-at-one", 10, 1, flat, 1},
+		{"free-curve", 10, 7, flat, 7},
+	} {
+		if got := maxBand(tc.avail, tc.limit, tc.need); got != tc.want {
+			t.Errorf("%s: maxBand(%d, %d)=%d, want %d", tc.name, tc.avail, tc.limit, got, tc.want)
+		}
+	}
+}

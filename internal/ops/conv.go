@@ -78,6 +78,16 @@ func PlanConv2D(spec Spec, p isa.ConvParams, co, c int) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.AutoSchedule {
+		// The Cube-unit planner exposes no searchable vector-schedule axes;
+		// compile the hand-written lowering and record the degenerate search.
+		spec.AutoSchedule = false
+		pl, err := PlanConv2D(spec, p, co, c)
+		if err == nil {
+			attachNoSearchReport(pl, "conv2d_im2col_cube")
+		}
+		return pl, err
+	}
 	b := newPlanner("conv2d_im2col_cube", spec, p)
 	core := b.core
 	c1 := tensor.C1Of(c)

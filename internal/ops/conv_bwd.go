@@ -65,6 +65,15 @@ func PlanConv2DBackwardData(spec Spec, p isa.ConvParams, co, c int) (*Plan, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.AutoSchedule {
+		// No searchable schedule axes on the Cube unit; see PlanConv2D.
+		spec.AutoSchedule = false
+		pl, err := PlanConv2DBackwardData(spec, p, co, c)
+		if err == nil {
+			attachNoSearchReport(pl, "conv2d_bwd_data")
+		}
+		return pl, err
+	}
 	b := newPlanner("conv2d_bwd_data", spec, p)
 	core := b.core
 	oh, ow := p.OutDims()

@@ -25,6 +25,15 @@ func PlanConv2DBackwardWeights(spec Spec, p isa.ConvParams, co, c int) (*Plan, e
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.AutoSchedule {
+		// No searchable schedule axes on the Cube unit; see PlanConv2D.
+		spec.AutoSchedule = false
+		pl, err := PlanConv2DBackwardWeights(spec, p, co, c)
+		if err == nil {
+			attachNoSearchReport(pl, "conv2d_bwd_weights")
+		}
+		return pl, err
+	}
 	b := newPlanner("conv2d_bwd_weights", spec, p)
 	core := b.core
 	oh, ow := p.OutDims()

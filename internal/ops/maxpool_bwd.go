@@ -60,9 +60,19 @@ func bindBackward(name string, p isa.ConvParams) bindFunc {
 }
 
 // planBackward sizes the shared backward schedule against the planner's
-// scratch core, reserving the mask/grad/output global-memory layout.
-func planBackward(b *planner, p isa.ConvParams, name string) (*bwdPlan, error) {
+// scratch core, reserving the mask/grad/output global-memory layout. sp
+// supplies the band/buffer schedule in fractal units.
+func planBackward(b *planner, p isa.ConvParams, name string, sp ScheduleParams) (*bwdPlan, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
 		return nil, err
 	}
 	core := b.core
@@ -92,19 +102,11 @@ func planBackward(b *planner, p isa.ConvParams, name string) (*bwdPlan, error) {
 		patchRows := (b*isa.FractalPatches+pl.ow-1)/pl.ow + 1
 		return min(p.Ih, (patchRows-1)*p.Sh+p.Kh)
 	}
-	need := func(b int) int {
-		return 2*(pl.kk+1)*b*isa.FractalBytes + rowsFor(b)*inRowB
-	}
-	pl.band = maxBand(ubAvail(core), pl.fracs, need)
-	pl.buffers = 2
-	if pl.band == 0 {
-		pl.band = maxBand(ubAvail(core), pl.fracs, func(b int) int {
-			return (pl.kk+1)*b*isa.FractalBytes + rowsFor(b)*inRowB
-		})
-		pl.buffers = 1
-		if pl.band == 0 {
-			return nil, errTooLarge(name, p)
-		}
+	pl.band, pl.buffers, err = resolveBand(name, p, ubAvail(core), pl.fracs, sp, func(b, n int) int {
+		return n*(pl.kk+1)*b*isa.FractalBytes + rowsFor(b)*inRowB
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	for i := 0; i < pl.buffers; i++ {
@@ -117,10 +119,11 @@ func planBackward(b *planner, p isa.ConvParams, name string) (*bwdPlan, error) {
 }
 
 // emitBandLoads loads one band of mask slices and gradients, multiplies
-// them (Listing 3: one full-mask vmul per (kh, kw) slice), and prepares
-// the output row band, re-loading boundary rows written by the previous
-// band. Returns the row range of the band.
-func (pl *bwdPlan) emitBandLoads(prog *cce.Program, p isa.ConvParams, f0, fb, prevHi, bi int) (lo, hi int) {
+// them (Listing 3: one full-mask vmul per (kh, kw) slice, sliced at the
+// schedule's repeat-chunk cap), and prepares the output row band,
+// re-loading boundary rows written by the previous band. Returns the row
+// range of the band.
+func (pl *bwdPlan) emitBandLoads(prog *cce.Program, p isa.ConvParams, sp ScheduleParams, f0, fb, prevHi, bi int) (lo, hi int) {
 	maskUB := pl.maskUB[bi%pl.buffers]
 	gradUB := pl.gradUB[bi%pl.buffers]
 	pa := f0 * isa.FractalPatches
@@ -144,7 +147,7 @@ func (pl *bwdPlan) emitBandLoads(prog *cce.Program, p isa.ConvParams, f0, fb, pr
 	reps := fb * 2
 	for s := 0; s < pl.kk; s++ {
 		slice := isa.Contig(isa.UB, maskUB+s*fb*isa.FractalBytes)
-		prog.EmitVec(isa.VMul, slice, slice, isa.Contig(isa.UB, gradUB), 0, isa.FullMask(), reps)
+		emitVecChunked(prog, sp, isa.VMul, slice, slice, isa.Contig(isa.UB, gradUB), 0, isa.FullMask(), reps)
 	}
 	// Output row band: re-load overlap rows, zero fresh rows.
 	lo, hi = pl.bandRows(p, pa, pa+bandPatches)
@@ -162,18 +165,19 @@ func (pl *bwdPlan) emitBandLoads(prog *cce.Program, p isa.ConvParams, f0, fb, pr
 // (Listing 3, §V-B): the mask-gradient multiplication runs well on the
 // Vector Unit, but the merge step's scattered access pattern forces one
 // vadd per (kh, kw, oh, ow) with only 16 mask lanes set and no repetition.
-func planMaxPoolBwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
-	b := newPlanner("maxpool_bwd_standard", spec, p)
-	pl, err := planBackward(b, p, "maxpool_bwd_standard")
+func planMaxPoolBwdStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_bwd_standard"
+	b := newPlanner(name, spec, p)
+	pl, err := planBackward(b, p, name, sp)
 	if err != nil {
 		return nil, err
 	}
-	prog := cce.New("maxpool_bwd_standard")
+	prog := cce.New(name)
 	inRowB := p.Iw * Block
 	prevHi := 0
 	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
 		fb := min(pl.band, pl.fracs-f0)
-		lo, hi := pl.emitBandLoads(prog, p, f0, fb, prevHi, bi)
+		lo, hi := pl.emitBandLoads(prog, p, sp, f0, fb, prevHi, bi)
 		maskUB := pl.maskUB[bi%pl.buffers]
 		pa := f0 * isa.FractalPatches
 		validEnd := min(pl.patches, pa+fb*isa.FractalPatches)
@@ -203,7 +207,10 @@ func planMaxPoolBwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.bind = bindBackward("maxpool_bwd_standard", p)
+	plan.bind = bindBackward(name, p)
+	plan.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: pl.band, Buffers: pl.buffers, RepeatChunk: resolvedRepeatChunk(sp),
+	}
 	return plan, nil
 }
 
@@ -225,18 +232,19 @@ func MaxPoolBwdStandard(core *aicore.Core, mask, grad *tensor.Tensor, p isa.Conv
 // step is exactly the Col2im operation, so Col2Im instructions replace the
 // 16-lane vadds — vectorizing over a whole fractal at a time with
 // repetition over the band, issued only Kh*Kw times per band.
-func planMaxPoolBwdCol2im(spec Spec, p isa.ConvParams) (*Plan, error) {
-	b := newPlanner("maxpool_bwd_col2im", spec, p)
-	pl, err := planBackward(b, p, "maxpool_bwd_col2im")
+func planMaxPoolBwdCol2im(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_bwd_col2im"
+	b := newPlanner(name, spec, p)
+	pl, err := planBackward(b, p, name, sp)
 	if err != nil {
 		return nil, err
 	}
-	prog := cce.New("maxpool_bwd_col2im")
+	prog := cce.New(name)
 	inRowB := p.Iw * Block
 	prevHi := 0
 	for f0, bi := 0, 0; f0 < pl.fracs; f0, bi = f0+pl.band, bi+1 {
 		fb := min(pl.band, pl.fracs-f0)
-		lo, hi := pl.emitBandLoads(prog, p, f0, fb, prevHi, bi)
+		lo, hi := pl.emitBandLoads(prog, p, sp, f0, fb, prevHi, bi)
 		maskUB := pl.maskUB[bi%pl.buffers]
 		prog.EmitCol2ImRange(maskUB, pl.outUB, p, f0*isa.FractalPatches, fb, lo, hi-lo)
 		prog.EmitCopy(isa.UB, pl.outUB, isa.GM, pl.outGM+lo*inRowB, (hi-lo)*inRowB)
@@ -247,7 +255,10 @@ func planMaxPoolBwdCol2im(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan.bind = bindBackward("maxpool_bwd_col2im", p)
+	plan.bind = bindBackward(name, p)
+	plan.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: pl.band, Buffers: pl.buffers, RepeatChunk: resolvedRepeatChunk(sp),
+	}
 	return plan, nil
 }
 

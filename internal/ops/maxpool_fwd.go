@@ -17,23 +17,39 @@ import (
 // vmax Oh*Ow*Kh times. When Sw == 1, consecutive patches are consecutive
 // in memory, so the lowering saturates the mask over (Ow, C0) and repeats
 // across the row — the effect the paper observes in Fig. 8a.
-func planMaxPoolFwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planDirectForward("maxpool_fwd_standard", spec, p, isa.VMax, fp16.NegativeInfinity, false)
+func planMaxPoolFwdStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planDirectForward("maxpool_fwd_standard", spec, p, isa.VMax, fp16.NegativeInfinity, false, sp)
 }
 
 // planAvgPoolFwdStandard compiles the standard Avgpool forward: identical
 // access pattern to Maxpool but reducing with vadd instead of vmax, plus
 // the element-wise division epilogue (§V-C).
-func planAvgPoolFwdStandard(spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planDirectForward("avgpool_fwd_standard", spec, p, isa.VAdd, fp16.Zero, true)
+func planAvgPoolFwdStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planDirectForward("avgpool_fwd_standard", spec, p, isa.VAdd, fp16.Zero, true, sp)
 }
 
 // planDirectForward is the shared standard (direct, non-Im2Col) forward
-// schedule: double-buffered row bands reduced with op, optionally followed
-// by the 1/(Kh*Kw) scaling epilogue.
-func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool) (*Plan, error) {
+// lowering: row bands reduced with op, optionally followed by the
+// 1/(Kh*Kw) scaling epilogue. The schedule — band size, buffer rotation,
+// mask width, epilogue placement — comes from sp; the zero value resolves
+// to the hand-tuned defaults (largest double-buffered band, Sw-dependent
+// mask width, fused epilogue).
+func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool, sp ScheduleParams) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if err := noKnob(name, sp.RepeatChunk, "repeat_chunk"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	if !scale {
+		if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+			return nil, err
+		}
+	} else if sp.Epilogue != EpiFused && sp.Epilogue != EpiDeferred {
+		return nil, badSchedule(name, "epilogue=%d: unknown epilogue placement", sp.Epilogue)
 	}
 	b := newPlanner(name, spec, p)
 	core := b.core
@@ -41,6 +57,19 @@ func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 	oh, ow := pp.OutDims()
 	inRowB := pp.Iw * Block
 	outRowB := ow * Block
+
+	saturated := pp.Sw == 1
+	switch sp.Saturate {
+	case SatAuto:
+	case SatFull:
+		if pp.Sw != 1 {
+			return nil, badSchedule(name, "saturate=full needs consecutive patches (Sw == 1), have Sw=%d", pp.Sw)
+		}
+	case SatNarrow:
+		saturated = false
+	default:
+		return nil, badSchedule(name, "saturate=%d: unknown mask-width choice", sp.Saturate)
+	}
 
 	inGM, err := b.input(pp.Ih * inRowB)
 	if err != nil {
@@ -51,18 +80,14 @@ func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 		return nil, err
 	}
 
-	// Double-buffered row bands: two in/out areas so the MTE2 load of the
-	// next band overlaps the vector work of the current one.
+	// Row bands through rotating in/out areas: with two, the MTE2 load of
+	// the next band overlaps the vector work of the current one.
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
-	need := func(b int) int { return 2 * (inRows(b)*inRowB + b*outRowB) }
-	band := maxBand(ubAvail(core), oh, need)
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), oh, func(b int) int { return need(b) / 2 })
-		buffers = 1
-		if band == 0 {
-			return nil, errTooLarge(name, pp)
-		}
+	band, buffers, err := resolveBand(name, pp, ubAvail(core), oh, sp, func(b, n int) int {
+		return n * (inRows(b)*inRowB + b*outRowB)
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	var inUB, outUB [2]int
@@ -79,15 +104,18 @@ func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 		rows := inRows(b)
 		prog.EmitCopy(isa.GM, inGM+h0*inRowB, isa.UB, iUB, rows*inRowB)
 		prog.EmitDup(isa.UB, oUB, b*ow*tensor.C0, init)
-		if pp.Sw == 1 {
+		if saturated {
 			emitReduceRowsSaturated(prog, op, pp, iUB, oUB, b, ow)
 		} else {
 			emitReduceStrided(prog, op, pp, iUB, oUB, b, ow)
 		}
-		if scale {
+		if scale && sp.Epilogue == EpiFused {
 			prog.EmitElementwiseScalar(isa.VMuls, isa.UB, oUB, oUB, 0, b*ow*tensor.C0, avgScale(pp))
 		}
 		prog.EmitCopy(isa.UB, oUB, isa.GM, outGM+oh0*outRowB, b*outRowB)
+	}
+	if scale && sp.Epilogue == EpiDeferred {
+		emitDeferredScale(prog, pp, outGM, outUB[0], band*outRowB, oh*outRowB)
 	}
 	b.output(outGM, 1, 1, oh, ow, tensor.C0)
 	pl, err := b.seal(prog, spec)
@@ -95,6 +123,10 @@ func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 		return nil, err
 	}
 	pl.bind = bindPaddedTile(name, p)
+	pl.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: band, Buffers: buffers,
+		Saturate: resolvedSaturate(saturated), Epilogue: sp.Epilogue,
+	}
 	return pl, nil
 }
 
@@ -209,7 +241,9 @@ func patchRowRange(p isa.ConvParams, ow, patches, pa, pb int) (lo, hi int) {
 
 // planIm2col sizes the shared Im2col forward schedule against the
 // planner's scratch core, reserving the input/output global-memory layout.
-func planIm2col(b *planner, p isa.ConvParams, name string, extraPerFrac int) (*im2colPlan, error) {
+// sp supplies the band/buffer schedule (fractal units); the L1 row-window
+// banding stays automatic but clamps an explicit band it cannot stage.
+func planIm2col(b *planner, p isa.ConvParams, name string, extraPerFrac int, sp ScheduleParams) (*im2colPlan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,15 +263,11 @@ func planIm2col(b *planner, p isa.ConvParams, name string, extraPerFrac int) (*i
 	}
 
 	perFrac := (p.Kh*p.Kw+1)*isa.FractalBytes + extraPerFrac
-	need := func(b int) int { return 2 * b * perFrac }
-	pl.band = maxBand(ubAvail(core), pl.fracs, need)
-	pl.buffers = 2
-	if pl.band == 0 {
-		pl.band = maxBand(ubAvail(core), pl.fracs, func(b int) int { return b * perFrac })
-		pl.buffers = 1
-		if pl.band == 0 {
-			return nil, errTooLarge(name, p)
-		}
+	pl.band, pl.buffers, err = resolveBand(name, p, ubAvail(core), pl.fracs, sp, func(b, n int) int {
+		return n * b * perFrac
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	l1 := core.Mem.Space(isa.L1)
@@ -260,6 +290,9 @@ func planIm2col(b *planner, p isa.ConvParams, name string, extraPerFrac int) (*i
 			if l1Band == 0 {
 				return nil, errTooLarge(name+" (L1)", p)
 			}
+		}
+		if sp.Band > 0 && l1Band < sp.Band {
+			return nil, badSchedule(name, "band=%d needs an L1 row window larger than the %d bytes available", sp.Band, l1.Free())
 		}
 		pl.band = l1Band
 		pl.l1Rows = rowsForFracs(p, pl.ow, pl.band)
@@ -317,21 +350,34 @@ func (pl *im2colPlan) emitBandInput(prog *cce.Program, p isa.ConvParams, bi, f0,
 // reduced with vmax instructions that set all 128 mask lanes and ride the
 // repeat parameter — issued only Kh*Kw times per band (modulo the repeat
 // cap).
-func planMaxPoolFwdIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planIm2colForward("maxpool_fwd_im2col", spec, p, isa.VMax, fp16.NegativeInfinity, false)
+func planMaxPoolFwdIm2col(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planIm2colForward("maxpool_fwd_im2col", spec, p, isa.VMax, fp16.NegativeInfinity, false, sp)
 }
 
 // planAvgPoolFwdIm2col compiles the Im2col-based Avgpool forward: the same
 // schedule as the Maxpool variant with vadd reductions and the division
 // epilogue ("the access pattern stays the same and can benefit from using
 // Im2Col", §V-C).
-func planAvgPoolFwdIm2col(spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planIm2colForward("avgpool_fwd_im2col", spec, p, isa.VAdd, fp16.Zero, true)
+func planAvgPoolFwdIm2col(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	return planIm2colForward("avgpool_fwd_im2col", spec, p, isa.VAdd, fp16.Zero, true, sp)
 }
 
-func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool) (*Plan, error) {
+func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, init fp16.Float16, scale bool, sp ScheduleParams) (*Plan, error) {
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	if !scale {
+		if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+			return nil, err
+		}
+	} else if sp.Epilogue != EpiFused && sp.Epilogue != EpiDeferred {
+		return nil, badSchedule(name, "epilogue=%d: unknown epilogue placement", sp.Epilogue)
+	}
 	b := newPlanner(name, spec, p)
-	pl, err := planIm2col(b, p, name, 0)
+	pl, err := planIm2col(b, p, name, 0, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -344,12 +390,15 @@ func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 		src, rowBase, rows := pl.emitBandInput(prog, p, bi, f0, fb)
 		prog.EmitIm2ColRange(src, isa.UB, colUB, p, 1, 0, f0*isa.FractalPatches, fb, rowBase, rows)
 		prog.EmitDup(isa.UB, outUB, fb*isa.FractalPatches*tensor.C0, init)
-		emitColReduce(prog, op, colUB, outUB, p.Kh*p.Kw, fb)
-		if scale {
+		emitColReduce(prog, sp, op, colUB, outUB, p.Kh*p.Kw, fb)
+		if scale && sp.Epilogue == EpiFused {
 			prog.EmitElementwiseScalar(isa.VMuls, isa.UB, outUB, outUB, 0, fb*isa.FractalPatches*tensor.C0, avgScale(p))
 		}
 		valid := min(pl.patches, (f0+fb)*isa.FractalPatches) - f0*isa.FractalPatches
 		prog.EmitCopy(isa.UB, outUB, isa.GM, pl.outGM+f0*isa.FractalPatches*Block, valid*Block)
+	}
+	if scale && sp.Epilogue == EpiDeferred {
+		emitDeferredScale(prog, p, pl.outGM, pl.outUB[0], pl.band*isa.FractalBytes, pl.patches*Block)
 	}
 	b.output(pl.outGM, 1, 1, pl.oh, pl.ow, tensor.C0)
 	plan, err := b.seal(prog, spec)
@@ -357,6 +406,10 @@ func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 		return nil, err
 	}
 	plan.bind = bindTile(name, p)
+	plan.Sched = ScheduleParams{
+		Mode: sp.Mode, Band: pl.band, Buffers: pl.buffers,
+		RepeatChunk: resolvedRepeatChunk(sp), Epilogue: sp.Epilogue,
+	}
 	return plan, nil
 }
 
@@ -377,13 +430,13 @@ func MaxPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*
 // emitColReduce emits the kernel-position reduction over an im2col band:
 // one full-mask instruction per (kh, kw) slice with repetition covering
 // the whole band (the three innermost dimensions of input and output tiles
-// are identical, §V-A).
-func emitColReduce(prog *cce.Program, op isa.VecOp, colUB, outUB, kk, fb int) {
+// are identical, §V-A), sliced at the schedule's repeat-chunk cap.
+func emitColReduce(prog *cce.Program, sp ScheduleParams, op isa.VecOp, colUB, outUB, kk, fb int) {
 	reps := fb * isa.FractalBytes / (isa.LanesPerRepeat * fp16.Bytes)
 	dst := isa.Contig(isa.UB, outUB)
 	for s := 0; s < kk; s++ {
 		src := isa.Contig(isa.UB, colUB+s*fb*isa.FractalBytes)
-		prog.EmitVec(op, dst, src, dst, 0, isa.FullMask(), reps)
+		emitVecChunked(prog, sp, op, dst, src, dst, 0, isa.FullMask(), reps)
 	}
 }
 
@@ -393,11 +446,25 @@ func emitColReduce(prog *cce.Program, op isa.VecOp, colUB, outUB, kk, fb int) {
 // Unified Buffer, then the same saturated reduction runs. It beats the
 // standard lowering but pays the transform as vector work in a separate
 // step (§VI-B).
-func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams) (*Plan, error) {
+func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_fwd_expansion"
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	b := newPlanner("maxpool_fwd_expansion", spec, p)
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.RepeatChunk, "repeat_chunk"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if sp.Gather != GatherVector && sp.Gather != GatherMTE {
+		return nil, badSchedule(name, "gather=%d: unknown gather engine", sp.Gather)
+	}
+	mteGather := sp.Gather == GatherMTE
+	b := newPlanner(name, spec, p)
 	core := b.core
 	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
@@ -414,39 +481,72 @@ func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams) (*Plan, error) {
 	}
 
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
-	perBand := func(b int) int {
-		return inRows(b)*inRowB + pp.Kh*pp.Kw*b*outRowB + b*outRowB
-	}
-	band := maxBand(ubAvail(core), oh, func(b int) int { return 2 * perBand(b) })
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), oh, perBand)
-		buffers = 1
-		if band == 0 {
-			return nil, errTooLarge("maxpool_fwd_expansion", pp)
+	// With the MTE gather the input band lives in L1, not the UB, so the
+	// UB requirement drops to the expansion and output areas.
+	band, buffers, err := resolveBand(name, pp, ubAvail(core), oh, sp, func(b, n int) int {
+		per := pp.Kh*pp.Kw*b*outRowB + b*outRowB
+		if !mteGather {
+			per += inRows(b) * inRowB
 		}
+		return n * per
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	var inUB, expUB, outUB [2]int
+	if mteGather {
+		// Stage the input band in L1 and gather patches from there on the
+		// MTE1 pipe, keeping the Vector Unit free for the reduction.
+		l1 := core.Mem.Space(isa.L1)
+		l1Band := maxBand(l1.Free(), band, func(b int) int { return buffers * inRows(b) * inRowB })
+		if l1Band == 0 {
+			return nil, badSchedule(name, "gather=mte needs an L1 row window for %d input rows, more than the %d bytes available",
+				inRows(1)*inRowB, l1.Free())
+		}
+		if sp.Band > 0 && l1Band < sp.Band {
+			return nil, badSchedule(name, "band=%d needs an L1 row window larger than the %d bytes available", sp.Band, l1.Free())
+		}
+		band = l1Band
+		for i := 0; i < buffers; i++ {
+			inUB[i] = l1.MustAlloc(inRows(band) * inRowB)
+		}
+	}
 	for i := 0; i < buffers; i++ {
-		inUB[i] = ub.MustAlloc(inRows(band) * inRowB)
+		if !mteGather {
+			inUB[i] = ub.MustAlloc(inRows(band) * inRowB)
+		}
 		expUB[i] = ub.MustAlloc(pp.Kh * pp.Kw * band * outRowB)
 		outUB[i] = ub.MustAlloc(band * outRowB)
 	}
 
-	prog := cce.New("maxpool_fwd_expansion")
+	prog := cce.New(name)
 	for oh0, bi := 0, 0; oh0 < oh; oh0, bi = oh0+band, bi+1 {
 		b := min(band, oh-oh0)
 		iUB, eUB, oUB := inUB[bi%buffers], expUB[bi%buffers], outUB[bi%buffers]
-		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, isa.UB, iUB, inRows(b)*inRowB)
-		// Expansion: one strided row copy per (kh, kw, oh).
+		srcBuf := isa.UB
+		if mteGather {
+			srcBuf = isa.L1
+		}
+		prog.EmitCopy(isa.GM, inGM+oh0*pp.Sh*inRowB, srcBuf, iUB, inRows(b)*inRowB)
+		// Expansion: one strided row gather per (kh, kw, oh) — vcopy on the
+		// Vector pipe, or a strided DMA burst on MTE1.
 		bandPatches := b * ow
 		for kh := 0; kh < pp.Kh; kh++ {
 			for kw := 0; kw < pp.Kw; kw++ {
 				slice := eUB + (kh*pp.Kw+kw)*bandPatches*Block
 				for i := 0; i < b; i++ {
 					src := inUB0RowAddr(iUB, pp, i, kh, kw)
-					emitStridedRowCopy(prog, slice+i*ow*Block, src, ow, pp.Sw)
+					if mteGather {
+						prog.Emit(&isa.CopyInstr{
+							SrcBuf: isa.L1, SrcAddr: src,
+							DstBuf: isa.UB, DstAddr: slice + i*ow*Block,
+							NBurst: ow, BurstBytes: Block,
+							SrcGap: (pp.Sw - 1) * Block, DstGap: 0,
+						})
+					} else {
+						emitStridedRowCopy(prog, slice+i*ow*Block, src, ow, pp.Sw)
+					}
 				}
 			}
 		}
@@ -462,7 +562,8 @@ func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl.bind = bindPaddedTile("maxpool_fwd_expansion", p)
+	pl.bind = bindPaddedTile(name, p)
+	pl.Sched = ScheduleParams{Mode: sp.Mode, Band: band, Buffers: buffers, Gather: sp.Gather}
 	return pl, nil
 }
 
@@ -510,11 +611,24 @@ func emitStridedRowCopy(prog *cce.Program, dstAddr, srcAddr, blocks, srcStride i
 // §VI-B). TVM cannot compute in place, so the width reduction materializes
 // an intermediate (Ih, Ow, C0) tensor. The width pass is strided
 // (16-lane); the height pass is contiguous and saturates the mask.
-func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams) (*Plan, error) {
+func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	const name = "maxpool_fwd_xysplit"
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	b := newPlanner("maxpool_fwd_xysplit", spec, p)
+	if err := noKnob(name, sp.Saturate, "saturate"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.RepeatChunk, "repeat_chunk"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Epilogue, "epilogue"); err != nil {
+		return nil, err
+	}
+	if err := noKnob(name, sp.Gather, "gather"); err != nil {
+		return nil, err
+	}
+	b := newPlanner(name, spec, p)
 	core := b.core
 	pp := foldPadding(p)
 	oh, ow := pp.OutDims()
@@ -531,15 +645,11 @@ func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams) (*Plan, error) {
 	}
 
 	inRows := func(b int) int { return (b-1)*pp.Sh + pp.Kh }
-	perBand := func(b int) int { return inRows(b)*inRowB + inRows(b)*outRowB + b*outRowB }
-	band := maxBand(ubAvail(core), oh, func(b int) int { return 2 * perBand(b) })
-	buffers := 2
-	if band == 0 {
-		band = maxBand(ubAvail(core), oh, perBand)
-		buffers = 1
-		if band == 0 {
-			return nil, errTooLarge("maxpool_fwd_xysplit", pp)
-		}
+	band, buffers, err := resolveBand(name, pp, ubAvail(core), oh, sp, func(b, n int) int {
+		return n * (inRows(b)*inRowB + inRows(b)*outRowB + b*outRowB)
+	})
+	if err != nil {
+		return nil, err
 	}
 	ub := core.Mem.Space(isa.UB)
 	var inUB, tmpUB, outUB [2]int
@@ -580,7 +690,8 @@ func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl.bind = bindPaddedTile("maxpool_fwd_xysplit", p)
+	pl.bind = bindPaddedTile(name, p)
+	pl.Sched = ScheduleParams{Mode: sp.Mode, Band: band, Buffers: buffers}
 	return pl, nil
 }
 

@@ -20,6 +20,7 @@ package ops
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -52,6 +53,15 @@ type Spec struct {
 	// way the outcome is recorded in Plan.Opt. Part of the cache key, so
 	// optimized and baseline plans of one shape coexist.
 	Opt opt.Level
+	// AutoSchedule routes plan compilation through the registered
+	// schedule search (internal/sched): the searcher enumerates the
+	// kernel's ScheduleParams space, ranks candidates with the static
+	// critical-path bound, confirms the frontier with the cycle oracle,
+	// and returns the searched schedule only if it beats the hand-tuned
+	// default and passes the validation gate. The outcome is recorded in
+	// Plan.Auto. Part of the cache key, so searched and default plans of
+	// one shape coexist.
+	AutoSchedule bool
 }
 
 // SpecFor derives the Spec matching an existing core, so the legacy
@@ -114,6 +124,14 @@ type Plan struct {
 	// opt.LevelNone (what each pass rewrote, cycles saved, or why the
 	// result was rejected and the baseline kept); nil otherwise.
 	Opt *opt.Result
+	// Sched is the resolved schedule the lowering executed: every knob
+	// canonicalized to a concrete value, so recompiling the kernel with
+	// Sched reproduces this plan exactly.
+	Sched ScheduleParams
+	// Auto is the autoscheduler's report when the Spec requested
+	// AutoSchedule (candidates considered/pruned/confirmed, the cycles
+	// saved or why the searched schedule was rejected); nil otherwise.
+	Auto *AutoSchedReport
 
 	slots  []gmSlot
 	outs   []gmRead
@@ -409,65 +427,145 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 					c.metrics.Counter("opt_rejected").Inc()
 				}
 			}
+			if a := e.plan.Auto; a != nil {
+				c.metrics.Counter("sched_candidates").Add(int64(a.Considered))
+				c.metrics.Counter("sched_pruned").Add(int64(a.Pruned))
+				if a.Accepted {
+					c.metrics.Counter("sched_accepted").Inc()
+				}
+				if saved := a.Saved(); saved > 0 {
+					c.metrics.Counter("sched_cycles_saved").Add(saved)
+				}
+			}
 		}
 		e.done.Store(true)
 	})
 	return e.plan, e.err
 }
 
-// Dispatch tables populated by the kernel files (avgpool_cube.go registers
-// the Cube-unit variant in init, mirroring the legacy registries).
-var (
-	maxForwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+// plannerFunc is a schedule-parameterized lowering: it compiles (spec, p)
+// under the given ScheduleParams, whose zero value reproduces the
+// hand-tuned plan bit-identically.
+type plannerFunc func(Spec, isa.ConvParams, ScheduleParams) (*Plan, error)
+
+// kernelFamilies is the unified dispatch table of every searchable kernel
+// family and its lowering modes. The lowering mode is itself a schedule
+// axis: every variant of a family shares one observable contract (same
+// inputs, same outputs), so the autoscheduler may swap it.
+// avgpool_cube.go registers the Cube-unit variant in init, mirroring the
+// legacy registries.
+var kernelFamilies = map[string]map[string]plannerFunc{
+	"maxpool_fwd": {
 		"standard":  planMaxPoolFwdStandard,
 		"im2col":    planMaxPoolFwdIm2col,
 		"expansion": planMaxPoolFwdExpansion,
 		"xysplit":   planMaxPoolFwdXYSplit,
-	}
-	argmaxPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+	},
+	"maxpool_fwd_argmax": {
 		"standard": planMaxPoolFwdArgmaxStandard,
 		"im2col":   planMaxPoolFwdArgmaxIm2col,
-	}
-	maxBackwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+	},
+	"maxpool_bwd": {
 		"standard": planMaxPoolBwdStandard,
 		"col2im":   planMaxPoolBwdCol2im,
-	}
-	avgForwardPlanners = map[string]func(Spec, isa.ConvParams) (*Plan, error){
+	},
+	"avgpool_fwd": {
 		"standard": planAvgPoolFwdStandard,
 		"im2col":   planAvgPoolFwdIm2col,
-	}
-)
+	},
+	"avgpool_bwd": {
+		"standard": planAvgPoolBwdStandard,
+		"col2im":   planAvgPoolBwdCol2im,
+	},
+	// avgForwardPlanners compatibility: cube registered in init.
+}
 
-func planVariant(table map[string]func(Spec, isa.ConvParams) (*Plan, error), kind, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	fn, ok := table[variant]
+// legacy table alias kept for the avgpool_cube init registration.
+var avgForwardPlanners = kernelFamilies["avgpool_fwd"]
+
+// KernelFamilies returns the searchable kernel family names, sorted.
+func KernelFamilies() []string {
+	names := make([]string, 0, len(kernelFamilies))
+	for f := range kernelFamilies {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelVariants returns the lowering modes of a family, sorted; nil for
+// an unknown family.
+func KernelVariants(family string) []string {
+	table, ok := kernelFamilies[family]
+	if !ok {
+		return nil
+	}
+	variants := make([]string, 0, len(table))
+	for v := range table {
+		variants = append(variants, v)
+	}
+	sort.Strings(variants)
+	return variants
+}
+
+func planVariant(family, kind, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	fn, ok := kernelFamilies[family][variant]
 	if !ok {
 		return nil, fmt.Errorf("ops: unknown %s variant %q", kind, variant)
 	}
-	return fn(spec, p)
+	if spec.AutoSchedule {
+		return autoPlan(family+"/"+variant, spec, p)
+	}
+	return fn(spec, p, ScheduleParams{Mode: variant})
+}
+
+// CompileKernel compiles kernel ("family/variant", e.g.
+// "maxpool_fwd/im2col") under an explicit schedule. A non-empty sp.Mode
+// overrides the variant — the lowering mode is a schedule axis. The
+// search never recurses: AutoSchedule is forced off.
+func CompileKernel(kernel string, spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	family, variant, ok := strings.Cut(kernel, "/")
+	if !ok {
+		return nil, fmt.Errorf("ops: kernel %q: want \"family/variant\"", kernel)
+	}
+	table, tok := kernelFamilies[family]
+	if !tok {
+		return nil, fmt.Errorf("ops: unknown kernel family %q (have %v)", family, KernelFamilies())
+	}
+	if sp.Mode != "" {
+		variant = sp.Mode
+	}
+	fn, fok := table[variant]
+	if !fok {
+		return nil, fmt.Errorf("ops: unknown %s variant %q (have %v)", family, variant, KernelVariants(family))
+	}
+	spec.AutoSchedule = false
+	sp.Mode = variant
+	return fn(spec, p, sp)
 }
 
 // PlanMaxPoolForward compiles a forward Maxpool variant ("standard",
 // "im2col", "expansion", "xysplit"). Run takes (in) and returns (out).
 func PlanMaxPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant(maxForwardPlanners, "forward", variant, spec, p)
+	return planVariant("maxpool_fwd", "forward", variant, spec, p)
 }
 
 // PlanMaxPoolForwardArgmax compiles a Fig. 7b variant ("standard",
 // "im2col"). Run takes (in) and returns (out, mask).
 func PlanMaxPoolForwardArgmax(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant(argmaxPlanners, "argmax", variant, spec, p)
+	return planVariant("maxpool_fwd_argmax", "argmax", variant, spec, p)
 }
 
 // PlanMaxPoolBackward compiles a Fig. 7c variant ("standard", "col2im").
 // Run takes (mask, grad) and returns (dx).
 func PlanMaxPoolBackward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant(maxBackwardPlanners, "backward", variant, spec, p)
+	return planVariant("maxpool_bwd", "backward", variant, spec, p)
 }
 
 // PlanAvgPoolForward compiles an Avgpool forward variant ("standard",
 // "im2col", "cube"). Run takes (in) and returns (out).
 func PlanAvgPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant(avgForwardPlanners, "avgpool", variant, spec, p)
+	return planVariant("avgpool_fwd", "avgpool", variant, spec, p)
 }
 
 // Cached plan constructors: each compiles at most once per (key, spec) and
