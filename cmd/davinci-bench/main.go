@@ -6,18 +6,22 @@
 //	davinci-bench [flags] [experiment ...]
 //
 // Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
-// perf, sweep, optsweep, autosched, all (default: all). "sweep" runs every
-// built-in kernel on every Table I layer on a traced core, checking the
-// cycle-accounting identity per program; "optsweep" compiles the same
-// programs baseline vs the static optimizer (internal/opt) and fails if
-// any translation-validated program got slower — the CI opt regression
-// gate. "autosched" compiles the same programs with the schedule search
-// (internal/sched) and fails if a searched schedule regresses on any
-// program — the autoscheduler regression gate. -opt N compiles every
+// perf, sweep, optsweep, autosched, certsweep, all (default: all).
+// "sweep" runs every built-in kernel on every Table I layer on a traced
+// core, checking the cycle-accounting identity per program; "optsweep"
+// compiles the same programs baseline vs the static optimizer
+// (internal/opt) and fails if any translation-validated program got
+// slower — the CI opt regression gate. "autosched" compiles the same
+// programs with the schedule search (internal/sched) and fails if a
+// searched schedule regresses on any program — the autoscheduler
+// regression gate. "certsweep" proves the symbolic certificate registry
+// (internal/lint/sym) and compiles the certified kernels strict with and
+// without certificate admission, gating on cert hits, reduced compile
+// allocations and a divergence-free cross-check. -opt N compiles every
 // other experiment's plans at that optimizer level. With -metrics FILE,
-// every measured cell plus the chip, plan-cache, opt_rewrites and
-// sched_* counters are dumped as a JSON snapshot (the CI BENCH_<rev>.json
-// artifact).
+// every measured cell plus the chip, plan-cache, opt_rewrites, sched_*
+// and cert_* counters are dumped as a JSON snapshot (the CI
+// BENCH_<rev>.json artifact).
 package main
 
 import (
@@ -183,6 +187,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.OptSweep(opts))
 	case "autosched":
 		return emit(bench.AutoschedSweep(opts))
+	case "certsweep":
+		return emit(bench.CertSweep(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -197,6 +203,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, autosched, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, autosched, certsweep, all)")
 	}
 }

@@ -1,0 +1,228 @@
+// Command davinci-cert drives the shape-generic certification layer
+// (internal/lint/sym): it proves the pooling kernel lowerings lint-clean
+// over the Table I parameter domains once per schedule pattern, prints
+// the sealed certificates, explains failures with concrete
+// counterexamples, and cross-checks certificate admission against the
+// concrete verifier — the CI soundness gate.
+//
+// Usage:
+//
+//	davinci-cert prove [flags]            # build + print certificates, gate on violations
+//	davinci-cert list [flags]             # print the certification catalogue (no proving)
+//	davinci-cert explain-failure [flags]  # per failing cell: obligation, reason, counterexample
+//	davinci-cert crosscheck [flags]       # certs vs concrete lint; any divergence fails
+//
+// "prove" exits 1 when any cell fails a proof obligation on a program
+// that compiled (a genuine soundness finding), or when a kernel ends up
+// admitting no shapes at all. Cells that fail because the kernel itself
+// rejects the shape (capacity, invalid schedule) are fallbacks, not
+// violations: compilation at those shapes re-runs concrete lint anyway.
+//
+// "crosscheck" re-compiles every sweep program (the full kernel
+// catalogue across all Table I layers) plus -random N randomized
+// in-domain shapes, asks the registry for its verdict on each, and exits
+// 1 on any divergence — a shape the registry admits whose concrete
+// program fails the verifier.
+//
+// Example:
+//
+//	davinci-cert prove -defaults          # default schedule patterns only
+//	davinci-cert prove -kernel maxpool    # only the maxpool kernels
+//	davinci-cert crosscheck -random 1000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"davinci/internal/buffer"
+	"davinci/internal/lint/sym"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	if len(args) == 0 {
+		usage(out)
+		return 2
+	}
+	cmd, args := args[0], args[1:]
+
+	fs := flag.NewFlagSet("davinci-cert "+cmd, flag.ContinueOnError)
+	fs.SetOutput(out)
+	ub := fs.Int("ub", buffer.DefaultUBSize, "Unified Buffer bytes")
+	l1 := fs.Int("l1", buffer.DefaultL1Size, "L1 buffer bytes")
+	defaults := fs.Bool("defaults", false, "prove only each kernel's default schedule pattern")
+	kernel := fs.String("kernel", "", "restrict to kernels containing this substring")
+	random := fs.Int("random", 1000, "crosscheck: randomized in-domain probes")
+	seed := fs.Int64("seed", 1, "crosscheck: probe generator seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := buffer.Config{UBSize: *ub, L1Size: *l1}
+	kernels := selectKernels(*kernel)
+	if len(kernels) == 0 {
+		fmt.Fprintf(out, "davinci-cert: no certified kernel matches %q\n", *kernel)
+		return 2
+	}
+
+	switch cmd {
+	case "list":
+		return list(out, kernels)
+	case "prove":
+		return prove(out, cfg, kernels, !*defaults)
+	case "explain-failure":
+		return explain(out, cfg, kernels, !*defaults)
+	case "crosscheck":
+		return crosscheck(out, cfg, kernels, !*defaults, *random, *seed)
+	default:
+		usage(out)
+		return 2
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, "usage: davinci-cert {prove|list|explain-failure|crosscheck} [flags]")
+}
+
+func selectKernels(substr string) []string {
+	var out []string
+	for _, k := range sym.Kernels() {
+		if strings.Contains(k, substr) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// list prints the certification catalogue — what prove would attempt —
+// without running any proofs.
+func list(out io.Writer, kernels []string) int {
+	fmt.Fprintf(out, "%-28s %-34s %s\n", "KERNEL", "DOMAIN", "PATTERNS")
+	for _, k := range kernels {
+		variant := k
+		if _, v, ok := strings.Cut(k, "/"); ok {
+			variant = v
+		}
+		pats := sym.Patterns(variant)
+		for _, d := range sym.DomainsFor(k) {
+			fmt.Fprintf(out, "%-28s %-34s %d\n", k, d.String(), len(pats))
+		}
+	}
+	return 0
+}
+
+// violated reports whether a certificate carries a genuine obligation
+// violation: a cell whose counterexample program compiled but failed a
+// proof obligation. Cells that fail because the kernel rejected the
+// shape are excluded — those shapes fall back to concrete lint.
+func violated(c *sym.Certificate) bool {
+	if c.Inapplicable != "" {
+		return false
+	}
+	for _, cl := range c.Cells {
+		if !cl.Certified && cl.Obligation != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func proveAll(cfg buffer.Config, kernels []string, allPatterns bool) []*sym.Certificate {
+	if allPatterns {
+		return sym.ProveKernels(cfg, kernels)
+	}
+	return sym.ProveKernelDefaults(cfg, kernels)
+}
+
+// prove builds every selected certificate, prints the sealed summaries,
+// and gates: an obligation violation or a kernel admitting nothing
+// exits 1.
+func prove(out io.Writer, cfg buffer.Config, kernels []string, allPatterns bool) int {
+	certs := proveAll(cfg, kernels, allPatterns)
+	status := 0
+	admitted := map[string]int{}
+	for _, c := range certs {
+		fmt.Fprintln(out, c.Summary())
+		adm, _ := c.Coverage()
+		admitted[c.Kernel] += adm
+		if violated(c) {
+			status = 1
+		}
+	}
+	fmt.Fprintln(out)
+	for _, k := range kernels {
+		if admitted[k] == 0 {
+			fmt.Fprintf(out, "davinci-cert: %s: no shape admitted by any certificate\n", k)
+			status = 1
+		}
+	}
+	if status != 0 {
+		fmt.Fprintln(out, "davinci-cert: PROOF VIOLATIONS (see explain-failure)")
+	} else {
+		fmt.Fprintf(out, "davinci-cert: ok — %d certificates, no obligation violations\n", len(certs))
+	}
+	return status
+}
+
+// explain re-proves and prints, for every uncertified cell, the violated
+// obligation, the prover's reason, and the smallest concrete
+// counterexample the domain-boundary enumeration isolated.
+func explain(out io.Writer, cfg buffer.Config, kernels []string, allPatterns bool) int {
+	certs := proveAll(cfg, kernels, allPatterns)
+	failures := 0
+	for _, c := range certs {
+		if c.Inapplicable != "" {
+			fmt.Fprintf(out, "%s [%s] %s\n  inapplicable: %s\n", c.Kernel, c.Sched, c.Domain, c.Inapplicable)
+			continue
+		}
+		if c.Certified() {
+			continue
+		}
+		fmt.Fprintln(out, c.Summary())
+		for _, cl := range c.Cells {
+			if cl.Certified {
+				continue
+			}
+			failures++
+			ob := string(cl.Obligation)
+			if ob == "" {
+				ob = "(kernel rejected the shape; falls back to concrete lint)"
+			}
+			fmt.Fprintf(out, "  cell S=[%d,%d] mod %d = %d (%s):\n", cl.Lo, cl.Hi, cl.Step, cl.Residue, cl.Grade)
+			fmt.Fprintf(out, "    obligation: %s\n", ob)
+			fmt.Fprintf(out, "    reason:     %s\n", cl.Reason)
+			if cl.Counterexample > 0 {
+				fmt.Fprintf(out, "    counterexample: S=%d (smallest failing shape by boundary enumeration)\n", cl.Counterexample)
+			}
+		}
+	}
+	if failures == 0 {
+		fmt.Fprintln(out, "davinci-cert: every certificate fully discharged; nothing to explain")
+	}
+	return 0
+}
+
+// crosscheck proves the selected certificates, installs them in a
+// registry, and re-establishes agreement with the concrete verifier over
+// the sweep programs plus randomized in-domain probes.
+func crosscheck(out io.Writer, cfg buffer.Config, kernels []string, allPatterns bool, random int, seed int64) int {
+	reg := sym.NewRegistry()
+	reg.Add(proveAll(cfg, kernels, allPatterns)...)
+	rep := sym.CrossCheck(reg, cfg, random, seed)
+	fmt.Fprintln(out, rep.Summary())
+	if len(rep.Divergences) > 0 {
+		for _, d := range rep.Divergences {
+			fmt.Fprintf(out, "DIVERGENCE: %s\n", d)
+		}
+		fmt.Fprintln(out, "davinci-cert: certificate admission diverges from concrete lint")
+		return 1
+	}
+	fmt.Fprintln(out, "davinci-cert: ok — certificate admission agrees with concrete lint")
+	return 0
+}

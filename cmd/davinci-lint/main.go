@@ -351,6 +351,9 @@ func optKernels(out io.Writer, all bool, level opt.Level) int {
 			}
 			fmt.Fprintf(out, "%-38s %6d %6d %9d %9d %5.1f%% %5d %5d %s\n",
 				label, r.BaselineInstrs, r.Instrs, r.BaselineCycles, r.Cycles, pct, before, after, verdict)
+			if r.SkippedReschedule != nil {
+				fmt.Fprintf(out, "    note: rescheduling skipped (%v)\n", r.SkippedReschedule)
+			}
 		}
 	}
 	return status

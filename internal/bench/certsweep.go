@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"davinci/internal/isa"
+	"davinci/internal/kernelcases"
+	"davinci/internal/lint/sym"
+	"davinci/internal/ops"
+	"davinci/internal/workloads"
+)
+
+// CertSweep measures what certificate-backed admission buys at compile
+// time. It proves the default-pattern certificate registry
+// (sym.ProveDefaults), then compiles every certified pooling kernel on
+// every in-domain Table I layer twice under a Strict spec — once with
+// concrete lint (no certifier installed) and once with the registry
+// installed, where in-domain shapes skip the lint pass entirely — and
+// reports the wall-time and heap-allocation deltas. A bounded randomized
+// cross-check re-establishes agreement with the concrete verifier inside
+// the same run. The sweep is the CI evidence that certification is both
+// profitable (cert hits happen, certified compiles allocate less) and
+// sound (zero divergences); either failing is an error.
+func CertSweep(o Options) (*Table, error) {
+	cfg := o.Chip.Buffers.Normalized()
+	proveStart := time.Now()
+	certs := sym.ProveDefaults(cfg)
+	proveWall := time.Since(proveStart)
+	reg := sym.NewRegistry()
+	reg.Add(certs...)
+
+	admitted, total := 0, 0
+	for _, c := range certs {
+		a, t := c.Coverage()
+		admitted += a
+		total += t
+	}
+	if o.Metrics != nil {
+		o.Metrics.Gauge("cert_certificates").Set(int64(len(certs)))
+		o.Metrics.Gauge("cert_admitted_shapes").Set(int64(admitted))
+	}
+
+	// The compile set: every certified kernel on every Table I layer its
+	// certified domain covers (the direct lowerings' domains stop at the
+	// proving-tractability cap, so their large layers are excluded rather
+	// than measured as guaranteed fallbacks).
+	type unit struct {
+		kc kernelcases.Case
+		p  isa.ConvParams
+	}
+	var units []unit
+	inDomain := map[string]bool{}
+	for _, k := range sym.Kernels() {
+		inDomain[k] = true
+	}
+	for _, kc := range kernelcases.All() {
+		if !inDomain[kc.Name] {
+			continue
+		}
+		for _, l := range workloads.TableI {
+			p := l.Params()
+			for _, d := range sym.DomainsFor(kc.Name) {
+				if d.Contains(p) {
+					units = append(units, unit{kc, p})
+					break
+				}
+			}
+		}
+	}
+
+	// One measured pass: every unit compiled under a Strict spec, wall
+	// nanos and heap allocations aggregated per kernel. hits counts plans
+	// whose lint pass was skipped under a certificate (Plan.Certified).
+	type agg struct {
+		compiles, hits, skips int
+		nanos, allocs         int64
+	}
+	spec := ops.Spec{Buffers: cfg, Strict: true}
+	pass := func() (map[string]*agg, error) {
+		out := map[string]*agg{}
+		for _, u := range units {
+			a := out[u.kc.Name]
+			if a == nil {
+				a = &agg{}
+				out[u.kc.Name] = a
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			pl, cerr := u.kc.Plan(spec, u.p)
+			wall := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			if cerr != nil {
+				if kernelcases.IsCapacitySkip(cerr) {
+					a.skips++
+					continue
+				}
+				return nil, fmt.Errorf("bench: certsweep %s %dx%d: %w", u.kc.Name, u.p.Ih, u.p.Iw, cerr)
+			}
+			a.compiles++
+			a.nanos += wall
+			a.allocs += int64(ms1.TotalAlloc - ms0.TotalAlloc)
+			if pl.Certified {
+				a.hits++
+			}
+		}
+		return out, nil
+	}
+	sum := func(m map[string]*agg) (compiles, hits int, nanos, allocs int64) {
+		for _, a := range m {
+			compiles += a.compiles
+			hits += a.hits
+			nanos += a.nanos
+			allocs += a.allocs
+		}
+		return
+	}
+
+	// Pass 1: strict compiles against concrete lint.
+	sym.Uninstall()
+	strict, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	strictCompiles, strictHits, strictNanos, strictAllocs := sum(strict)
+	if strictHits != 0 {
+		return nil, fmt.Errorf("bench: certsweep: %d plans certified with no certifier installed", strictHits)
+	}
+
+	// Pass 2: the same compiles with the registry admitting in-domain
+	// shapes (and bumping the cert_hits / cert_fallbacks / cert_misses
+	// counters on the run's metrics registry).
+	reg.Install(o.Metrics)
+	defer sym.Uninstall()
+	cert, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	_, hits, certNanos, certAllocs := sum(cert)
+
+	// The bounded agreement check, inside the same artifact.
+	cross := sym.CrossCheckRandom(reg, cfg, 200, o.Seed)
+	if o.Metrics != nil {
+		o.Metrics.Gauge("cert_crosscheck_programs").Set(int64(cross.Programs))
+		o.Metrics.Gauge("cert_crosscheck_divergences").Set(int64(len(cross.Divergences)))
+		o.Metrics.Gauge("cert_compile_nanos", "impl", "strict").Set(strictNanos)
+		o.Metrics.Gauge("cert_compile_nanos", "impl", "certified").Set(certNanos)
+		o.Metrics.Gauge("cert_compile_allocs", "impl", "strict").Set(strictAllocs)
+		o.Metrics.Gauge("cert_compile_allocs", "impl", "certified").Set(certAllocs)
+	}
+
+	// Gates: divergence-free, hits happened, certified compiles do less
+	// allocation work (wall time is reported but not gated — it is noisy
+	// on loaded machines; allocations are the deterministic proxy).
+	if len(cross.Divergences) > 0 {
+		return nil, fmt.Errorf("bench: certsweep: %d cross-check divergence(s), first: %s",
+			len(cross.Divergences), cross.Divergences[0])
+	}
+	if hits == 0 {
+		return nil, fmt.Errorf("bench: certsweep: no compile was admitted by a certificate")
+	}
+	if certAllocs >= strictAllocs {
+		return nil, fmt.Errorf("bench: certsweep: certified compiles allocate no less than strict ones (%d vs %d bytes)",
+			certAllocs, strictAllocs)
+	}
+
+	kernels := make([]string, 0, len(strict))
+	for k := range strict {
+		kernels = append(kernels, k)
+	}
+	sort.Strings(kernels)
+	t := &Table{
+		Experiment: "Certification sweep: strict compile cost, concrete lint vs certificate admission",
+		Note: fmt.Sprintf("registry: %d default-pattern certificates admitting %d/%d shapes (proved in %v); "+
+			"%d compiles/pass, %d admitted under certificates; cross-check: %s",
+			len(certs), admitted, total, proveWall.Round(time.Millisecond),
+			strictCompiles, hits, cross.Summary()),
+		Columns: []string{"compiles", "hits", "strict us", "cert us", "strict KB", "cert KB", "alloc speedup"},
+	}
+	for _, k := range kernels {
+		s, c := strict[k], cert[k]
+		ratio := 0.0
+		if c.allocs > 0 {
+			ratio = float64(s.allocs) / float64(c.allocs)
+		}
+		t.Rows = append(t.Rows, Row{Label: k, Values: []float64{
+			float64(s.compiles), float64(c.hits),
+			float64(s.nanos) / 1e3, float64(c.nanos) / 1e3,
+			float64(s.allocs) / 1024, float64(c.allocs) / 1024,
+			ratio,
+		}})
+	}
+	return t, nil
+}

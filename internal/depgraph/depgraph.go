@@ -22,6 +22,9 @@
 package depgraph
 
 import (
+	"errors"
+	"fmt"
+
 	"davinci/internal/cce"
 	"davinci/internal/isa"
 )
@@ -252,6 +255,32 @@ func CrossPipeDeps(prog *cce.Program) []Dep {
 	return deps
 }
 
+// BudgetError reports that Conflicts gave up before finishing: the
+// pairwise region scan hit its comparison budget at instruction Instr of
+// Instrs. The program is then unanalyzable — callers must not assume
+// independence — but the degradation is typed and countable instead of a
+// silent boolean, so a skipped O2 rescheduling shows up in optimizer
+// reports and the depgraph_budget_exhausted counter rather than looking
+// like "nothing to do".
+type BudgetError struct {
+	// Budget is the region-pair comparison cap the scan was given.
+	Budget int
+	// Instr is the program index where the budget ran out; Instrs is the
+	// program length, so reports can say how far the scan got.
+	Instr, Instrs int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("depgraph: conflict scan budget (%d region pairs) exhausted at instruction %d of %d",
+		e.Budget, e.Instr, e.Instrs)
+}
+
+// IsBudgetExhausted reports whether err is a Conflicts budget exhaustion.
+func IsBudgetExhausted(err error) bool {
+	var e *BudgetError
+	return errors.As(err, &e)
+}
+
 // Conflicts returns, per instruction, the earlier instructions it
 // conflicts with: pairs whose accesses touch overlapping bytes of one
 // buffer with at least one side writing, regardless of pipe. Any
@@ -260,10 +289,10 @@ func CrossPipeDeps(prog *cce.Program) []Dep {
 // conflicting instructions commute on memory.
 //
 // The scan is quadratic per buffer; budget caps the region-pair
-// comparisons. When the budget runs out the scan aborts and returns
-// ok=false — callers must then treat the program as unanalyzable rather
-// than assume independence.
-func Conflicts(prog *cce.Program, budget int) (preds [][]int32, ok bool) {
+// comparisons. When the budget runs out the scan aborts and returns a
+// *BudgetError — callers must then treat the program as unanalyzable
+// rather than assume independence.
+func Conflicts(prog *cce.Program, budget int) (preds [][]int32, err error) {
 	type access struct {
 		idx      int32
 		write    bool
@@ -283,6 +312,7 @@ func Conflicts(prog *cce.Program, budget int) (preds [][]int32, ok bool) {
 		}
 		preds[j] = append(ps, i)
 	}
+	total := budget
 	for idx, in := range prog.Instrs {
 		j := int32(idx)
 		scan := func(r isa.Region, write bool) bool {
@@ -301,14 +331,14 @@ func Conflicts(prog *cce.Program, budget int) (preds [][]int32, ok bool) {
 		}
 		for _, r := range in.Reads() {
 			if !scan(r, false) {
-				return nil, false
+				return nil, &BudgetError{Budget: total, Instr: idx, Instrs: len(prog.Instrs)}
 			}
 		}
 		for _, w := range in.Writes() {
 			if !scan(w, true) {
-				return nil, false
+				return nil, &BudgetError{Budget: total, Instr: idx, Instrs: len(prog.Instrs)}
 			}
 		}
 	}
-	return preds, true
+	return preds, nil
 }

@@ -1,6 +1,7 @@
 package depgraph_test
 
 import (
+	"errors"
 	"reflect"
 	"sort"
 	"testing"
@@ -90,9 +91,9 @@ func TestReplayDeadlock(t *testing.T) {
 // against the obvious quadratic reference on the nontrivial program.
 func TestConflictsMatchesBruteForce(t *testing.T) {
 	prog := nontrivial()
-	preds, ok := depgraph.Conflicts(prog, 1<<20)
-	if !ok {
-		t.Fatal("budget unexpectedly exhausted")
+	preds, err := depgraph.Conflicts(prog, 1<<20)
+	if err != nil {
+		t.Fatalf("budget unexpectedly exhausted: %v", err)
 	}
 	want := make([][]int32, len(prog.Instrs))
 	overlap := func(a, b isa.Region) bool { return a.Buf == b.Buf && a.Off < b.End && b.Off < a.End }
@@ -134,7 +135,19 @@ func TestConflictsMatchesBruteForce(t *testing.T) {
 }
 
 func TestConflictsBudgetExhaustion(t *testing.T) {
-	if _, ok := depgraph.Conflicts(nontrivial(), 1); ok {
+	prog := nontrivial()
+	_, err := depgraph.Conflicts(prog, 1)
+	if err == nil {
 		t.Fatal("tiny budget did not abort the scan")
+	}
+	if !depgraph.IsBudgetExhausted(err) {
+		t.Fatalf("want a *BudgetError, got %T: %v", err, err)
+	}
+	var berr *depgraph.BudgetError
+	if !errors.As(err, &berr) {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if berr.Budget != 1 || berr.Instrs != len(prog.Instrs) || berr.Instr < 0 || berr.Instr >= berr.Instrs {
+		t.Fatalf("budget error fields off: %+v", berr)
 	}
 }

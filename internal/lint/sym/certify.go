@@ -1,0 +1,810 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"davinci/internal/buffer"
+	"davinci/internal/cce"
+	"davinci/internal/depgraph"
+	"davinci/internal/isa"
+	"davinci/internal/lint"
+	"davinci/internal/ops"
+)
+
+// SchedKey identifies one schedule pattern a certificate quantifies over:
+// a shape-generic point of the autoscheduler's candidate space. Unlike
+// ops.ScheduleParams it carries no concrete band — band-split candidates
+// are keyed by their divisor (band = default band / BandDiv, the form the
+// search enumerates), which is what makes one certificate cover the
+// pattern at every shape.
+type SchedKey struct {
+	// Mode is the lowering mode (the "family/variant" variant).
+	Mode string
+	// BandDiv keys the band-split candidates: 0 means the default band,
+	// d > 0 means default band / d.
+	BandDiv int
+	// Buffers, Saturate, RepeatChunk, Epilogue, Gather mirror the
+	// ops.ScheduleParams knobs (0 = default).
+	Buffers, Saturate, RepeatChunk, Epilogue, Gather int
+}
+
+func (k SchedKey) String() string {
+	s := "default"
+	var knobs []string
+	if k.BandDiv > 0 {
+		knobs = append(knobs, fmt.Sprintf("band/%d", k.BandDiv))
+	}
+	if k.Buffers != 0 {
+		knobs = append(knobs, fmt.Sprintf("buffers=%d", k.Buffers))
+	}
+	if k.Saturate != 0 {
+		knobs = append(knobs, fmt.Sprintf("saturate=%d", k.Saturate))
+	}
+	if k.RepeatChunk != 0 {
+		knobs = append(knobs, fmt.Sprintf("repeat_chunk=%d", k.RepeatChunk))
+	}
+	if k.Epilogue != 0 {
+		knobs = append(knobs, "epilogue=deferred")
+	}
+	if k.Gather != 0 {
+		knobs = append(knobs, "gather=mte")
+	}
+	if len(knobs) > 0 {
+		s = strings.Join(knobs, " ")
+	}
+	return s
+}
+
+// pattern returns the ScheduleParams the pattern compiles with before
+// band resolution (Band stays 0; BandDiv is resolved per shape).
+func (k SchedKey) pattern() ops.ScheduleParams {
+	return ops.ScheduleParams{
+		Mode:        k.Mode,
+		Buffers:     k.Buffers,
+		Saturate:    k.Saturate,
+		RepeatChunk: k.RepeatChunk,
+		Epilogue:    k.Epilogue,
+		Gather:      k.Gather,
+	}
+}
+
+// Obligation names one property a certificate discharges.
+type Obligation string
+
+const (
+	// ObLintClean: the concrete static verifier (implicit-sync mode)
+	// reports no errors — the umbrella obligation certificate admission
+	// actually stands in for.
+	ObLintClean Obligation = "lint-clean"
+	// ObBounds: every buffer access stays inside its address space
+	// (region end <= capacity, offset >= 0), discharged over the whole
+	// cell via the recovered per-buffer bound polynomials.
+	ObBounds Obligation = "buffer-bounds"
+	// ObSync: the explicitly synchronized form of the program
+	// (cce.AutoSync) passes the explicit-mode hazard verifier and pairs
+	// every set_flag with exactly one wait_flag.
+	ObSync Obligation = "sync-protocol"
+	// ObDeadlockFree: the queue-accurate flag replay
+	// (depgraph.Replay) retires every instruction — no blocked pipe head.
+	ObDeadlockFree Obligation = "deadlock-free"
+	// ObPerfStructure: the static performance bounds are well-formed
+	// (BusyBound <= CritPath) and the perf analysis reports no
+	// error-severity diagnostic.
+	ObPerfStructure Obligation = "perf-structure"
+	// ObStructure: the program's shape — instruction count, per-kind
+	// counts, sync pair counts — follows the recovered polynomial model
+	// across the cell (the evidence that witnesses generalize).
+	ObStructure Obligation = "structure-stable"
+)
+
+// Obligations lists every obligation a certificate discharges, in report
+// order.
+func Obligations() []Obligation {
+	return []Obligation{ObLintClean, ObBounds, ObSync, ObDeadlockFree, ObPerfStructure, ObStructure}
+}
+
+// Grade ranks how a cell's proof was discharged.
+type Grade int
+
+const (
+	// GradeEnumerated: every member shape of the cell was compiled and
+	// checked concretely — exhaustive, unconditionally sound.
+	GradeEnumerated Grade = iota
+	// GradePolynomial: obligations hold on all witnesses, every measured
+	// quantity fits an exact polynomial model cross-validated on held-out
+	// witnesses, and the bounds obligations were discharged at every
+	// member shape by evaluating the model.
+	GradePolynomial
+	// GradeWitnessed: obligations hold on all sampled witnesses but some
+	// quantity resisted a polynomial model within the refinement budget.
+	// Sound only relative to the concrete verifier; the CI cross-check
+	// gate is the backstop.
+	GradeWitnessed
+)
+
+func (g Grade) String() string {
+	switch g {
+	case GradeEnumerated:
+		return "enumerated"
+	case GradePolynomial:
+		return "polynomial"
+	case GradeWitnessed:
+		return "witnessed"
+	}
+	return fmt.Sprintf("Grade(%d)", int(g))
+}
+
+// CellProof is the proof record of one domain cell (an arithmetic
+// progression of spatial sizes: Lo <= S <= Hi, S mod Step == Residue).
+type CellProof struct {
+	Lo, Hi, Residue, Step int
+	Grade                 Grade
+	Certified             bool
+	// Obligation and Reason identify the violated obligation when the
+	// cell failed; Counterexample is the smallest member shape shown (by
+	// boundary enumeration) to exhibit the violation, 0 when none was
+	// isolated.
+	Obligation     Obligation
+	Reason         string
+	Counterexample int
+	// Witnesses are the member shapes compiled and checked concretely.
+	Witnesses []int
+	// Polys renders the recovered quantity models (GradePolynomial only).
+	Polys map[string]string
+}
+
+// Members counts the spatial sizes the cell covers.
+func (c CellProof) Members() int {
+	return len(cell{lo: c.Lo, hi: c.Hi, res: c.Residue, step: c.Step}.members())
+}
+
+func (c CellProof) contains(s int) bool {
+	return c.Lo <= s && s <= c.Hi && ((s%c.Step)+c.Step)%c.Step == c.Residue
+}
+
+// Certificate is one sealed proof: for kernel, schedule pattern Sched and
+// every shape in Domain (compiled against the Buffers capacities), the
+// listed Obligations hold, cell by cell.
+type Certificate struct {
+	// Kernel is "family/variant".
+	Kernel string
+	// Sched is the schedule pattern the proof quantifies over.
+	Sched SchedKey
+	// Buffers are the normalized compile capacities the proof ran under;
+	// admission requires an exact match.
+	Buffers buffer.Config
+	// Domain is the parameter domain.
+	Domain Domain
+	// Obligations lists what was discharged.
+	Obligations []Obligation
+	// Cells are the refinement leaves, ascending by (Residue, Lo).
+	Cells []CellProof
+	// Inapplicable carries the kernel's rejection when the lowering has
+	// no such schedule axis (ops.InvalidScheduleError at every probed
+	// shape); the certificate then admits nothing and certifies nothing —
+	// it documents the edge of the schedule space.
+	Inapplicable string
+	// WitnessCompiles counts the concrete compilations the proof spent.
+	WitnessCompiles int
+}
+
+// Certified reports that the proof fully discharged: applicable and every
+// cell certified.
+func (c *Certificate) Certified() bool {
+	if c.Inapplicable != "" {
+		return false
+	}
+	for _, cl := range c.Cells {
+		if !cl.Certified {
+			return false
+		}
+	}
+	return len(c.Cells) > 0
+}
+
+// Admits reports whether the certificate proves the obligations for p:
+// p lies in the domain and its cell is certified.
+func (c *Certificate) Admits(p isa.ConvParams) bool {
+	if c.Inapplicable != "" || !c.Domain.Contains(p) {
+		return false
+	}
+	for _, cl := range c.Cells {
+		if cl.contains(p.Ih) {
+			return cl.Certified
+		}
+	}
+	return false
+}
+
+// Coverage returns how many of the domain's member shapes are admitted
+// versus total.
+func (c *Certificate) Coverage() (admitted, total int) {
+	for _, cl := range c.Cells {
+		n := cl.Members()
+		total += n
+		if cl.Certified {
+			admitted += n
+		}
+	}
+	return admitted, total
+}
+
+// Summary renders a one-line account.
+func (c *Certificate) Summary() string {
+	if c.Inapplicable != "" {
+		return fmt.Sprintf("%s [%s] %s: inapplicable (%s)", c.Kernel, c.Sched, c.Domain, c.Inapplicable)
+	}
+	adm, tot := c.Coverage()
+	grades := map[Grade]int{}
+	for _, cl := range c.Cells {
+		grades[cl.Grade]++
+	}
+	return fmt.Sprintf("%s [%s] %s: %d/%d shapes certified, %d cells (%d enumerated, %d polynomial, %d witnessed), %d witness compiles",
+		c.Kernel, c.Sched, c.Domain, adm, tot, len(c.Cells),
+		grades[GradeEnumerated], grades[GradePolynomial], grades[GradeWitnessed], c.WitnessCompiles)
+}
+
+const (
+	// maxEnum is the largest cell the prover certifies by exhaustive
+	// enumeration instead of a fitted model.
+	maxEnum = 8
+	// fitSamples is how many witnesses larger cells compile: maxDegree+1
+	// interpolation points plus held-out validation points.
+	fitSamples = 7
+	// syncWitnesses caps how many witnesses per cell discharge the
+	// sync-protocol and deadlock obligations (cell boundaries plus the
+	// middle). These obligations replay the explicitly synchronized form
+	// of the program — quadratic in program length — so running them on
+	// every witness would dominate proving; the per-kind structural
+	// model (ObStructure) is what carries their evidence across the
+	// cell's remaining shapes.
+	syncWitnesses = 3
+	// maxDepth bounds cell bisection when a model does not fit or a
+	// witness fails (isolating capacity breakpoints).
+	maxDepth = 4
+	// boundaryScan bounds the domain-boundary enumeration that isolates
+	// the smallest concrete counterexample of a failing cell.
+	boundaryScan = 8
+)
+
+// measurement is everything the prover extracts from one witness compile.
+type measurement struct {
+	s          int
+	invalid    string     // ops.InvalidScheduleError reason, "" otherwise
+	compileErr string     // any other compile failure (capacity)
+	failed     Obligation // first violated obligation ("" when all hold)
+	reason     string
+	funcs      map[string]int64 // measured quantities, keyed by name
+	prog       *cce.Program     // kept for the deferred sync obligations
+	syncDone   bool             // sync/deadlock obligations ran on this witness
+}
+
+func (m *measurement) bad() bool {
+	return m.invalid != "" || m.compileErr != "" || m.failed != ""
+}
+
+func (m *measurement) describe() (Obligation, string) {
+	switch {
+	case m.invalid != "":
+		return "", "invalid schedule: " + m.invalid
+	case m.compileErr != "":
+		return "", "compile: " + m.compileErr
+	default:
+		return m.failed, m.reason
+	}
+}
+
+// prover carries one Prove run's context.
+type prover struct {
+	kernel string
+	key    SchedKey
+	dom    Domain
+	spec   ops.Spec
+	caps   [isa.NumBufs]int
+	cert   *Certificate
+	memo   map[int]*measurement
+}
+
+// Prove builds the certificate for (kernel, schedule pattern, domain)
+// against the given buffer capacities. It never fails: inapplicable
+// patterns and undischarged cells are recorded on the certificate, with
+// the violated obligation and a concrete counterexample shape where one
+// was isolated.
+func Prove(kernel string, key SchedKey, dom Domain, cfg buffer.Config) *Certificate {
+	cfg = cfg.Normalized()
+	pr := &prover{
+		kernel: kernel,
+		key:    key,
+		dom:    dom,
+		// Witnesses compile unstrict (the prover runs the verifier itself,
+		// keeping diagnostics) and unoptimized (lint runs on the emitted
+		// program, before the optimizer, so the level cannot change the
+		// verdict — and certificates then admit any Opt level).
+		spec: ops.Spec{Buffers: cfg},
+		caps: cfg.Capacities(),
+		cert: &Certificate{
+			Kernel:      kernel,
+			Sched:       key,
+			Buffers:     cfg,
+			Domain:      dom,
+			Obligations: Obligations(),
+		},
+		memo: map[int]*measurement{},
+	}
+	cells := initialCells(dom)
+	if len(cells) == 0 {
+		return pr.cert
+	}
+	if reason := pr.applicability(cells); reason != "" {
+		pr.cert.Inapplicable = reason
+		return pr.cert
+	}
+	for _, c := range cells {
+		pr.certifyCell(c, 0)
+	}
+	sort.Slice(pr.cert.Cells, func(i, j int) bool {
+		if pr.cert.Cells[i].Residue != pr.cert.Cells[j].Residue {
+			return pr.cert.Cells[i].Residue < pr.cert.Cells[j].Residue
+		}
+		return pr.cert.Cells[i].Lo < pr.cert.Cells[j].Lo
+	})
+	return pr.cert
+}
+
+// applicability probes a few shapes across the domain; a pattern every
+// probe rejects with an InvalidScheduleError is outside the kernel's
+// schedule space, not a failed proof. Probes are compile-only (obligation
+// checking waits for the real witnesses).
+func (pr *prover) applicability(cells []cell) string {
+	var probes []int
+	for _, c := range cells {
+		ms := c.members()
+		probes = append(probes, ms[0], ms[len(ms)/2], ms[len(ms)-1])
+	}
+	reason := ""
+	for _, s := range probes {
+		_, err := ops.CompileKernel(pr.kernel, pr.spec, pr.dom.Params(s), pr.key.pattern())
+		pr.cert.WitnessCompiles++
+		if !ops.IsInvalidSchedule(err) {
+			return ""
+		}
+		reason = err.Error()
+	}
+	return reason
+}
+
+// certifyCell discharges one cell, bisecting on failures or unfittable
+// quantities while depth remains.
+func (pr *prover) certifyCell(c cell, depth int) {
+	ms := c.members()
+	proof := CellProof{Lo: c.lo, Hi: c.hi, Residue: c.res, Step: c.step}
+
+	if len(ms) <= maxEnum {
+		// Exhaustive: compile and check every member (sync obligations on
+		// the boundary-and-middle subset, like every cell).
+		syncAt := syncSet(len(ms))
+		var firstBad *measurement
+		for i, s := range ms {
+			m := pr.measure(s, syncAt[i])
+			proof.Witnesses = append(proof.Witnesses, s)
+			if m.bad() && firstBad == nil {
+				firstBad = m
+			}
+		}
+		proof.Grade = GradeEnumerated
+		if firstBad != nil {
+			proof.Obligation, proof.Reason = firstBad.describe()
+			proof.Counterexample = firstBad.s
+		} else {
+			proof.Certified = true
+		}
+		pr.cert.Cells = append(pr.cert.Cells, proof)
+		return
+	}
+
+	// Sampled: spread fitSamples witnesses across the progression.
+	idx := sampleIndices(len(ms), fitSamples)
+	syncAt := syncSet(len(idx))
+	var wits []*measurement
+	var bad *measurement
+	for k, i := range idx {
+		m := pr.measure(ms[i], syncAt[k])
+		proof.Witnesses = append(proof.Witnesses, ms[i])
+		wits = append(wits, m)
+		if m.bad() && bad == nil {
+			bad = m
+		}
+	}
+	if bad != nil {
+		// A witness fails: a capacity or validity breakpoint runs through
+		// the cell. Bisect to isolate it; out of budget, fail the cell
+		// with the smallest concrete counterexample boundary enumeration
+		// finds.
+		if a, b, ok := c.split(); ok && depth < maxDepth {
+			pr.certifyCell(a, depth+1)
+			pr.certifyCell(b, depth+1)
+			return
+		}
+		pr.failCell(&proof, c, bad)
+		pr.cert.Cells = append(pr.cert.Cells, proof)
+		return
+	}
+
+	// Every witness passes. Recover each measured quantity as an exact
+	// polynomial, cross-validated on the held-out witnesses.
+	xs := make([]int, len(wits))
+	for i, m := range wits {
+		xs[i] = m.s
+	}
+	polys := map[string]Poly{}
+	fitted := true
+	for _, name := range funcNames(wits) {
+		ys := make([]int64, len(wits))
+		for i, m := range wits {
+			ys[i] = m.funcs[name]
+		}
+		p, ok := fitAndValidate(xs, ys)
+		if !ok {
+			fitted = false
+			break
+		}
+		polys[name] = p
+	}
+	if !fitted {
+		if a, b, ok := c.split(); ok && depth < maxDepth {
+			pr.certifyCell(a, depth+1)
+			pr.certifyCell(b, depth+1)
+			return
+		}
+		// Out of refinement budget: the witnesses hold but the model does
+		// not — certify at the weaker witnessed grade.
+		proof.Grade = GradeWitnessed
+		proof.Certified = true
+		pr.cert.Cells = append(pr.cert.Cells, proof)
+		return
+	}
+
+	// Whole-cell discharge of the bounds obligations on the model:
+	// evaluate the recovered per-buffer bound polynomials at every member
+	// shape. A predicted violation is re-checked concretely — real ones
+	// fail the cell with a true counterexample, phantom ones mean the
+	// model broke and the cell refines.
+	if s, name, ok := pr.predictBoundsViolation(ms, polys); ok {
+		m := pr.measure(s, false)
+		if m.bad() {
+			pr.failCell(&proof, c, m)
+			pr.cert.Cells = append(pr.cert.Cells, proof)
+			return
+		}
+		if a, b, ok := c.split(); ok && depth < maxDepth {
+			pr.certifyCell(a, depth+1)
+			pr.certifyCell(b, depth+1)
+			return
+		}
+		proof.Grade = GradeWitnessed
+		proof.Certified = true
+		proof.Reason = fmt.Sprintf("model for %s mispredicted at S=%d; witnesses hold", name, s)
+		pr.cert.Cells = append(pr.cert.Cells, proof)
+		return
+	}
+
+	proof.Grade = GradePolynomial
+	proof.Certified = true
+	proof.Polys = map[string]string{}
+	for name, p := range polys {
+		proof.Polys[name] = p.String()
+	}
+	pr.cert.Cells = append(pr.cert.Cells, proof)
+}
+
+// predictBoundsViolation evaluates the recovered bound polynomials at
+// every member shape against the capacities; returns the first predicted
+// out-of-bounds shape and the quantity that flagged it.
+func (pr *prover) predictBoundsViolation(members []int, polys map[string]Poly) (s int, name string, ok bool) {
+	type check struct {
+		name string
+		p    Poly
+		cap  int64 // access end must stay <= cap; <0 means offset >= 0 check
+	}
+	var checks []check
+	for n, p := range polys {
+		var buf string
+		if rest, found := strings.CutPrefix(n, "buf/"); found {
+			if b, kind, ok2 := strings.Cut(rest, "/"); ok2 {
+				buf, rest = b, kind
+				for id := isa.GM; id < isa.NumBufs; id++ {
+					if id.String() != buf || pr.caps[id] <= 0 {
+						continue
+					}
+					if rest == "maxend" {
+						checks = append(checks, check{n, p, int64(pr.caps[id])})
+					}
+				}
+				if rest == "minoff" {
+					checks = append(checks, check{n, p, -1})
+				}
+			}
+		}
+	}
+	for _, s := range members {
+		for _, ck := range checks {
+			v, isInt := ck.p.EvalInt(s)
+			if !isInt {
+				return s, ck.name, true
+			}
+			if ck.cap < 0 {
+				if v < 0 {
+					return s, ck.name, true
+				}
+			} else if v > ck.cap {
+				return s, ck.name, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// failCell records a failed cell, replacing the sampled counterexample
+// with the smallest member the boundary enumeration proves failing.
+func (pr *prover) failCell(proof *CellProof, c cell, bad *measurement) {
+	proof.Grade = GradeWitnessed
+	best := bad
+	scanned := 0
+	for _, s := range c.members() {
+		if s >= bad.s || scanned >= boundaryScan {
+			break
+		}
+		scanned++
+		if m := pr.measure(s, true); m.bad() {
+			best = m
+			break
+		}
+	}
+	proof.Obligation, proof.Reason = best.describe()
+	proof.Counterexample = best.s
+}
+
+// syncSet marks which of n witnesses (in ascending order) discharge the
+// sync-protocol and deadlock obligations: the boundaries and the middle
+// (at most syncWitnesses). The sync replay is quadratic in program
+// length, so running it on every witness would dominate proving; the
+// bounds and structure obligations still run on all witnesses.
+func syncSet(n int) []bool {
+	at := make([]bool, n)
+	if n == 0 {
+		return at
+	}
+	at[0] = true
+	at[n-1] = true
+	at[n/2] = true
+	return at
+}
+
+// sampleIndices spreads k distinct indices over [0, n).
+func sampleIndices(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	seen := map[int]bool{}
+	for i := 0; i < k; i++ {
+		j := i * (n - 1) / max(1, k-1)
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// funcNames returns the union of measured quantity names, sorted.
+func funcNames(wits []*measurement) []string {
+	set := map[string]bool{}
+	for _, m := range wits {
+		for n := range m.funcs {
+			set[n] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// measure compiles the pattern at spatial size s and checks the
+// obligations concretely, memoized per prover (cells share witnesses
+// with their refinements). The cheap obligations — lint-clean, bounds,
+// perf-structure — and the structural quantities always run; the
+// quadratic sync-protocol and deadlock obligations run only when
+// withSync is set (and are upgraded in place on a memoized witness).
+func (pr *prover) measure(s int, withSync bool) *measurement {
+	if m, ok := pr.memo[s]; ok {
+		if withSync && !m.syncDone && !m.bad() {
+			pr.measureSync(m)
+		}
+		return m
+	}
+	m := &measurement{s: s, funcs: map[string]int64{}}
+	pr.memo[s] = m
+	p := pr.dom.Params(s)
+
+	sp := pr.key.pattern()
+	if pr.key.BandDiv > 0 {
+		// Band-split patterns perturb the default band, so resolve it
+		// first — the same two-step the schedule search performs.
+		def, err := ops.CompileKernel(pr.kernel, pr.spec, p, ops.ScheduleParams{Mode: pr.key.Mode})
+		pr.cert.WitnessCompiles++
+		if err != nil {
+			pr.recordCompileErr(m, err)
+			return m
+		}
+		bb := def.Sched.Band / pr.key.BandDiv
+		if bb < 1 {
+			m.invalid = fmt.Sprintf("band split /%d leaves no band (default band %d)", pr.key.BandDiv, def.Sched.Band)
+			return m
+		}
+		sp.Band = bb
+	}
+	pl, err := ops.CompileKernel(pr.kernel, pr.spec, p, sp)
+	pr.cert.WitnessCompiles++
+	if err != nil {
+		pr.recordCompileErr(m, err)
+		return m
+	}
+	prog := pl.Prog
+	m.prog = prog
+
+	// Structural quantities for the polynomial model.
+	m.funcs["instrs"] = int64(len(prog.Instrs))
+	for _, in := range prog.Instrs {
+		m.funcs["kind/"+instrKind(in)]++
+	}
+	bounds := accessBounds(prog)
+	for id := isa.GM; id < isa.NumBufs; id++ {
+		if b := bounds[id]; b.used {
+			m.funcs["buf/"+id.String()+"/maxend"] = b.maxEnd
+			m.funcs["buf/"+id.String()+"/minoff"] = b.minOff
+		}
+	}
+
+	// ObLintClean: the umbrella — the concrete verifier, implicit mode.
+	diags := lint.CheckWith(lint.Options{Caps: pr.caps, Mode: lint.SyncImplicit}, prog)
+	if errs := lint.Errors(diags); len(errs) > 0 {
+		m.failed = ObLintClean
+		m.reason = fmt.Sprintf("%d lint error(s), first: %s", len(errs), errs[0])
+		return m
+	}
+
+	// ObBounds, concretely at this witness (the model discharges the rest
+	// of the cell).
+	for id := isa.GM; id < isa.NumBufs; id++ {
+		b := bounds[id]
+		if !b.used {
+			continue
+		}
+		if b.minOff < 0 {
+			m.failed = ObBounds
+			m.reason = fmt.Sprintf("%v access at negative offset %d", id, b.minOff)
+			return m
+		}
+		if cap := pr.caps[id]; cap > 0 && b.maxEnd > int64(cap) {
+			m.failed = ObBounds
+			m.reason = fmt.Sprintf("%v access ends at %d, capacity %d", id, b.maxEnd, cap)
+			return m
+		}
+	}
+
+	// ObPerfStructure: the static bound construction is valid.
+	if pl.Perf == nil {
+		m.failed = ObPerfStructure
+		m.reason = "plan carries no perf report"
+		return m
+	}
+	if pl.Perf.BusyBound > pl.Perf.CritPath {
+		m.failed = ObPerfStructure
+		m.reason = fmt.Sprintf("BusyBound %d exceeds CritPath %d", pl.Perf.BusyBound, pl.Perf.CritPath)
+		return m
+	}
+	for _, d := range pl.Perf.Diags {
+		if d.Sev == lint.SevError {
+			m.failed = ObPerfStructure
+			m.reason = "perf analysis error: " + d.Msg
+			return m
+		}
+	}
+	if withSync {
+		pr.measureSync(m)
+	}
+	return m
+}
+
+// measureSync discharges the deferred sync obligations on one witness:
+// the explicitly synchronized form of the program (cce.AutoSync) must
+// pass the explicit-mode hazard verifier, pair every set_flag with a
+// wait_flag, and retire completely under the queue-accurate flag replay.
+func (pr *prover) measureSync(m *measurement) {
+	m.syncDone = true
+	synced := cce.AutoSync(m.prog)
+	sdiags := lint.CheckWith(lint.Options{Caps: pr.caps, Mode: lint.SyncExplicit}, synced)
+	if errs := lint.Errors(sdiags); len(errs) > 0 {
+		m.failed = ObSync
+		m.reason = fmt.Sprintf("explicit lint after AutoSync: %d error(s), first: %s", len(errs), errs[0])
+		return
+	}
+	sets, waits := 0, 0
+	for _, in := range synced.Instrs {
+		switch in.(type) {
+		case *isa.SetFlagInstr:
+			sets++
+		case *isa.WaitFlagInstr:
+			waits++
+		}
+	}
+	if sets != waits {
+		m.failed = ObSync
+		m.reason = fmt.Sprintf("%d set_flag vs %d wait_flag after AutoSync", sets, waits)
+		return
+	}
+	// ObDeadlockFree: the queue-accurate replay retires everything.
+	if sched := depgraph.Replay(synced); len(sched.Deadlocked) > 0 {
+		m.failed = ObDeadlockFree
+		m.reason = fmt.Sprintf("flag replay deadlocks at instruction %d", sched.Deadlocked[0])
+	}
+}
+
+func (pr *prover) recordCompileErr(m *measurement, err error) {
+	if ops.IsInvalidSchedule(err) {
+		m.invalid = err.Error()
+	} else {
+		m.compileErr = err.Error()
+	}
+}
+
+// bufBounds aggregates one buffer's access envelope.
+type bufBounds struct {
+	used   bool
+	minOff int64
+	maxEnd int64
+}
+
+// accessBounds folds every instruction's read and write regions into a
+// per-buffer envelope: the affine quantities the bounds obligation is
+// stated over.
+func accessBounds(prog *cce.Program) [isa.NumBufs]bufBounds {
+	var out [isa.NumBufs]bufBounds
+	add := func(r isa.Region) {
+		b := &out[r.Buf]
+		if !b.used {
+			b.used = true
+			b.minOff = int64(r.Off)
+			b.maxEnd = int64(r.End)
+			return
+		}
+		b.minOff = min(b.minOff, int64(r.Off))
+		b.maxEnd = max(b.maxEnd, int64(r.End))
+	}
+	for _, in := range prog.Instrs {
+		for _, r := range in.Reads() {
+			add(r)
+		}
+		for _, r := range in.Writes() {
+			add(r)
+		}
+	}
+	return out
+}
+
+// instrKind names an instruction for the per-kind structural counts.
+func instrKind(in isa.Instr) string {
+	name := fmt.Sprintf("%T", in)
+	name = strings.TrimPrefix(name, "*isa.")
+	name = strings.TrimSuffix(name, "Instr")
+	if v, ok := in.(*isa.VecInstr); ok {
+		return fmt.Sprintf("%s/%v", name, v.Op)
+	}
+	return name
+}

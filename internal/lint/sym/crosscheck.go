@@ -1,0 +1,183 @@
+package sym
+
+import (
+	"fmt"
+	"math/rand"
+
+	"davinci/internal/buffer"
+	"davinci/internal/isa"
+	"davinci/internal/kernelcases"
+	"davinci/internal/lint"
+	"davinci/internal/ops"
+	"davinci/internal/workloads"
+)
+
+// Divergence records one disagreement between certificate admission and
+// the concrete verifier: a query the registry admitted (Hit) whose
+// concretely compiled program fails the verifier. Any divergence is a
+// soundness bug in the certification layer and fails the build.
+type Divergence struct {
+	Kernel string
+	Params isa.ConvParams
+	Sched  ops.ScheduleParams
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s S=%dx%d k=(%d,%d) s=(%d,%d): %s",
+		d.Kernel, d.Params.Ih, d.Params.Iw, d.Params.Kh, d.Params.Kw, d.Params.Sh, d.Params.Sw, d.Detail)
+}
+
+// CrossReport summarizes one cross-check run.
+type CrossReport struct {
+	// Programs is how many (kernel, shape, schedule) probes were checked
+	// concretely; Skipped counts capacity skips (shapes the kernel's
+	// tiling rejects, exactly as the sweeps skip them).
+	Programs int
+	Skipped  int
+	// Hits / Fallbacks / Misses break down the registry verdicts.
+	Hits, Fallbacks, Misses int
+	// Divergences lists every admission the concrete verifier refutes.
+	Divergences []Divergence
+}
+
+func (r CrossReport) Summary() string {
+	return fmt.Sprintf("%d programs cross-checked (%d skipped): %d hits, %d fallbacks, %d misses, %d divergences",
+		r.Programs, r.Skipped, r.Hits, r.Fallbacks, r.Misses, len(r.Divergences))
+}
+
+// checkOne runs one probe: asks the registry for its verdict on q,
+// compiles the program concretely (unstrict, so the verifier's own
+// verdict is ours to compare) and refutes a Hit whose program fails the
+// concrete verifier.
+func (r *CrossReport) checkOne(reg *Registry, q ops.CertQuery, compile func() (*ops.Plan, error)) {
+	v := reg.Lookup(q)
+	pl, err := compile()
+	if err != nil {
+		if kernelcases.IsCapacitySkip(err) && v != Hit {
+			r.Skipped++
+			return
+		}
+		r.Programs++
+		r.count(v)
+		if v == Hit {
+			r.Divergences = append(r.Divergences, Divergence{
+				Kernel: q.Kernel, Params: q.Params, Sched: q.Sched,
+				Detail: "admitted but compile failed: " + err.Error(),
+			})
+		}
+		return
+	}
+	r.Programs++
+	r.count(v)
+	caps := q.Spec.Buffers.Normalized().Capacities()
+	diags := lint.CheckWith(lint.Options{Caps: caps, Mode: lint.SyncImplicit}, pl.Prog)
+	if errs := lint.Errors(diags); len(errs) > 0 && v == Hit {
+		r.Divergences = append(r.Divergences, Divergence{
+			Kernel: q.Kernel, Params: q.Params, Sched: q.Sched,
+			Detail: fmt.Sprintf("admitted but concrete lint reports %d error(s), first: %s", len(errs), errs[0]),
+		})
+	}
+}
+
+func (r *CrossReport) count(v Verdict) {
+	switch v {
+	case Hit:
+		r.Hits++
+	case Fallback:
+		r.Fallbacks++
+	case Miss:
+		r.Misses++
+	}
+}
+
+// CrossCheck re-establishes agreement between the certificate registry
+// and the concrete verifier: every sweep program (the full kernel
+// catalogue across the Table I layers, default schedules — the exact
+// programs the benchmark sweeps compile) plus randomN randomized
+// in-domain probes drawn with the given seed, which also exercise the
+// non-default schedule patterns. Every probe compiles concretely and any
+// admitted-but-dirty program is reported as a Divergence.
+func CrossCheck(reg *Registry, cfg buffer.Config, randomN int, seed int64) CrossReport {
+	rep := crossCheckSweep(reg, cfg)
+	r2 := CrossCheckRandom(reg, cfg, randomN, seed)
+	rep.Programs += r2.Programs
+	rep.Skipped += r2.Skipped
+	rep.Hits += r2.Hits
+	rep.Fallbacks += r2.Fallbacks
+	rep.Misses += r2.Misses
+	rep.Divergences = append(rep.Divergences, r2.Divergences...)
+	return rep
+}
+
+// crossCheckSweep is the sweep leg: all kernel cases x all Table I
+// layers, default schedules.
+func crossCheckSweep(reg *Registry, cfg buffer.Config) CrossReport {
+	cfg = cfg.Normalized()
+	spec := ops.Spec{Buffers: cfg}
+	var rep CrossReport
+	for _, c := range kernelcases.All() {
+		for _, l := range workloads.TableI {
+			p := l.Params()
+			q := ops.CertQuery{Kernel: c.Name, Spec: spec, Params: p, Sched: defaultSched(c.Name)}
+			cse := c
+			rep.checkOne(reg, q, func() (*ops.Plan, error) { return cse.Plan(spec, p) })
+		}
+	}
+	return rep
+}
+
+// CrossCheckRandom is the randomized leg alone: n in-domain probes over
+// the certified kernels, shapes and schedule patterns. The certsweep
+// benchmark uses it for a bounded agreement check inside the metrics
+// artifact; the CI gate (davinci-cert crosscheck) runs the full
+// CrossCheck.
+func CrossCheckRandom(reg *Registry, cfg buffer.Config, randomN int, seed int64) CrossReport {
+	cfg = cfg.Normalized()
+	spec := ops.Spec{Buffers: cfg}
+	var rep CrossReport
+	rng := rand.New(rand.NewSource(seed))
+	kernels := Kernels()
+	for i := 0; i < randomN; i++ {
+		kernel := kernels[rng.Intn(len(kernels))]
+		doms := DomainsFor(kernel)
+		dom := doms[rng.Intn(len(doms))]
+		s := dom.SLo + rng.Intn(dom.SHi-dom.SLo+1)
+		p := dom.Params(s)
+		variant := defaultSched(kernel).Mode
+		pats := Patterns(variant)
+		key := pats[rng.Intn(len(pats))]
+		sp := key.pattern()
+		bandDiv := 0
+		if key.BandDiv > 0 {
+			// Band-split patterns carry a concrete band resolved from the
+			// default compile — the same two-step the schedule search and
+			// the prover perform.
+			def, err := ops.CompileKernel(kernel, spec, p, ops.ScheduleParams{Mode: variant})
+			if err != nil || def.Sched.Band/key.BandDiv < 1 {
+				rep.Skipped++
+				continue
+			}
+			sp.Band = def.Sched.Band / key.BandDiv
+			bandDiv = key.BandDiv
+		}
+		q := ops.CertQuery{Kernel: kernel, Spec: spec, Params: p, Sched: sp, BandDiv: bandDiv}
+		rep.checkOne(reg, q, func() (*ops.Plan, error) { return ops.CompileKernel(kernel, spec, p, sp) })
+	}
+	return rep
+}
+
+// defaultSched is the schedule a plain compile of the kernel requests:
+// its variant as the mode, everything else default.
+func defaultSched(kernel string) ops.ScheduleParams {
+	variant := ""
+	if i := len(kernel); i > 0 {
+		for j := 0; j < i; j++ {
+			if kernel[j] == '/' {
+				variant = kernel[j+1:]
+				break
+			}
+		}
+	}
+	return ops.ScheduleParams{Mode: variant}
+}

@@ -1,0 +1,117 @@
+// Package sym is the shape-generic certification layer: an abstract
+// interpreter over an explicit parameter domain that proves, once per
+// (kernel lowering, schedule pattern), the properties the concrete static
+// verifier (internal/lint) re-establishes per compiled program — buffer
+// bounds, synchronization protocol correctness and deadlock freedom, and
+// the structural validity of the performance-bound construction. A
+// discharged proof seals into a Certificate; a Registry of certificates
+// installs an admission predicate into internal/ops
+// (ops.RegisterCertifier), letting compilation of any in-domain shape
+// skip the concrete lint pass entirely and the autoscheduler skip the
+// lint leg of its acceptance gate.
+//
+// The method is abstract interpretation by exact function recovery, not
+// symbolic emission: kernel planners are concrete Go that fully unrolls
+// its programs, and their extents are floor-division towers (bands sized
+// by capacity, patch counts rounded to fractals) that are only piecewise
+// polynomial in the input size. The prover therefore splits the domain
+// into cells on the divisibility side conditions (residue classes of the
+// spatial size modulo the stride, refined by bisection where a planner's
+// capacity decisions introduce further breakpoints), compiles a small set
+// of witness shapes per cell, checks every obligation concretely on each
+// witness, and recovers the cell's measured quantities — per-buffer
+// access bounds, instruction-kind counts — as exact rational polynomials
+// interpolated through the witnesses and cross-validated on held-out
+// ones. Bounds obligations are then discharged over the whole cell by
+// evaluating the recovered polynomial at every member shape (cheap
+// integer arithmetic, no compilation). Cells whose quantities resist a
+// polynomial model keep a weaker witnessed grade; soundness of the whole
+// construction is therefore relative to concrete lint, and the CI
+// cross-check gate (davinci-cert crosscheck) re-establishes bit-for-bit
+// agreement between certificate verdicts and concrete lint on every sweep
+// program plus randomized in-domain shapes on every build.
+package sym
+
+import (
+	"fmt"
+
+	"davinci/internal/isa"
+)
+
+// Domain is the explicit parameter domain one certificate quantifies
+// over: square spatial inputs S = Ih = Iw ranging over [SLo, SHi] with a
+// fixed pooling configuration (kernel, stride, zero padding — every
+// Table I workload is square and unpadded). The divisibility side
+// conditions live one level down, in the cells: the prover partitions
+// [SLo, SHi] by S mod Sh, the residue that decides how the output extent
+// (S-Kh)/Sh+1 rounds.
+type Domain struct {
+	// SLo and SHi bound the square spatial size, inclusive.
+	SLo, SHi int
+	// Kh, Kw, Sh, Sw fix the pooling window and strides.
+	Kh, Kw, Sh, Sw int
+}
+
+// Params instantiates the domain at one spatial size.
+func (d Domain) Params(s int) isa.ConvParams {
+	return isa.ConvParams{Ih: s, Iw: s, Kh: d.Kh, Kw: d.Kw, Sh: d.Sh, Sw: d.Sw}
+}
+
+// Contains reports whether p lies in the domain: square, unpadded, the
+// domain's pooling configuration, spatial size in range.
+func (d Domain) Contains(p isa.ConvParams) bool {
+	return p.Ih == p.Iw && d.SLo <= p.Ih && p.Ih <= d.SHi &&
+		p.Kh == d.Kh && p.Kw == d.Kw && p.Sh == d.Sh && p.Sw == d.Sw &&
+		p.Pt == 0 && p.Pb == 0 && p.Pl == 0 && p.Pr == 0
+}
+
+func (d Domain) String() string {
+	return fmt.Sprintf("S=[%d,%d] k=(%d,%d) s=(%d,%d)", d.SLo, d.SHi, d.Kh, d.Kw, d.Sh, d.Sw)
+}
+
+// cell is one refinement leaf during proving: the spatial sizes in
+// [lo, hi] congruent to res modulo the height stride. Members form an
+// arithmetic progression with step Sh.
+type cell struct {
+	lo, hi, res, step int
+}
+
+// members enumerates the cell's spatial sizes in ascending order.
+func (c cell) members() []int {
+	var out []int
+	s := c.lo
+	if r := ((s % c.step) - c.res + c.step) % c.step; r != 0 {
+		s += c.step - r
+	}
+	for ; s <= c.hi; s += c.step {
+		out = append(out, s)
+	}
+	return out
+}
+
+// initialCells partitions the domain into its residue classes modulo the
+// height stride — the divisibility side condition under which the output
+// extent is affine in S.
+func initialCells(d Domain) []cell {
+	var cells []cell
+	for r := 0; r < d.Sh; r++ {
+		c := cell{lo: d.SLo, hi: d.SHi, res: r, step: d.Sh}
+		if len(c.members()) > 0 {
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// split bisects the cell's member progression into two halves; ok is
+// false when the cell is too small to split.
+func (c cell) split() (a, b cell, ok bool) {
+	ms := c.members()
+	if len(ms) < 2 {
+		return c, c, false
+	}
+	mid := ms[len(ms)/2]
+	a = cell{lo: c.lo, hi: mid - 1, res: c.res, step: c.step}
+	b = cell{lo: mid, hi: c.hi, res: c.res, step: c.step}
+	return a, b, true
+}

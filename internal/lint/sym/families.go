@@ -1,0 +1,170 @@
+package sym
+
+import (
+	"sort"
+	"strings"
+
+	"davinci/internal/buffer"
+)
+
+// CertifiedFamilies maps every pooling kernel family to the lowering
+// variants the certification layer covers. cmd/davinci-vet cross-checks
+// this table against the ops dispatch table (ops.kernelFamilies), so a
+// newly registered kernel family without certification entries fails vet.
+// The Cube-unit convolutions are deliberately absent: their lowerings are
+// not schedule-searchable (sched_nosearch) and their admission would save
+// one lint of a fixed program shape.
+var CertifiedFamilies = map[string][]string{
+	"maxpool_fwd":        {"standard", "im2col", "expansion", "xysplit"},
+	"maxpool_fwd_argmax": {"standard", "im2col"},
+	"maxpool_bwd":        {"standard", "col2im"},
+	"avgpool_fwd":        {"standard", "im2col", "cube"},
+	"avgpool_bwd":        {"standard", "col2im"},
+}
+
+// Kernels returns every certified "family/variant" kernel, sorted.
+func Kernels() []string {
+	var out []string
+	for fam, variants := range CertifiedFamilies {
+		for _, v := range variants {
+			out = append(out, fam+"/"+v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table I spatial extent: every evaluation workload is a square pooling
+// input between 17x17 and 224x224 under one of two configurations —
+// kernel 3 stride 2 (InceptionV3, Xception, Resnet50) or kernel 2 stride
+// 2 (VGG16). The direct (non-fractal) lowerings emit programs quadratic
+// in S and the sync-protocol obligations replay them quadratically
+// again, so their certified ceiling stops where witness proving stays
+// tractable; larger shapes simply fall back to concrete lint (counted as
+// cert_fallbacks, never a soundness question).
+const (
+	domainLo       = 17
+	domainHi       = 224
+	domainHiDirect = 64
+)
+
+// DomainsFor returns the parameter domains a kernel is certified over:
+// the two Table I pooling configurations across the Table I spatial
+// range (capped for the direct lowerings, see domainHiDirect).
+func DomainsFor(kernel string) []Domain {
+	hi := domainHi
+	variant := kernel
+	if _, v, ok := strings.Cut(kernel, "/"); ok {
+		variant = v
+	}
+	switch variant {
+	case "im2col", "col2im", "cube":
+		// Fractal lowerings: program length grows with the fractal count,
+		// near-linear in S — the full Table I range proves quickly.
+	default:
+		hi = domainHiDirect
+	}
+	return []Domain{
+		{SLo: domainLo, SHi: hi, Kh: 3, Kw: 3, Sh: 2, Sw: 2},
+		{SLo: domainLo, SHi: hi, Kh: 2, Kw: 2, Sh: 2, Sw: 2},
+	}
+}
+
+// Patterns enumerates the schedule patterns certified per kernel: the
+// exact candidate set the autoscheduler's enumerator probes
+// (internal/sched.Search), in shape-generic form. Patterns a lowering
+// rejects prove inapplicable and document the edge of the space.
+func Patterns(variant string) []SchedKey {
+	base := SchedKey{Mode: variant}
+	keys := []SchedKey{base}
+	for _, div := range []int{2, 4, 8} {
+		k := base
+		k.BandDiv = div
+		keys = append(keys, k)
+	}
+	k := base
+	k.Buffers = 1
+	keys = append(keys, k)
+	k = base
+	k.BandDiv, k.Buffers = 2, 1
+	keys = append(keys, k)
+	k = base
+	k.Saturate = 2 // ops.SatNarrow
+	keys = append(keys, k)
+	for _, rc := range []int{16, 64} {
+		k = base
+		k.RepeatChunk = rc
+		keys = append(keys, k)
+	}
+	k = base
+	k.Epilogue = 1 // ops.EpiDeferred
+	keys = append(keys, k)
+	k = base
+	k.Gather = 1 // ops.GatherMTE
+	keys = append(keys, k)
+	return keys
+}
+
+// ProveAll builds the full certificate registry for the given capacities:
+// every certified kernel x every Table I domain x every enumerable
+// schedule pattern. Kernels prove concurrently (each prover is
+// independent); the result is deterministically ordered.
+func ProveAll(cfg buffer.Config) []*Certificate {
+	return proveSet(cfg, Kernels(), true)
+}
+
+// ProveDefaults proves only each kernel's default schedule pattern — the
+// point every cached strict compile hits — for a cheap registry (the
+// certsweep benchmark and quick admission setups).
+func ProveDefaults(cfg buffer.Config) []*Certificate {
+	return proveSet(cfg, Kernels(), false)
+}
+
+// ProveKernels is ProveAll restricted to the given kernels.
+func ProveKernels(cfg buffer.Config, kernels []string) []*Certificate {
+	return proveSet(cfg, kernels, true)
+}
+
+// ProveKernelDefaults is ProveDefaults restricted to the given kernels.
+func ProveKernelDefaults(cfg buffer.Config, kernels []string) []*Certificate {
+	return proveSet(cfg, kernels, false)
+}
+
+func proveSet(cfg buffer.Config, kernels []string, allPatterns bool) []*Certificate {
+	type job struct {
+		kernel string
+		key    SchedKey
+		dom    Domain
+	}
+	var jobs []job
+	for _, kernel := range kernels {
+		variant := kernel
+		if _, v, ok := strings.Cut(kernel, "/"); ok {
+			variant = v
+		}
+		keys := []SchedKey{{Mode: variant}}
+		if allPatterns {
+			keys = Patterns(variant)
+		}
+		for _, dom := range DomainsFor(kernel) {
+			for _, key := range keys {
+				jobs = append(jobs, job{kernel, key, dom})
+			}
+		}
+	}
+	certs := make([]*Certificate, len(jobs))
+	sem := make(chan struct{}, 8)
+	done := make(chan int, len(jobs))
+	for i, j := range jobs {
+		go func(i int, j job) {
+			sem <- struct{}{}
+			certs[i] = Prove(j.kernel, j.key, j.dom, cfg)
+			<-sem
+			done <- i
+		}(i, j)
+	}
+	for range jobs {
+		<-done
+	}
+	return certs
+}

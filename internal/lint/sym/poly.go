@@ -1,0 +1,161 @@
+package sym
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// maxDegree bounds the polynomial models the prover fits. Degree 3 covers
+// every quantity the pooling lowerings exhibit on a residue cell: extents
+// are affine in S, areas (bands x row bytes, patch grids) quadratic, and
+// a banded loop over a quadratic body cubic.
+const maxDegree = 3
+
+// Poly is a polynomial in the domain's spatial size S with exact rational
+// coefficients, Coef[i] the coefficient of S^i. Fits and evaluations run
+// entirely in math/big rationals: the certificate's bounds discharge is
+// exact arithmetic, never floating point.
+type Poly struct {
+	Coef []*big.Rat
+}
+
+// Eval evaluates the polynomial at integer s, exactly.
+func (p Poly) Eval(s int) *big.Rat {
+	acc := new(big.Rat)
+	x := big.NewRat(int64(s), 1)
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		acc.Mul(acc, x)
+		acc.Add(acc, p.Coef[i])
+	}
+	return acc
+}
+
+// EvalInt evaluates at s and reports whether the value is an integer
+// (every genuinely recovered count is).
+func (p Poly) EvalInt(s int) (int64, bool) {
+	v := p.Eval(s)
+	if !v.IsInt() {
+		return 0, false
+	}
+	return v.Num().Int64(), true
+}
+
+func (p Poly) String() string {
+	var terms []string
+	for i := len(p.Coef) - 1; i >= 0; i-- {
+		c := p.Coef[i]
+		if c.Sign() == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			terms = append(terms, c.RatString())
+		case 1:
+			terms = append(terms, c.RatString()+"*S")
+		default:
+			terms = append(terms, fmt.Sprintf("%s*S^%d", c.RatString(), i))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}
+
+// fitPoly interpolates the unique polynomial of degree len(xs)-1 (at most
+// maxDegree) through the sample points, by Gaussian elimination on the
+// Vandermonde system over exact rationals. xs must be distinct; returns
+// ok=false on a degenerate system or when more than maxDegree+1 points
+// are supplied.
+func fitPoly(xs []int, ys []int64) (Poly, bool) {
+	n := len(xs)
+	if n == 0 || n != len(ys) || n > maxDegree+1 {
+		return Poly{}, false
+	}
+	// Augmented Vandermonde matrix rows: [1, x, x^2, ..., x^(n-1) | y].
+	m := make([][]*big.Rat, n)
+	for i, x := range xs {
+		row := make([]*big.Rat, n+1)
+		pow := big.NewRat(1, 1)
+		for j := 0; j < n; j++ {
+			row[j] = new(big.Rat).Set(pow)
+			pow = new(big.Rat).Mul(pow, big.NewRat(int64(x), 1))
+		}
+		row[n] = big.NewRat(ys[i], 1)
+		m[i] = row
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return Poly{}, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := new(big.Rat).Inv(m[col][col])
+		for j := col; j <= n; j++ {
+			m[col][j].Mul(m[col][j], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[r][col])
+			for j := col; j <= n; j++ {
+				m[r][j].Sub(m[r][j], new(big.Rat).Mul(f, m[col][j]))
+			}
+		}
+	}
+	coef := make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		coef[i] = m[i][n]
+	}
+	return Poly{Coef: coef}, true
+}
+
+// fitAndValidate recovers one measured quantity as a polynomial: it
+// interpolates through up to maxDegree+1 fit points and cross-validates
+// the model on every remaining sample. ok=false means the quantity is not
+// polynomial of degree <= maxDegree on this cell (a capacity breakpoint
+// runs through it) and the cell needs refining.
+func fitAndValidate(xs []int, ys []int64) (Poly, bool) {
+	k := len(xs)
+	if k > maxDegree+1 {
+		k = maxDegree + 1
+	}
+	// Spread the fit points across the cell (first, last, and evenly
+	// between) so interpolation and validation both see the whole range.
+	idx := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		idx = append(idx, i*(len(xs)-1)/max(1, k-1))
+	}
+	if k == 1 {
+		idx = idx[:1]
+	}
+	fx := make([]int, 0, k)
+	fy := make([]int64, 0, k)
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		fx = append(fx, xs[i])
+		fy = append(fy, ys[i])
+	}
+	p, ok := fitPoly(fx, fy)
+	if !ok {
+		return Poly{}, false
+	}
+	for i := range xs {
+		if v, isInt := p.EvalInt(xs[i]); !isInt || v != ys[i] {
+			return Poly{}, false
+		}
+	}
+	return p, true
+}

@@ -1,0 +1,178 @@
+package sym
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"davinci/internal/buffer"
+	"davinci/internal/obs"
+	"davinci/internal/ops"
+)
+
+// Verdict classifies one admission query against the registry.
+type Verdict int
+
+const (
+	// Miss: the registry holds no certificate at all for the queried
+	// kernel — certification never ran for it.
+	Miss Verdict = iota
+	// Fallback: certificates exist for the kernel, but the queried shape,
+	// schedule or capacities fall outside every certified domain; the
+	// compile falls back to concrete lint.
+	Fallback
+	// Hit: a sealed certificate admits the query; concrete lint may be
+	// skipped.
+	Hit
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Hit:
+		return "hit"
+	case Fallback:
+		return "fallback"
+	case Miss:
+		return "miss"
+	}
+	return "unknown"
+}
+
+// regKey indexes certificates by the exact-match parts of a query.
+type regKey struct {
+	kernel  string
+	sched   SchedKey
+	buffers buffer.Config
+}
+
+// Registry holds sealed certificates and answers admission queries. It is
+// safe for concurrent use; Install publishes it as the process-wide
+// certifier (ops.RegisterCertifier), at which point every strict compile
+// in the process consults it.
+type Registry struct {
+	mu    sync.RWMutex
+	certs []*Certificate
+	index map[regKey][]*Certificate
+	// kernels tracks which kernels have any certificate, for the
+	// miss/fallback distinction.
+	kernels map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[regKey][]*Certificate{}, kernels: map[string]bool{}}
+}
+
+// Add seals certificates into the registry.
+func (r *Registry) Add(certs ...*Certificate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range certs {
+		if c == nil {
+			continue
+		}
+		r.certs = append(r.certs, c)
+		r.kernels[c.Kernel] = true
+		k := regKey{kernel: c.Kernel, sched: c.Sched, buffers: c.Buffers}
+		r.index[k] = append(r.index[k], c)
+	}
+}
+
+// Certificates returns every sealed certificate, sorted by kernel then
+// pattern for deterministic reporting.
+func (r *Registry) Certificates() []*Certificate {
+	r.mu.RLock()
+	out := append([]*Certificate(nil), r.certs...)
+	r.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		return out[i].Sched.String() < out[j].Sched.String()
+	})
+	return out
+}
+
+// keyFromQuery maps a compile-time admission query onto the registry's
+// shape-generic pattern key. ok=false means the query's schedule is not
+// expressible as a pattern — a concrete band of unknown provenance — and
+// must fall back to concrete lint.
+func keyFromQuery(q ops.CertQuery) (SchedKey, bool) {
+	k := SchedKey{
+		Mode:        q.Sched.Mode,
+		Buffers:     q.Sched.Buffers,
+		Saturate:    q.Sched.Saturate,
+		RepeatChunk: q.Sched.RepeatChunk,
+		Epilogue:    q.Sched.Epilogue,
+		Gather:      q.Sched.Gather,
+	}
+	if k.Mode == "" {
+		if _, v, ok := strings.Cut(q.Kernel, "/"); ok {
+			k.Mode = v
+		}
+	}
+	switch {
+	case q.Sched.Band == 0:
+		k.BandDiv = 0
+	case q.BandDiv > 0:
+		k.BandDiv = q.BandDiv
+	default:
+		return k, false
+	}
+	return k, true
+}
+
+// Lookup classifies an admission query: Hit when a sealed certificate
+// proves the queried (kernel, schedule pattern, capacities) lint-clean at
+// the queried shape, Fallback when certificates exist but none admit,
+// Miss when the kernel was never certified.
+func (r *Registry) Lookup(q ops.CertQuery) Verdict {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.kernels[q.Kernel] {
+		return Miss
+	}
+	key, ok := keyFromQuery(q)
+	if !ok {
+		return Fallback
+	}
+	rk := regKey{kernel: q.Kernel, sched: key, buffers: q.Spec.Buffers.Normalized()}
+	for _, c := range r.index[rk] {
+		if c.Admits(q.Params) {
+			return Hit
+		}
+	}
+	return Fallback
+}
+
+// Install publishes the registry as the process-wide certificate
+// admission predicate (ops.RegisterCertifier) and wires the
+// cert_hits / cert_misses / cert_fallbacks counters into m (nil for no
+// telemetry). Until Uninstall, every strict compile consults the
+// registry and skips concrete lint on a Hit.
+func (r *Registry) Install(m *obs.Registry) {
+	var hits, misses, fallbacks *obs.Counter
+	if m != nil {
+		hits = m.Counter("cert_hits")
+		misses = m.Counter("cert_misses")
+		fallbacks = m.Counter("cert_fallbacks")
+	}
+	ops.RegisterCertifier(func(q ops.CertQuery) bool {
+		v := r.Lookup(q)
+		if m != nil {
+			switch v {
+			case Hit:
+				hits.Inc()
+			case Fallback:
+				fallbacks.Inc()
+			case Miss:
+				misses.Inc()
+			}
+		}
+		return v == Hit
+	})
+}
+
+// Uninstall removes any installed certifier: strict compiles run concrete
+// lint again.
+func Uninstall() { ops.RegisterCertifier(nil) }

@@ -1,0 +1,278 @@
+package sym
+
+import (
+	"strings"
+	"testing"
+
+	"davinci/internal/buffer"
+	"davinci/internal/isa"
+	"davinci/internal/obs"
+	"davinci/internal/ops"
+)
+
+// narrowDomain keeps unit-test proving to a handful of witness compiles.
+func narrowDomain(hi int) Domain {
+	return Domain{SLo: 17, SHi: hi, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
+}
+
+func TestFitPolyRecoversExactQuadratic(t *testing.T) {
+	// y = 3S^2 - 5S + 7 through four points, validated on the rest.
+	f := func(s int) int64 { return 3*int64(s)*int64(s) - 5*int64(s) + 7 }
+	xs := []int{17, 19, 21, 23, 25, 27, 29}
+	ys := make([]int64, len(xs))
+	for i, x := range xs {
+		ys[i] = f(x)
+	}
+	p, ok := fitAndValidate(xs, ys)
+	if !ok {
+		t.Fatal("fitAndValidate rejected an exact quadratic")
+	}
+	for s := 17; s <= 101; s += 2 {
+		v, isInt := p.EvalInt(s)
+		if !isInt || v != f(s) {
+			t.Fatalf("p(%d) = %d (int=%v), want %d; p = %s", s, v, isInt, f(s), p)
+		}
+	}
+}
+
+func TestFitPolyRejectsStaircase(t *testing.T) {
+	// floor(S/5) has breakpoints every 5: no degree<=3 polynomial matches
+	// seven consecutive odd samples, so validation must fail and force a
+	// cell split rather than seal a wrong model.
+	xs := []int{17, 19, 21, 23, 25, 27, 29}
+	ys := make([]int64, len(xs))
+	for i, x := range xs {
+		ys[i] = int64(x / 5)
+	}
+	if _, ok := fitAndValidate(xs, ys); ok {
+		t.Fatal("fitAndValidate accepted a non-polynomial staircase")
+	}
+}
+
+func TestCellMembersAndSplit(t *testing.T) {
+	c := cell{lo: 17, hi: 31, res: 1, step: 2}
+	ms := c.members()
+	if len(ms) != 8 || ms[0] != 17 || ms[7] != 31 {
+		t.Fatalf("members = %v", ms)
+	}
+	a, b, ok := c.split()
+	if !ok {
+		t.Fatal("split failed")
+	}
+	if got := len(a.members()) + len(b.members()); got != len(ms) {
+		t.Fatalf("split lost members: %d + %d != %d", len(a.members()), len(b.members()), len(ms))
+	}
+	for _, m := range a.members() {
+		if m >= b.lo {
+			t.Fatalf("split halves overlap: %v / %v", a, b)
+		}
+	}
+}
+
+// TestProveNarrowDomain proves one fractal kernel's default pattern over
+// a small slice of the Table I domain and checks the certificate is
+// sound, admitting, and correctly bounded.
+func TestProveNarrowDomain(t *testing.T) {
+	dom := narrowDomain(33)
+	c := Prove("maxpool_fwd/im2col", SchedKey{Mode: "im2col"}, dom, buffer.Config{})
+	if !c.Certified() {
+		t.Fatalf("certificate not fully certified: %s", c.Summary())
+	}
+	adm, tot := c.Coverage()
+	if adm != tot || tot != 17 {
+		t.Fatalf("coverage = %d/%d, want 17/17", adm, tot)
+	}
+	if !c.Admits(dom.Params(20)) || !c.Admits(dom.Params(33)) {
+		t.Fatalf("certificate rejects in-domain shapes: %s", c.Summary())
+	}
+	if c.Admits(dom.Params(35)) {
+		t.Fatal("certificate admits an out-of-range shape")
+	}
+	rect := dom.Params(20)
+	rect.Iw = 21
+	if c.Admits(rect) {
+		t.Fatal("certificate admits a non-square shape")
+	}
+	k2 := dom.Params(20)
+	k2.Kh, k2.Kw = 2, 2
+	if c.Admits(k2) {
+		t.Fatal("certificate admits a different pooling configuration")
+	}
+	if c.WitnessCompiles == 0 {
+		t.Fatal("certificate recorded no witness compiles")
+	}
+}
+
+// TestProveInapplicablePattern: a schedule axis the lowering rejects
+// (saturate on the fractal forward) proves inapplicable — documented,
+// admitting nothing, never a violation.
+func TestProveInapplicablePattern(t *testing.T) {
+	dom := narrowDomain(33)
+	c := Prove("maxpool_fwd/im2col", SchedKey{Mode: "im2col", Saturate: 2}, dom, buffer.Config{})
+	if c.Inapplicable == "" {
+		t.Fatalf("pattern proved applicable: %s", c.Summary())
+	}
+	if !strings.Contains(c.Inapplicable, "no saturate axis") {
+		t.Fatalf("Inapplicable = %q, want the kernel's no-saturate-axis rejection", c.Inapplicable)
+	}
+	if c.Certified() || c.Admits(dom.Params(20)) {
+		t.Fatal("inapplicable certificate must certify and admit nothing")
+	}
+}
+
+// TestProveCapacityFailure: under starved capacities the witness
+// compiles fail; the cells record a compile reason with a concrete
+// counterexample and an empty Obligation — a fallback boundary, not a
+// soundness finding — and admission refuses the whole domain.
+func TestProveCapacityFailure(t *testing.T) {
+	dom := narrowDomain(33)
+	cfg := buffer.Config{UBSize: 2048, L1Size: 2048}
+	c := Prove("maxpool_fwd/im2col", SchedKey{Mode: "im2col"}, dom, buffer.Config{UBSize: cfg.UBSize, L1Size: cfg.L1Size})
+	if c.Inapplicable != "" {
+		t.Skipf("capacity starvation surfaced as inapplicability: %s", c.Inapplicable)
+	}
+	if c.Certified() {
+		t.Fatalf("proof certified under 2KB buffers: %s", c.Summary())
+	}
+	sawCompile := false
+	for _, cl := range c.Cells {
+		if cl.Certified {
+			continue
+		}
+		if cl.Obligation != "" {
+			t.Fatalf("capacity failure misclassified as violated obligation %q (%s)", cl.Obligation, cl.Reason)
+		}
+		if strings.HasPrefix(cl.Reason, "compile: ") {
+			sawCompile = true
+			if cl.Counterexample == 0 {
+				t.Fatalf("failed cell isolated no counterexample: %+v", cl)
+			}
+			if c.Admits(dom.Params(cl.Counterexample)) {
+				t.Fatal("certificate admits its own counterexample")
+			}
+		}
+	}
+	if !sawCompile {
+		t.Fatalf("no cell recorded a compile failure: %s", c.Summary())
+	}
+}
+
+// TestRegistryLookupVerdicts drives the miss / fallback / hit
+// classification straight through an admission query.
+func TestRegistryLookupVerdicts(t *testing.T) {
+	dom := narrowDomain(33)
+	cfg := buffer.Config{}.Normalized()
+	c := Prove("maxpool_fwd/im2col", SchedKey{Mode: "im2col"}, dom, cfg)
+	if !c.Certified() {
+		t.Fatalf("prerequisite proof failed: %s", c.Summary())
+	}
+	reg := NewRegistry()
+	reg.Add(c)
+
+	q := ops.CertQuery{
+		Kernel: "maxpool_fwd/im2col",
+		Spec:   ops.Spec{Buffers: cfg},
+		Params: dom.Params(21),
+	}
+	if v := reg.Lookup(q); v != Hit {
+		t.Fatalf("in-domain lookup = %v, want hit", v)
+	}
+	out := q
+	out.Params = dom.Params(63)
+	if v := reg.Lookup(out); v != Fallback {
+		t.Fatalf("out-of-domain lookup = %v, want fallback", v)
+	}
+	band := q
+	band.Sched.Band = 4 // concrete band, no pattern provenance
+	if v := reg.Lookup(band); v != Fallback {
+		t.Fatalf("unmappable-band lookup = %v, want fallback", v)
+	}
+	other := q
+	other.Kernel = "avgpool_fwd/im2col"
+	if v := reg.Lookup(other); v != Miss {
+		t.Fatalf("uncertified-kernel lookup = %v, want miss", v)
+	}
+}
+
+// TestInstallAdmitsStrictCompile is the end-to-end admission path: with
+// the registry installed, a strict in-domain compile skips concrete lint
+// (Plan.Certified), bumps cert_hits, and an out-of-domain one falls back
+// and bumps cert_fallbacks.
+func TestInstallAdmitsStrictCompile(t *testing.T) {
+	dom := narrowDomain(33)
+	cfg := buffer.Config{}.Normalized()
+	c := Prove("maxpool_fwd/im2col", SchedKey{Mode: "im2col"}, dom, cfg)
+	if !c.Certified() {
+		t.Fatalf("prerequisite proof failed: %s", c.Summary())
+	}
+	reg := NewRegistry()
+	reg.Add(c)
+	m := obs.NewRegistry()
+	reg.Install(m)
+	t.Cleanup(Uninstall)
+
+	spec := ops.Spec{Buffers: cfg, Strict: true}
+	pl, err := ops.CompileKernel("maxpool_fwd/im2col", spec, dom.Params(21), ops.ScheduleParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Certified {
+		t.Fatal("in-domain strict compile did not ride the certificate")
+	}
+	pl2, err := ops.CompileKernel("maxpool_fwd/im2col", spec, dom.Params(63), ops.ScheduleParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Certified {
+		t.Fatal("out-of-domain strict compile claimed certification")
+	}
+	snap := m.Snapshot()
+	if v, ok := snap.CounterValue("cert_hits"); !ok || v != 1 {
+		t.Fatalf("cert_hits = %d (present=%v), want 1", v, ok)
+	}
+	if v, ok := snap.CounterValue("cert_fallbacks"); !ok || v != 1 {
+		t.Fatalf("cert_fallbacks = %d (present=%v), want 1", v, ok)
+	}
+
+	Uninstall()
+	pl3, err := ops.CompileKernel("maxpool_fwd/im2col", spec, dom.Params(21), ops.ScheduleParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl3.Certified {
+		t.Fatal("compile claimed certification after Uninstall")
+	}
+}
+
+// TestCrossCheckRandomAgrees runs a small randomized cross-check of
+// certificate verdicts against the concrete verifier: any divergence is
+// a soundness bug.
+func TestCrossCheckRandomAgrees(t *testing.T) {
+	cfg := buffer.Config{}.Normalized()
+	certs := ProveKernelDefaults(cfg, []string{"maxpool_fwd/im2col", "maxpool_bwd/col2im"})
+	reg := NewRegistry()
+	reg.Add(certs...)
+	rep := CrossCheckRandom(reg, cfg, 12, 7)
+	if rep.Programs == 0 {
+		t.Fatal("cross-check checked no programs")
+	}
+	if len(rep.Divergences) > 0 {
+		t.Fatalf("cross-check diverged: %s", rep.Divergences[0])
+	}
+	if rep.Hits == 0 {
+		t.Fatalf("cross-check never hit a certificate: %s", rep.Summary())
+	}
+}
+
+// TestSchedKeyPatternRoundTrip: the registry key derived from a default
+// compile's query matches the proved default pattern.
+func TestSchedKeyPatternRoundTrip(t *testing.T) {
+	q := ops.CertQuery{Kernel: "maxpool_fwd/im2col", Params: isa.ConvParams{Ih: 21, Iw: 21, Kh: 3, Kw: 3, Sh: 2, Sw: 2}}
+	key, ok := keyFromQuery(q)
+	if !ok {
+		t.Fatal("default-compile query did not map to a pattern")
+	}
+	if key != (SchedKey{Mode: "im2col"}) {
+		t.Fatalf("key = %+v, want bare im2col pattern", key)
+	}
+}

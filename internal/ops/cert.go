@@ -1,0 +1,79 @@
+// The certificate hook: internal/lint/sym proves, once per (kernel
+// family x schedule pattern), that every in-domain shape's lowering is
+// lint-clean, and installs an admission predicate here. Compilation then
+// skips the concrete strict-lint pass for certified shapes — the O(1)
+// admission the serving layer wants — and falls back to concrete lint on
+// any domain miss. The dependency is one-way by registration, exactly
+// like the autoscheduler: sym builds on ops, ops never imports sym.
+package ops
+
+import (
+	"sync/atomic"
+
+	"davinci/internal/isa"
+)
+
+// CertQuery asks the registered certifier whether a certificate admits
+// one compile: the kernel ("family/variant"), the compile spec (its
+// buffer capacities are part of the proof context), the layer parameters
+// and the requested schedule.
+type CertQuery struct {
+	Kernel string
+	Spec   Spec
+	Params isa.ConvParams
+	Sched  ScheduleParams
+	// BandDiv declares the provenance of a concrete Sched.Band when the
+	// caller knows it: the band is the default band divided by BandDiv
+	// (the autoscheduler's band-split candidates). 0 means Sched.Band is
+	// 0 (default) or of unknown provenance; certificates for band-divisor
+	// patterns only match when the caller vouches for the divisor.
+	BandDiv int
+}
+
+// Certifier is the admission predicate: true means a sealed certificate
+// proves the lowering lint-clean for every shape in a domain containing
+// q.Params, so the concrete lint pass may be skipped. Implemented by
+// internal/lint/sym and injected via RegisterCertifier.
+type Certifier func(q CertQuery) bool
+
+// certifier is swapped atomically: unlike the autoscheduler it is
+// installed at run time (after certificates are proven), possibly while
+// other goroutines compile plans.
+var certifier atomic.Pointer[Certifier]
+
+// RegisterCertifier installs (or, with nil, removes) the certificate
+// admission predicate. Typically called via sym.Registry.Install.
+func RegisterCertifier(fn Certifier) {
+	if fn == nil {
+		certifier.Store(nil)
+		return
+	}
+	certifier.Store(&fn)
+}
+
+// Certified reports whether the registered certifier admits q; false
+// when no certifier is installed. The autoscheduler's acceptance gate
+// uses this to skip its lint leg for certified candidates.
+func Certified(q CertQuery) bool {
+	fn := certifier.Load()
+	return fn != nil && (*fn)(q)
+}
+
+// compileCertified is the one choke point every family-dispatch compile
+// goes through: under a strict spec it consults the certificate registry
+// first, and on a certificate hit compiles with the concrete lint pass
+// elided (the certificate is the proof) and marks the plan Certified.
+// Domain misses fall back to the concrete strict lint unchanged.
+func compileCertified(kernel string, fn plannerFunc, spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	if spec.Strict && Certified(CertQuery{Kernel: kernel, Spec: spec, Params: p, Sched: sp}) {
+		unstrict := spec
+		unstrict.Strict = false
+		pl, err := fn(unstrict, p, sp)
+		if err != nil {
+			return nil, err
+		}
+		pl.Certified = true
+		return pl, nil
+	}
+	return fn(spec, p, sp)
+}

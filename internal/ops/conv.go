@@ -84,7 +84,8 @@ func PlanConv2D(spec Spec, p isa.ConvParams, co, c int) (*Plan, error) {
 		spec.AutoSchedule = false
 		pl, err := PlanConv2D(spec, p, co, c)
 		if err == nil {
-			attachNoSearchReport(pl, "conv2d_im2col_cube")
+			attachNoSearchReport(pl, "conv2d_im2col_cube",
+				"conv2d_im2col_cube exposes no searchable schedule axes: Cube-unit channel tiling, L0 band split and MMAD accumulation order are fixed")
 		}
 		return pl, err
 	}

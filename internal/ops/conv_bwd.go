@@ -70,7 +70,8 @@ func PlanConv2DBackwardData(spec Spec, p isa.ConvParams, co, c int) (*Plan, erro
 		spec.AutoSchedule = false
 		pl, err := PlanConv2DBackwardData(spec, p, co, c)
 		if err == nil {
-			attachNoSearchReport(pl, "conv2d_bwd_data")
+			attachNoSearchReport(pl, "conv2d_bwd_data",
+				"conv2d_bwd_data exposes no searchable schedule axes: Cube-unit channel tiling and the Col2Im scatter order are fixed")
 		}
 		return pl, err
 	}

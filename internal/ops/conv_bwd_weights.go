@@ -30,7 +30,8 @@ func PlanConv2DBackwardWeights(spec Spec, p isa.ConvParams, co, c int) (*Plan, e
 		spec.AutoSchedule = false
 		pl, err := PlanConv2DBackwardWeights(spec, p, co, c)
 		if err == nil {
-			attachNoSearchReport(pl, "conv2d_bwd_weights")
+			attachNoSearchReport(pl, "conv2d_bwd_weights",
+				"conv2d_bwd_weights exposes no searchable schedule axes: Cube-unit channel tiling and MMAD accumulation order are fixed")
 		}
 		return pl, err
 	}

@@ -132,6 +132,11 @@ type Plan struct {
 	// AutoSchedule (candidates considered/pruned/confirmed, the cycles
 	// saved or why the searched schedule was rejected); nil otherwise.
 	Auto *AutoSchedReport
+	// Certified reports that a symbolic certificate (internal/lint/sym)
+	// admitted this compile: the Spec was Strict, but the concrete lint
+	// pass was skipped because a sealed certificate proves every in-domain
+	// shape of this (kernel, schedule) lowering lint-clean.
+	Certified bool
 
 	slots  []gmSlot
 	outs   []gmRead
@@ -427,14 +432,23 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 					c.metrics.Counter("opt_rejected").Inc()
 				}
 			}
+			if r := e.plan.Opt; r != nil && r.SkippedReschedule != nil {
+				c.metrics.Counter("depgraph_budget_exhausted").Inc()
+			}
 			if a := e.plan.Auto; a != nil {
 				c.metrics.Counter("sched_candidates").Add(int64(a.Considered))
 				c.metrics.Counter("sched_pruned").Add(int64(a.Pruned))
+				if a.NoSearch {
+					c.metrics.Counter("sched_nosearch").Inc()
+				}
 				if a.Accepted {
 					c.metrics.Counter("sched_accepted").Inc()
 				}
 				if saved := a.Saved(); saved > 0 {
 					c.metrics.Counter("sched_cycles_saved").Add(saved)
+				}
+				if skipped := a.LintSkipped; skipped > 0 {
+					c.metrics.Counter("sched_lint_skipped").Add(int64(skipped))
 				}
 			}
 		}
@@ -516,7 +530,7 @@ func planVariant(family, kind, variant string, spec Spec, p isa.ConvParams) (*Pl
 	if spec.AutoSchedule {
 		return autoPlan(family+"/"+variant, spec, p)
 	}
-	return fn(spec, p, ScheduleParams{Mode: variant})
+	return compileCertified(family+"/"+variant, fn, spec, p, ScheduleParams{Mode: variant})
 }
 
 // CompileKernel compiles kernel ("family/variant", e.g.
@@ -541,7 +555,7 @@ func CompileKernel(kernel string, spec Spec, p isa.ConvParams, sp ScheduleParams
 	}
 	spec.AutoSchedule = false
 	sp.Mode = variant
-	return fn(spec, p, sp)
+	return compileCertified(family+"/"+variant, fn, spec, p, sp)
 }
 
 // PlanMaxPoolForward compiles a forward Maxpool variant ("standard",

@@ -263,6 +263,18 @@ type AutoSchedReport struct {
 	// one looked better ("" when the default simply won, or when
 	// Accepted).
 	Rejected string
+	// NoSearch reports that no search ran at all: the kernel exposes no
+	// searchable schedule axes, so the default is the only point in the
+	// space. Rejected then carries the explicit reason. Distinct from a
+	// search that enumerated candidates and kept the default — a no-search
+	// compile reports sched_candidates=0 and bumps sched_nosearch, so the
+	// downgrade is visible instead of reading like an empty frontier.
+	NoSearch bool
+	// LintSkipped counts candidate lint legs the acceptance gate skipped
+	// because a shape-generic certificate (internal/lint/sym) already
+	// proves the candidate's lowering lint-clean over a domain containing
+	// this shape.
+	LintSkipped int
 	// Params is the schedule of the plan Run executes.
 	Params ScheduleParams
 	// WallNanos is the host wall-clock time the search spent.
@@ -275,6 +287,8 @@ func (r *AutoSchedReport) Saved() int64 { return r.BaselineCycles - r.Cycles }
 // Summary renders a one-line report.
 func (r *AutoSchedReport) Summary() string {
 	switch {
+	case r.NoSearch:
+		return fmt.Sprintf("autosched: no search (%s); sched_candidates=0", r.Rejected)
 	case r.Accepted:
 		pct := float64(0)
 		if r.BaselineCycles > 0 {
@@ -321,14 +335,18 @@ func AutoScheduled(kernel string, spec Spec, p isa.ConvParams) (*Plan, error) {
 
 // attachNoSearchReport marks a plan compiled under an AutoSchedule spec
 // whose kernel exposes no searchable schedule axes (the Cube-unit
-// convolutions): the default is the only point in the space.
-func attachNoSearchReport(pl *Plan, kernel string) {
+// convolutions): the default is the only point in the space. The report
+// still carries Considered=0 and an explicit per-kernel reason, so the
+// plan cache emits sched_candidates=0 plus a sched_nosearch count and
+// the downgrade cannot be mistaken for a search that found nothing.
+func attachNoSearchReport(pl *Plan, kernel, reason string) {
 	t := aicore.Time(pl.Prog, isa.DefaultCostModel(), false)
 	pl.Auto = &AutoSchedReport{
 		Kernel:         kernel,
 		BaselineCycles: t,
 		Cycles:         t,
 		Params:         pl.Sched,
-		Rejected:       "kernel exposes no searchable schedule axes",
+		NoSearch:       true,
+		Rejected:       reason,
 	}
 }

@@ -1,0 +1,52 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConflictBudgetSkipsReschedule pins the budget-exhaustion contract:
+// an O2 optimization whose conflict-graph scan cannot finish within
+// Options.ConflictBudget must not silently report "no improvement" — it
+// records the typed depgraph.BudgetError on the result and says so in
+// the summary, while the rest of the pipeline (and validation) still
+// runs.
+func TestConflictBudgetSkipsReschedule(t *testing.T) {
+	prog := coalescableProg(20)
+	r := Optimize(prog, Options{Level: LevelSchedule, ConflictBudget: 1})
+	if r.SkippedReschedule == nil {
+		t.Fatalf("Optimize(O2, budget=1) did not record a skipped reschedule")
+	}
+	if r.SkippedReschedule.Budget != 1 {
+		t.Fatalf("SkippedReschedule.Budget = %d, want 1", r.SkippedReschedule.Budget)
+	}
+	if !r.Validated {
+		t.Fatalf("result not validated: %+v", r)
+	}
+	if !strings.Contains(r.Summary(), "rescheduling skipped") {
+		t.Fatalf("Summary() = %q, want a rescheduling-skipped note", r.Summary())
+	}
+}
+
+// TestConflictBudgetDefaultReschedules is the positive contrast: under
+// the default budget the same program's conflict scan completes, so no
+// skip reason is recorded and the summary stays quiet about it.
+func TestConflictBudgetDefaultReschedules(t *testing.T) {
+	prog := coalescableProg(20)
+	r := Optimize(prog, Options{Level: LevelSchedule})
+	if r.SkippedReschedule != nil {
+		t.Fatalf("default budget exhausted unexpectedly: %v", r.SkippedReschedule)
+	}
+	if strings.Contains(r.Summary(), "rescheduling skipped") {
+		t.Fatalf("Summary() = %q mentions a skip with none recorded", r.Summary())
+	}
+}
+
+// TestLevelRewriteNeverSkips: the O1 pipeline has no rescheduling pass,
+// so even a hostile budget cannot mark the result skipped.
+func TestLevelRewriteNeverSkips(t *testing.T) {
+	r := Optimize(coalescableProg(20), Options{Level: LevelRewrite, ConflictBudget: 1})
+	if r.SkippedReschedule != nil {
+		t.Fatalf("O1 recorded a reschedule skip: %v", r.SkippedReschedule)
+	}
+}

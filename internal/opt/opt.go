@@ -43,6 +43,7 @@ import (
 	"davinci/internal/aicore"
 	"davinci/internal/buffer"
 	"davinci/internal/cce"
+	"davinci/internal/depgraph"
 	"davinci/internal/isa"
 )
 
@@ -83,6 +84,11 @@ type Options struct {
 	// cores of this configuration. Zero values take the Ascend 910
 	// defaults.
 	Buffers buffer.Config
+	// ConflictBudget caps the region-pair comparisons the O2 rescheduling
+	// pass may spend building the conflict graph (depgraph.Conflicts);
+	// 0 takes the default. Exhausting it skips the pass and records the
+	// typed reason in Result.SkippedReschedule.
+	ConflictBudget int
 }
 
 // Rewrite reports what one pass did.
@@ -127,6 +133,13 @@ type Result struct {
 	// Rejected carries the gate's reason when validation failed; Prog is
 	// then the baseline.
 	Rejected string
+	// SkippedReschedule carries the typed reason the O2 rescheduling pass
+	// never analyzed the program: the depgraph.Conflicts region-pair scan
+	// exhausted its comparison budget. nil when the pass ran (or was not
+	// requested). Surfaced so a silently-kept program order is visible in
+	// optimizer reports and the depgraph_budget_exhausted counter instead
+	// of masquerading as "no improvement found".
+	SkippedReschedule *depgraph.BudgetError
 }
 
 // Saved returns the total makespan reduction.
@@ -142,6 +155,9 @@ func (r *Result) Summary() string {
 		return fmt.Sprintf("%v: rejected (%s), baseline kept", r.Level, r.Rejected)
 	}
 	if len(r.Rewrites) == 0 {
+		if r.SkippedReschedule != nil {
+			return fmt.Sprintf("%v: no rewrites; rescheduling skipped (%v)", r.Level, r.SkippedReschedule)
+		}
 		return fmt.Sprintf("%v: no rewrites", r.Level)
 	}
 	applied := 0
@@ -152,8 +168,12 @@ func (r *Result) Summary() string {
 	if r.BaselineCycles > 0 {
 		pct = 100 * float64(r.Saved()) / float64(r.BaselineCycles)
 	}
-	return fmt.Sprintf("%v: %d rewrites, %d -> %d instrs, %d -> %d cycles (-%.1f%%)",
+	s := fmt.Sprintf("%v: %d rewrites, %d -> %d instrs, %d -> %d cycles (-%.1f%%)",
 		r.Level, applied, r.BaselineInstrs, r.Instrs, r.BaselineCycles, r.Cycles, pct)
+	if r.SkippedReschedule != nil {
+		s += fmt.Sprintf("; rescheduling skipped (%v)", r.SkippedReschedule)
+	}
+	return s
 }
 
 // pass is one rewrite: it returns the rewritten program and the number of
@@ -163,7 +183,7 @@ type pass struct {
 	run  func(*cce.Program, *isa.CostModel) (*cce.Program, int)
 }
 
-func pipeline(level Level) []pass {
+func pipeline(opts Options, res *Result) []pass {
 	ps := []pass{
 		{"dead-sync", deadSync},
 		{"dead-barrier", deadBarrier},
@@ -171,13 +191,24 @@ func pipeline(level Level) []pass {
 		{"coalesce-copy", coalesceCopy},
 		{"coalesce-vec", coalesceVec},
 	}
-	if level >= LevelSchedule {
+	if opts.Level >= LevelSchedule {
+		budget := opts.ConflictBudget
+		if budget <= 0 {
+			budget = rescheduleBudget
+		}
 		// Rescheduling moves independent work together, which can create
 		// new adjacent coalescable runs — run the coalescers once more so
 		// an optimized program never carries a fusable run it could have
-		// discharged.
+		// discharged. A conflict-scan budget exhaustion is recorded on the
+		// result rather than silently passing for "nothing to move".
 		ps = append(ps,
-			pass{"reschedule", reschedule},
+			pass{"reschedule", func(prog *cce.Program, cost *isa.CostModel) (*cce.Program, int) {
+				out, moved, berr := reschedule(prog, cost, budget)
+				if berr != nil {
+					res.SkippedReschedule = berr
+				}
+				return out, moved
+			}},
 			pass{"coalesce-copy", coalesceCopy},
 			pass{"coalesce-vec", coalesceVec},
 		)
@@ -210,7 +241,7 @@ func Optimize(prog *cce.Program, opts Options) *Result {
 	}
 
 	cur, curCycles := prog, base
-	for _, p := range pipeline(opts.Level) {
+	for _, p := range pipeline(opts, res) {
 		next, applied := p.run(cur, cost)
 		if next == nil || applied == 0 {
 			continue

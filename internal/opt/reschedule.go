@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"errors"
 	"sort"
 
 	"davinci/internal/aicore"
@@ -34,20 +35,28 @@ const (
 //
 // Programs still carrying flags or barriers are left alone: their
 // explicit schedule is an intent the reorder would have to re-derive.
-func reschedule(prog *cce.Program, cost *isa.CostModel) (*cce.Program, int) {
+//
+// The returned *depgraph.BudgetError is non-nil when the conflict scan
+// gave up before finishing — the pass then did nothing, and the caller
+// records the skip instead of letting it pass for "no improvement found".
+func reschedule(prog *cce.Program, cost *isa.CostModel, budget int) (*cce.Program, int, *depgraph.BudgetError) {
 	n := len(prog.Instrs)
 	if n < 2 || n > rescheduleMaxInstrs {
-		return nil, 0
+		return nil, 0, nil
 	}
 	for _, in := range prog.Instrs {
 		switch in.(type) {
 		case *isa.SetFlagInstr, *isa.WaitFlagInstr, *isa.BarrierInstr:
-			return nil, 0
+			return nil, 0, nil
 		}
 	}
-	preds, ok := depgraph.Conflicts(prog, rescheduleBudget)
-	if !ok {
-		return nil, 0
+	preds, err := depgraph.Conflicts(prog, budget)
+	if err != nil {
+		var berr *depgraph.BudgetError
+		if errors.As(err, &berr) {
+			return nil, 0, berr
+		}
+		return nil, 0, nil
 	}
 	succs := make([][]int32, n)
 	indeg := make([]int, n)
@@ -123,12 +132,12 @@ func reschedule(prog *cce.Program, cost *isa.CostModel) (*cce.Program, int) {
 		}
 	}
 	if moved == 0 || board.Cycles() >= aicore.Time(prog, cost, false) {
-		return nil, 0
+		return nil, 0, nil
 	}
 	out := derived(prog)
 	out.Instrs = make([]isa.Instr, n)
 	for k, i := range order {
 		out.Instrs[k] = prog.Instrs[i]
 	}
-	return out, moved
+	return out, moved, nil
 }

@@ -126,7 +126,10 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 	var invalid []Candidate
 	considered, pruned := 0, 0
 
-	try := func(sp ops.ScheduleParams) *compiledCandidate {
+	// bandDiv records the provenance of a concrete Band candidate (default
+	// band / bandDiv), which is how shape-generic certificates key their
+	// band-split patterns (ops.CertQuery.BandDiv).
+	try := func(sp ops.ScheduleParams, bandDiv int) *compiledCandidate {
 		considered++
 		pl, err := ops.CompileKernel(kernel, spec, p, sp)
 		if err != nil {
@@ -141,7 +144,7 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 			return nil
 		}
 		seen[pl.Sched] = true
-		c := &compiledCandidate{pl: pl, cand: Candidate{
+		c := &compiledCandidate{pl: pl, bandDiv: bandDiv, cand: Candidate{
 			Params:   sp,
 			Resolved: pl.Sched,
 			CritPath: pl.Perf.CritPath,
@@ -154,7 +157,7 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 	for _, m := range modes {
 		base := def
 		if m != def.Sched.Mode {
-			c := try(ops.ScheduleParams{Mode: m})
+			c := try(ops.ScheduleParams{Mode: m}, 0)
 			if c == nil {
 				// The mode's own default failed (over capacity for this
 				// shape) or resolved onto a known point; without its
@@ -169,22 +172,22 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 		b := base.Sched.Band
 		for _, div := range []int{2, 4, 8} {
 			if bb := b / div; bb >= 1 {
-				try(ops.ScheduleParams{Mode: m, Band: bb})
+				try(ops.ScheduleParams{Mode: m, Band: bb}, div)
 			}
 		}
 		// Single buffering frees half the UB, letting the band grow.
-		try(ops.ScheduleParams{Mode: m, Buffers: 1})
+		try(ops.ScheduleParams{Mode: m, Buffers: 1}, 0)
 		if bb := b / 2; bb >= 1 {
-			try(ops.ScheduleParams{Mode: m, Band: bb, Buffers: 1})
+			try(ops.ScheduleParams{Mode: m, Band: bb, Buffers: 1}, 2)
 		}
 		// The remaining axes are cheap single-knob flips; lowerings
 		// without the axis reject them (counted as pruned).
-		try(ops.ScheduleParams{Mode: m, Saturate: ops.SatNarrow})
+		try(ops.ScheduleParams{Mode: m, Saturate: ops.SatNarrow}, 0)
 		for _, rc := range []int{16, 64} {
-			try(ops.ScheduleParams{Mode: m, RepeatChunk: rc})
+			try(ops.ScheduleParams{Mode: m, RepeatChunk: rc}, 0)
 		}
-		try(ops.ScheduleParams{Mode: m, Epilogue: ops.EpiDeferred})
-		try(ops.ScheduleParams{Mode: m, Gather: ops.GatherMTE})
+		try(ops.ScheduleParams{Mode: m, Epilogue: ops.EpiDeferred}, 0)
+		try(ops.ScheduleParams{Mode: m, Gather: ops.GatherMTE}, 0)
 	}
 
 	// Rank by the static upper bound: the candidate that cannot be worse
@@ -232,7 +235,7 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 		// validation gate; a gate failure falls through to the next
 		// winner, and to the default when none survive.
 		for _, w := range winners {
-			reason := validate(spec, def, w, inputs)
+			reason := validate(family, spec, def, w, inputs, rep)
 			if reason == "" {
 				rep.Accepted = true
 				rep.Cycles = w.cand.Cycles
@@ -265,10 +268,25 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 // sync, its confirmed makespan respects the static bound invariant, and
 // it produces bit-identical outputs to the default plan on the family's
 // gate inputs. Returns "" on success, the rejection reason otherwise.
-func validate(spec ops.Spec, def *ops.Plan, w *compiledCandidate, inputs []*tensor.Tensor) string {
-	diags := lint.CheckWith(lint.Options{Caps: spec.Buffers.Capacities(), Mode: lint.SyncImplicit}, w.pl.Prog)
-	if errs := lint.Errors(diags); len(errs) > 0 {
-		return fmt.Sprintf("lint: %d error(s), first: %s", len(errs), errs[0])
+//
+// The lint leg is skipped (and counted on rep.LintSkipped) when a sealed
+// symbolic certificate (internal/lint/sym, via ops.RegisterCertifier)
+// already proves this candidate's lowering lint-clean over a parameter
+// domain containing the searched shape.
+func validate(family string, spec ops.Spec, def *ops.Plan, w *compiledCandidate, inputs []*tensor.Tensor, rep *ops.AutoSchedReport) string {
+	if ops.Certified(ops.CertQuery{
+		Kernel:  family + "/" + w.pl.Sched.Mode,
+		Spec:    spec,
+		Params:  def.Params,
+		Sched:   w.cand.Params,
+		BandDiv: w.bandDiv,
+	}) {
+		rep.LintSkipped++
+	} else {
+		diags := lint.CheckWith(lint.Options{Caps: spec.Buffers.Capacities(), Mode: lint.SyncImplicit}, w.pl.Prog)
+		if errs := lint.Errors(diags); len(errs) > 0 {
+			return fmt.Sprintf("lint: %d error(s), first: %s", len(errs), errs[0])
+		}
 	}
 	if w.cand.Cycles < w.cand.BusyBound || w.cand.Cycles > w.cand.CritPath {
 		return fmt.Sprintf("makespan %d outside static bounds [%d, %d]", w.cand.Cycles, w.cand.BusyBound, w.cand.CritPath)
@@ -354,10 +372,13 @@ func gateInputs(family string, p isa.ConvParams) ([]*tensor.Tensor, error) {
 }
 
 // compiledCandidate pairs a compiled candidate plan with its frontier
-// entry during the search.
+// entry during the search. bandDiv is the divisor a concrete Band
+// candidate was derived with (default band / bandDiv; 0 for non-band
+// candidates) — the provenance the certificate admission key needs.
 type compiledCandidate struct {
-	pl   *ops.Plan
-	cand Candidate
+	pl      *ops.Plan
+	bandDiv int
+	cand    Candidate
 }
 
 // init injects the search into internal/ops, so any Spec with
