@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -36,9 +37,15 @@ import (
 	"davinci/internal/faults"
 	"davinci/internal/obs"
 	"davinci/internal/opt"
+	"davinci/internal/trace"
 )
 
 func main() {
+	// "trend" is a subcommand with its own flag set: it compares metric
+	// snapshots instead of running experiments.
+	if len(os.Args) > 1 && os.Args[1] == "trend" {
+		os.Exit(trendMain(os.Args[2:]))
+	}
 	cores := flag.Int("cores", chip.DefaultCores, "AI cores on the simulated device")
 	ub := flag.Int("ub", buffer.DefaultUBSize, "Unified Buffer bytes per core")
 	l1 := flag.Int("l1", buffer.DefaultL1Size, "L1 buffer bytes per core")
@@ -55,6 +62,8 @@ func main() {
 	chaosAttempts := flag.Int("chaos-attempts", 3, "attempts per tile before giving up (retry on a fresh core, requeue elsewhere)")
 	chaosWatchdog := flag.Duration("chaos-watchdog", time.Second, "wall-clock budget per tile attempt before the watchdog reclaims the core")
 	chaosDegrade := flag.Bool("chaos-degrade", false, "fall back to the host golden model for tiles that exhaust their retries")
+	spans := flag.String("spans", "", "write the run's trace spans as JSONL to this file; - for stdout")
+	serve := flag.String("serve", "", "serve live telemetry (Prometheus /metrics, /debug/spans) on this address until the experiments finish, then keep serving until interrupted")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -67,8 +76,24 @@ func main() {
 		Seed: *seed,
 		Reps: *reps,
 	}
-	if *metrics != "" || *chaos {
+	if *metrics != "" || *chaos || *serve != "" {
 		opts.Metrics = obs.NewRegistry()
+	}
+	var tracer *trace.Tracer
+	if *spans != "" || *serve != "" {
+		tracer = trace.New()
+		opts.Trace = tracer.Root()
+	}
+	if *serve != "" {
+		exporter := &obs.Exporter{Registry: opts.Metrics, Tracer: tracer}
+		srv := &http.Server{Addr: *serve, Handler: exporter.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "davinci-bench: -serve: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "davinci-bench: serving telemetry on http://%s/metrics and /debug/spans\n", *serve)
 	}
 	if *chaos {
 		kinds, err := faults.ParseKinds(*chaosKinds)
@@ -94,7 +119,7 @@ func main() {
 		experiments = []string{"all"}
 	}
 	for _, exp := range experiments {
-		if err := run(exp, opts, *csv); err != nil {
+		if err := runTraced(exp, opts, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "davinci-bench: %s: %v\n", exp, err)
 			os.Exit(1)
 		}
@@ -108,6 +133,98 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *spans != "" {
+		if err := writeSpans(*spans, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "davinci-bench: experiments done; still serving on http://%s (interrupt to exit)\n", *serve)
+		select {}
+	}
+}
+
+// runTraced wraps one experiment in a bench_experiment span, so every
+// chip_run (and below it every compile and tile) the experiment causes
+// nests under one root per experiment.
+func runTraced(exp string, opts bench.Options, csv bool) error {
+	es := opts.Trace.StartSpan("bench_experiment", "experiment", exp)
+	if es != nil {
+		opts.Trace = es.Ctx()
+	}
+	err := run(exp, opts, csv)
+	if es != nil {
+		if err != nil {
+			es.SetAttr("outcome", "error")
+		} else {
+			es.SetAttr("outcome", "ok")
+		}
+		es.End()
+	}
+	return err
+}
+
+// writeSpans dumps the tracer's finished spans as deterministic JSONL.
+func writeSpans(path string, tracer *trace.Tracer) error {
+	if path == "-" {
+		return trace.WriteJSONL(os.Stdout, tracer.Finished())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, tracer.Finished()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// trendMain is the "davinci-bench trend" subcommand: the bench-trend
+// regression gate over -metrics snapshots.
+func trendMain(args []string) int {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of BENCH_*.json snapshots, compared consecutively oldest to newest (by file modification time)")
+	baseline := fs.String("baseline", "", "baseline snapshot prepended before -dir files and positional files")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: davinci-bench trend [-baseline FILE] [-dir DIR] [snapshot.json ...]")
+		fmt.Fprintln(os.Stderr, "compares consecutive snapshot pairs under the default gates; exits 1 on any regression")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	var paths []string
+	if *baseline != "" {
+		paths = append(paths, *baseline)
+	}
+	if *dir != "" {
+		fromDir, err := bench.TrendDir(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "davinci-bench: trend: %v\n", err)
+			return 1
+		}
+		paths = append(paths, fromDir...)
+	}
+	paths = append(paths, fs.Args()...)
+	reports, err := bench.TrendFiles(paths, bench.DefaultTrendGates())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "davinci-bench: trend: %v\n", err)
+		return 1
+	}
+	failed := false
+	for _, r := range reports {
+		r.Format(os.Stdout)
+		if r.Failed() {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "davinci-bench: trend: regression detected")
+		return 1
+	}
+	fmt.Printf("trend: %d comparison(s), no regressions\n", len(reports))
+	return 0
 }
 
 // printChaosSummary reports what the fault injector did and how the

@@ -23,9 +23,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"davinci/internal/aicore"
 	"davinci/internal/buffer"
+	"davinci/internal/chip"
+	"davinci/internal/faults"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/obs"
@@ -34,6 +37,7 @@ import (
 	"davinci/internal/ref"
 	_ "davinci/internal/sched" // registers the autoscheduler -autosched dispatches to
 	"davinci/internal/tensor"
+	itrace "davinci/internal/trace"
 )
 
 func main() {
@@ -51,7 +55,28 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII per-pipeline timeline and the cycle accounting")
 	optLevel := flag.Int("opt", 0, "static optimizer level (0=off, 1=rewrites, 2=+rescheduling); prints the rewrite report")
 	autosched := flag.Bool("autosched", false, "search the schedule space (internal/sched) instead of using the hand-tuned default; prints the chosen ScheduleParams and predicted vs simulated cycles")
+	spans := flag.String("spans", "", "run on the multi-core chip with host-side span tracing and write the spans as JSONL to this file (- for stdout); supports maxpool-fwd and avgpool-fwd")
+	cores := flag.Int("cores", 4, "AI cores in -spans chip mode")
+	batch := flag.Int("n", 1, "batch size in -spans chip mode")
+	channels := flag.Int("c", 64, "logical channels in -spans chip mode (c1 = ceil(c/16) tiles per image)")
+	chaos := flag.Bool("chaos", false, "with -spans: inject seeded faults and run the resilient executor, so the trace shows retry/degrade causality")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-schedule seed for -chaos")
+	chaosRate := flag.Float64("chaos-rate", 0.2, "per-(tile,attempt) fault probability for -chaos")
+	chaosDegrade := flag.Bool("chaos-degrade", true, "with -chaos: degrade exhausted tiles to the host golden model instead of failing the run")
 	flag.Parse()
+
+	if *spans != "" {
+		if err := runChipTraced(chipOptions{
+			op: *op, variant: *variant, h: *h, w: *w, k: *k, s: *s, pad: *pad,
+			seed: *seed, ub: *ub, verify: *verify, level: opt.Level(*optLevel),
+			autosched: *autosched, spans: *spans, trace: *trace,
+			cores: *cores, batch: *batch, channels: *channels,
+			chaos: *chaos, chaosSeed: *chaosSeed, chaosRate: *chaosRate, chaosDegrade: *chaosDegrade,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	p := isa.ConvParams{Ih: *h, Iw: *w, Kh: *k, Kw: *k, Sh: *s, Sw: *s, Pt: *pad, Pb: *pad, Pl: *pad, Pr: *pad}
 	if err := p.Validate(); err != nil {
@@ -124,6 +149,163 @@ func main() {
 				len(core.Trace.Entries), *trace)
 		}
 	}
+}
+
+// chipOptions parameterizes the -spans chip-mode run.
+type chipOptions struct {
+	op, variant            string
+	h, w, k, s, pad        int
+	seed                   int64
+	ub                     int
+	verify                 bool
+	level                  opt.Level
+	autosched              bool
+	spans, trace           string
+	cores, batch, channels int
+	chaos                  bool
+	chaosSeed              int64
+	chaosRate              float64
+	chaosDegrade           bool
+}
+
+// runChipTraced is the -spans path: the kernel runs on the multi-core
+// chip with span tracing threaded through compile, (auto)scheduling and
+// every tile attempt; the spans are exported as JSONL and, with -trace,
+// merged with tile (0,0)'s cycle-accurate pipe schedule into one
+// Perfetto file.
+func runChipTraced(o chipOptions) error {
+	p := isa.ConvParams{Ih: o.h, Iw: o.w, Kh: o.k, Kw: o.k, Sh: o.s, Sw: o.s, Pt: o.pad, Pb: o.pad, Pl: o.pad, Pr: o.pad}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	tracer := itrace.New()
+	cfg := chip.Config{
+		Cores:        o.cores,
+		Buffers:      buffer.Config{UBSize: o.ub},
+		Opt:          o.level,
+		AutoSchedule: o.autosched,
+		Trace:        tracer.Root(),
+		CaptureTrace: o.trace != "",
+	}
+	if o.chaos {
+		cfg.Resilience = chip.Resilience{
+			Enabled: true,
+			Injector: faults.New(faults.Config{
+				Seed: o.chaosSeed,
+				Rate: o.chaosRate,
+				// Transient faults and bitflips fail deterministically per
+				// attempt; the hang kinds would spend wall-clock watchdog
+				// time for the same causal shape.
+				Kinds: []faults.Kind{faults.KindTransient, faults.KindBitFlip},
+				// Let every attempt fault, so a high -chaos-rate can
+				// exhaust the retry budget and the trace shows degrade
+				// spans (the default caps faults to the first attempt).
+				MaxPerTile: 3,
+			}, nil),
+			Degrade:  o.chaosDegrade,
+			Watchdog: 10 * time.Second,
+		}
+	}
+	dev := chip.New(cfg)
+
+	rng := rand.New(rand.NewSource(o.seed))
+	c1 := tensor.C1Of(o.channels)
+	in := tensor.New(o.batch, c1, o.h, o.w, tensor.C0)
+	in.FillRandom(rng, 8)
+
+	var (
+		out    *tensor.Tensor
+		st     *chip.Stats
+		err    error
+		refFor func(tile *tensor.Tensor) *tensor.Tensor
+	)
+	switch o.op {
+	case "maxpool-fwd":
+		out, st, err = dev.MaxPoolForward(o.variant, in, p)
+		refFor = func(tile *tensor.Tensor) *tensor.Tensor { return ref.MaxPoolForward(tile, p) }
+	case "avgpool-fwd":
+		out, st, err = dev.AvgPoolForward(o.variant, in, p)
+		refFor = func(tile *tensor.Tensor) *tensor.Tensor { return ref.AvgPoolForward(tile, p) }
+	default:
+		return fmt.Errorf("-spans chip mode supports maxpool-fwd and avgpool-fwd, not %q", o.op)
+	}
+	if err != nil {
+		return err
+	}
+	if o.verify {
+		for ni := 0; ni < o.batch; ni++ {
+			for ci := 0; ci < c1; ci++ {
+				want := refFor(tensor.SliceC1(in, ni, ci))
+				got := tensor.SliceC1(out, ni, ci)
+				if d := tensor.MaxAbsDiff(got, want); d != 0 {
+					return fmt.Errorf("tile (%d,%d) diverges from reference (max diff %v)", ni, ci, d)
+				}
+			}
+		}
+		fmt.Printf("verified: all %d tiles match the reference model\n", o.batch*c1)
+	}
+
+	oh, ow := p.OutDims()
+	fmt.Printf("op=%s variant=%s input=(%d,%d,%d,%d,%d) kernel=(%d,%d) stride=(%d,%d) pad=%d output=(%d,%d) cores=%d\n",
+		o.op, o.variant, o.batch, c1, o.h, o.w, tensor.C0, o.k, o.k, o.s, o.s, o.pad, oh, ow, o.cores)
+	fmt.Printf("chip cycles: %d over %d tiles\n", st.Cycles, st.Tiles)
+	if len(st.Degraded) > 0 {
+		fmt.Printf("degraded tiles (host golden model): %d\n", len(st.Degraded))
+	}
+	spans := tracer.Finished()
+	if n := tracer.Active(); n != 0 {
+		return fmt.Errorf("trace leak: %d span(s) still active after the run", n)
+	}
+	byName := map[string]int{}
+	for _, sp := range spans {
+		byName[sp.Name]++
+	}
+	fmt.Printf("spans: %d total", len(spans))
+	for _, name := range []string{"chip_run", "plan_lookup", "plan_compile", "cert_admission", "opt_pipeline", "opt_pass", "sched_search", "sched_candidate", "tile_exec", "tile_degrade"} {
+		if byName[name] > 0 {
+			fmt.Printf("  %s=%d", name, byName[name])
+		}
+	}
+	fmt.Println()
+
+	if err := writeSpans(o.spans, spans); err != nil {
+		return err
+	}
+	if o.spans != "-" {
+		fmt.Printf("wrote %d spans to %s\n", len(spans), o.spans)
+	}
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTraceWithSpans(f, st.TileTrace, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote merged Chrome trace (tile (0,0) pipe schedule + %d host spans) to %s — open in https://ui.perfetto.dev\n",
+			len(spans), o.trace)
+	}
+	return nil
+}
+
+// writeSpans dumps spans as deterministic JSONL.
+func writeSpans(path string, spans []itrace.Span) error {
+	if path == "-" {
+		return itrace.WriteJSONL(os.Stdout, spans)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := itrace.WriteJSONL(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dispatch compiles the requested kernel once through the Plan API,

@@ -17,6 +17,10 @@
 //     obs.CanonicalMetricNames, every literal label key in
 //     obs.CanonicalLabelKeys, and label lists must have even length —
 //     ad-hoc names and keys fracture the BENCH_<rev>.json join surface.
+//     Span names are held to the same bar: every literal name passed to
+//     StartSpan must be in obs.CanonicalSpanNames and the trailing
+//     attribute list must have even length, so the span taxonomy in the
+//     JSONL/Perfetto exports stays closed and joinable.
 //
 //  3. Kernel families are certified. Every family (and every lowering
 //     variant spelled in the literal) of the ops dispatch table
@@ -293,6 +297,7 @@ func checkFile(fset *token.FileSet, file *ast.File, pkgDir string) []finding {
 				report(n, "emit into a sealed program (%s.%s); only internal/opt may rewrite programs", render(sel.X), sel.Sel.Name)
 			}
 			checkLabels(n, sel, report)
+			checkSpan(n, sel, report)
 		}
 		return true
 	})
@@ -358,6 +363,26 @@ func checkLabels(call *ast.CallExpr, sel *ast.SelectorExpr, report func(ast.Node
 			report(labels[i], "non-canonical metric label key %q on %s %q (canonical: %s)",
 				key, sel.Sel.Name, name, canonicalList())
 		}
+	}
+}
+
+// checkSpan enforces the canonical span vocabulary on StartSpan calls:
+// a literal span name must be in obs.CanonicalSpanNames and the trailing
+// key/value attribute list must have even length. Computed names are
+// skipped, same as for metrics.
+func checkSpan(call *ast.CallExpr, sel *ast.SelectorExpr, report func(ast.Node, string, ...any)) {
+	if sel.Sel.Name != "StartSpan" || len(call.Args) < 1 {
+		return
+	}
+	name, ok := stringLit(call.Args[0])
+	if !ok {
+		return
+	}
+	if !obs.CanonicalSpanNames[name] {
+		report(call.Args[0], "non-canonical span name %q on StartSpan (add it to obs.CanonicalSpanNames deliberately, not ad hoc)", name)
+	}
+	if !call.Ellipsis.IsValid() && len(call.Args[1:])%2 != 0 {
+		report(call, "odd span attribute list on StartSpan %q: want key, value pairs", name)
 	}
 }
 

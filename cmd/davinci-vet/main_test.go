@@ -147,6 +147,34 @@ func f(r *Registry, name string, kv []string) {
 	}
 }
 
+func TestNonCanonicalSpanNameFlagged(t *testing.T) {
+	src := `package x
+func f(tc Ctx) {
+	sp := tc.StartSpan("request")
+	sp2 := tc.StartSpan("tile_exec", "n", "0", "c1")
+	sp3 := tc.StartSpan("chip_run", "kernel", k)
+	_, _, _ = sp, sp2, sp3
+}`
+	fs := check(t, src, "internal/chip")
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(fs), fs)
+	}
+	wantFinding(t, fs, `non-canonical span name "request"`)
+	wantFinding(t, fs, `odd span attribute list on StartSpan "tile_exec"`)
+}
+
+func TestDynamicSpanNameSkipped(t *testing.T) {
+	src := `package x
+func f(tc Ctx, name string, kv []string) {
+	sp := tc.StartSpan(name)
+	sp2 := tc.StartSpan("plan_lookup", kv...)
+	_, _ = sp, sp2
+}`
+	if fs := check(t, src, "internal/ops"); len(fs) != 0 {
+		t.Errorf("got findings %v, want none", fs)
+	}
+}
+
 // TestVetRepo runs the checker over the real repository tree: the
 // committed code must be clean, and the walk must skip testdata.
 func TestVetRepo(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"davinci/internal/kernelcases"
 	"davinci/internal/ops"
 	_ "davinci/internal/sched" // registers the autoscheduler ops dispatches to
+	"davinci/internal/trace"
 	"davinci/internal/workloads"
 )
 
@@ -40,7 +41,7 @@ func AutoschedSweep(o Options) (*Table, error) {
 		p := layer.Params()
 		for _, kc := range kernelcases.All() {
 			key := ops.PlanKey{Kernel: kc.Name, Params: p, Spec: spec}
-			pl, err := cache.Get(key, func() (*ops.Plan, error) { return kc.Plan(spec, p) })
+			pl, err := cache.Get(o.Trace, key, func(trace.Ctx) (*ops.Plan, error) { return kc.Plan(spec, p) })
 			if err != nil {
 				if kernelcases.IsCapacitySkip(err) {
 					skipped++

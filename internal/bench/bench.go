@@ -22,6 +22,7 @@ import (
 	"davinci/internal/ops"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 	"davinci/internal/workloads"
 )
 
@@ -130,6 +131,12 @@ type Options struct {
 	// and plan-cache counters of every device the experiments build —
 	// the payload of davinci-bench -metrics.
 	Metrics *obs.Registry
+	// Trace is the span context each experiment run nests under: Run
+	// opens a bench_experiment span per experiment and the devices the
+	// experiments build thread it through chip.Config.Trace, so one
+	// trace covers compile, search, certification and tile execution.
+	// The zero value disables tracing.
+	Trace trace.Ctx
 }
 
 func (o Options) reps() int {
@@ -144,6 +151,9 @@ func (o Options) reps() int {
 func (o Options) device(cfg chip.Config) *chip.Chip {
 	if cfg.Metrics == nil {
 		cfg.Metrics = o.Metrics
+	}
+	if !cfg.Trace.Enabled() {
+		cfg.Trace = o.Trace
 	}
 	return chip.New(cfg)
 }

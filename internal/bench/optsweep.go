@@ -7,6 +7,7 @@ import (
 	"davinci/internal/kernelcases"
 	"davinci/internal/ops"
 	"davinci/internal/opt"
+	"davinci/internal/trace"
 	"davinci/internal/workloads"
 )
 
@@ -37,7 +38,7 @@ func OptSweep(o Options) (*Table, error) {
 		p := layer.Params()
 		for _, kc := range kernelcases.All() {
 			key := ops.PlanKey{Kernel: kc.Name, Params: p, Spec: spec}
-			pl, err := cache.Get(key, func() (*ops.Plan, error) { return kc.Plan(spec, p) })
+			pl, err := cache.Get(o.Trace, key, func(trace.Ctx) (*ops.Plan, error) { return kc.Plan(spec, p) })
 			if err != nil {
 				if kernelcases.IsCapacitySkip(err) {
 					skipped++

@@ -16,7 +16,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"davinci/internal/aicore"
 	"davinci/internal/buffer"
@@ -29,6 +31,7 @@ import (
 	"davinci/internal/ref"
 	_ "davinci/internal/sched" // registers the autoscheduler Config.AutoSchedule dispatches to
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // DefaultCores is the AI Core count of the Ascend 910 (§VI).
@@ -68,6 +71,18 @@ type Config struct {
 	// retry/requeue, graceful degradation, fault injection). The zero
 	// value leaves the executor in its fail-fast mode.
 	Resilience Resilience
+	// Trace is the span context every run of this chip nests under: each
+	// entry point opens a chip_run span with a plan_lookup child (the
+	// plan cache annotates it hit/miss and hangs plan_compile under it on
+	// a miss), and the tile executors emit one tile_exec span per tile
+	// attempt, causally linked to the plan_lookup span. The zero value
+	// disables tracing at zero cost.
+	Trace trace.Ctx
+	// CaptureTrace arms instruction tracing on tile (0, 0) and stashes
+	// the captured pipe schedule in Stats.TileTrace, so one run can be
+	// rendered cycle-accurately alongside the host spans in a merged
+	// Chrome trace (obs.WriteChromeTraceWithSpans).
+	CaptureTrace bool
 }
 
 // Chip is a simulated multi-core device. Each chip owns a plan cache:
@@ -80,11 +95,13 @@ type Chip struct {
 	metrics *obs.Registry
 	// Per-tile instruments, registered once so the per-core goroutines in
 	// runTiles update them lock-free.
-	tiles      *obs.Counter
-	tileCycles *obs.Histogram
-	tileInstrs *obs.Counter
-	bytesIn    *obs.Counter
-	bytesOut   *obs.Counter
+	tiles        *obs.Counter
+	tileCycles   *obs.Histogram
+	tileInstrs   *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	tileWall     *obs.Histogram
+	tileAttempts *obs.Histogram
 	// Resilience instruments (internal/chip/resilience.go).
 	tileRetries   *obs.Counter
 	tileRequeues  *obs.Counter
@@ -116,6 +133,8 @@ func New(cfg Config) *Chip {
 		tileInstrs:    cfg.Metrics.Counter("chip_tile_instrs"),
 		bytesIn:       cfg.Metrics.Counter("chip_bytes_in"),
 		bytesOut:      cfg.Metrics.Counter("chip_bytes_out"),
+		tileWall:      cfg.Metrics.Histogram("chip_tile_wall_nanos", obs.DefaultNanoBounds()),
+		tileAttempts:  cfg.Metrics.Histogram("chip_tile_attempts", obs.DefaultAttemptBounds()),
 		tileRetries:   cfg.Metrics.Counter("chip_tile_retries"),
 		tileRequeues:  cfg.Metrics.Counter("chip_tile_requeues"),
 		tilesDegraded: cfg.Metrics.Counter("chip_tiles_degraded"),
@@ -185,6 +204,10 @@ type Stats struct {
 	// model after exhausting their hardware retries (resilient executor
 	// with Degrade enabled), sorted by (N, C1). Empty on a clean run.
 	Degraded []DegradedTile
+	// TileTrace is tile (0, 0)'s captured pipe schedule when
+	// Config.CaptureTrace was set (the successful attempt's, under the
+	// resilient executor); nil otherwise.
+	TileTrace *aicore.Trace
 }
 
 func (s *Stats) String() string {
@@ -206,6 +229,98 @@ type tileRun func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stat
 // (internal/ref), for graceful degradation when hardware retries are
 // exhausted.
 type tileFallback func(ni, ci int) ([]*tensor.Tensor, error)
+
+// runScope threads one entry-point invocation's trace context through
+// the tile executors: the chip_run span, the plan_lookup span's ID (the
+// causal anchor every tile_exec span links back to), and the capture
+// slot Stats.TileTrace is filled from. All methods are safe on a scope
+// whose tracing is disabled (and, for the executors' benefit, on a nil
+// scope).
+type runScope struct {
+	c      *Chip
+	kernel string
+	span   *trace.ActiveSpan // chip_run; nil when tracing is off
+	planID trace.SpanID      // plan_lookup span; 0 when tracing is off
+
+	mu        sync.Mutex
+	tileTrace *aicore.Trace
+}
+
+// beginRun opens the chip_run span for one entry-point invocation.
+func (c *Chip) beginRun(kernel string) *runScope {
+	return &runScope{c: c, kernel: kernel, span: c.cfg.Trace.StartSpan("chip_run", "impl", kernel)}
+}
+
+func (rs *runScope) ctx() trace.Ctx {
+	if rs == nil {
+		return trace.Ctx{}
+	}
+	return rs.span.Ctx()
+}
+
+// plan wraps the plan-cache lookup in a plan_lookup span. The cache
+// sets outcome=hit|miss on it and nests the plan_compile span (with its
+// cert/opt/sched children) under it on a miss.
+func (rs *runScope) plan(get func(trace.Ctx) (*ops.Plan, error)) (*ops.Plan, error) {
+	ls := rs.ctx().StartSpan("plan_lookup", "impl", rs.kernel)
+	pl, err := get(ls.Ctx())
+	if ls != nil {
+		rs.planID = ls.ID()
+		ls.End()
+	}
+	return pl, err
+}
+
+// tileSpan opens one tile attempt's tile_exec span, linked to the run's
+// plan_lookup span. Returns nil when tracing is off.
+func (rs *runScope) tileSpan(core, n, c1 int) *trace.ActiveSpan {
+	if rs == nil {
+		return nil
+	}
+	s := rs.ctx().StartSpan("tile_exec",
+		"core", strconv.Itoa(core), "n", strconv.Itoa(n), "c1", strconv.Itoa(c1))
+	if s != nil {
+		s.Link("plan", rs.planID)
+	}
+	return s
+}
+
+// stashTrace keeps the first captured tile schedule for Stats.TileTrace.
+func (rs *runScope) stashTrace(tr *aicore.Trace) {
+	if rs == nil || tr == nil {
+		return
+	}
+	rs.mu.Lock()
+	if rs.tileTrace == nil {
+		rs.tileTrace = tr
+	}
+	rs.mu.Unlock()
+}
+
+// capturing reports whether tile (n, c1)'s schedule should be captured
+// for Stats.TileTrace.
+func (rs *runScope) capturing(n, c1 int) bool {
+	return rs != nil && rs.c.cfg.CaptureTrace && n == 0 && c1 == 0
+}
+
+// end closes the chip_run span with the run's outcome and attaches the
+// captured tile schedule to the outgoing stats.
+func (rs *runScope) end(st *Stats, err error) {
+	if st != nil {
+		rs.mu.Lock()
+		st.TileTrace = rs.tileTrace
+		rs.mu.Unlock()
+	}
+	if rs.span == nil {
+		return
+	}
+	if err != nil {
+		rs.span.SetAttr("outcome", "error")
+	} else {
+		rs.span.SetAttr("outcome", "ok")
+	}
+	rs.span.End()
+}
 
 // tileJob is one (n, c1) grid cell awaiting execution.
 type tileJob struct{ n, c1 int }
@@ -229,10 +344,10 @@ func tileGrid(n, c1 int) []tileJob {
 // in-flight core instead of letting each run to its own first failure.
 // With Resilience.Enabled, execution goes through the fault-tolerant
 // executor (resilience.go) instead: watchdog, retry/requeue, degradation.
-func (c *Chip) runTiles(n, c1 int, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
+func (c *Chip) runTiles(rs *runScope, n, c1 int, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
 	jobs := tileGrid(n, c1)
 	if c.cfg.Resilience.Enabled {
-		return c.runTilesResilient(jobs, run, fb)
+		return c.runTilesResilient(rs, jobs, run, fb)
 	}
 	perCore := make([][]tileJob, c.cfg.Cores)
 	for i, j := range jobs {
@@ -262,19 +377,46 @@ func (c *Chip) runTiles(n, c1 int, run tileRun, fb tileFallback) ([][]tileResult
 			defer wg.Done()
 			core := c.newCore()
 			core.Cancel = done
+			// cycOff places this core's tile_exec spans on its own
+			// simulated-cycle axis: tiles run back to back on one core.
+			var cycOff int64
 			for _, j := range perCore[idx] {
+				var capture *aicore.Trace
+				if rs.capturing(j.n, j.c1) {
+					capture = &aicore.Trace{}
+					core.Trace = capture
+				}
+				ts := rs.tileSpan(idx, j.n, j.c1)
+				start := time.Now()
 				outs, st, err := run(core, j.n, j.c1)
+				wall := time.Since(start).Nanoseconds()
+				if capture != nil {
+					core.Trace = nil
+				}
 				results[idx] = append(results[idx], tileResult{n: j.n, c1: j.c1, outs: outs, stats: st, err: err})
 				if err != nil {
+					if ts != nil {
+						ts.SetAttr("outcome", "error")
+						ts.End()
+					}
 					if cancel != nil {
 						cancel()
 					}
 					return
 				}
+				if ts != nil {
+					ts.SetAttr("outcome", "ok")
+					ts.SetCycles(cycOff, cycOff+st.Cycles)
+					ts.End()
+				}
+				cycOff += st.Cycles
+				rs.stashTrace(capture)
 				// Lock-free atomic updates from every worker at once: the
 				// concurrent path the registry is built for.
 				c.tiles.Inc()
 				c.tileCycles.Observe(st.Cycles)
+				c.tileWall.Observe(wall)
+				c.tileAttempts.Observe(1)
 				c.tileInstrs.Add(st.Instrs)
 				c.bytesIn.Add(st.BytesIn)
 				c.bytesOut.Add(st.BytesOut)
@@ -328,42 +470,50 @@ func checkFractalInput(in *tensor.Tensor) (n, c1 int, err error) {
 // MaxPoolForward runs a forward Maxpool variant ("standard", "im2col",
 // "expansion" or "xysplit") over a full NC1HWC0 tensor. The variant is
 // compiled once through the chip's plan cache, then replayed per tile.
-func (c *Chip) MaxPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) MaxPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (out *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("maxpool_fwd_" + variant)
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.MaxPoolForward(variant, c.spec, p)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.MaxPoolForward(ct, variant, c.spec, p)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
+	return c.poolForward(rs, pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
 		return []*tensor.Tensor{ref.MaxPoolForward(tensor.SliceC1(in, ni, ci), p)}, nil
 	})
 }
 
 // AvgPoolForward runs a forward Avgpool variant ("standard", "im2col" or
 // "cube").
-func (c *Chip) AvgPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) AvgPoolForward(variant string, in *tensor.Tensor, p isa.ConvParams) (out *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("avgpool_fwd_" + variant)
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.AvgPoolForward(variant, c.spec, p)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.AvgPoolForward(ct, variant, c.spec, p)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	return c.poolForward(pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
+	return c.poolForward(rs, pl, in, p, func(ni, ci int) ([]*tensor.Tensor, error) {
 		return []*tensor.Tensor{ref.AvgPoolForward(tensor.SliceC1(in, ni, ci), p)}, nil
 	})
 }
 
-func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams, fb tileFallback) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) poolForward(rs *runScope, pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams, fb tileFallback) (*tensor.Tensor, *Stats, error) {
 	n, c1, err := checkFractalInput(in)
 	if err != nil {
 		return nil, nil, err
 	}
 	oh, ow := p.OutDims()
 	out := tensor.New(n, c1, oh, ow, tensor.C0)
-	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, stats, err := c.runTiles(rs, n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(in, ni, ci))
 	}, fb)
 	if err != nil {
@@ -381,10 +531,14 @@ func (c *Chip) poolForward(pl *ops.Plan, in *tensor.Tensor, p isa.ConvParams, fb
 // returning the pooled output and the argmax mask in the Im2Col shape
 // (N, C1, Kh, Kw, OhOw16, C0).
 func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.ConvParams) (out, mask *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("maxpool_fwd_argmax_" + variant)
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.MaxPoolForwardArgmax(variant, c.spec, p)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.MaxPoolForwardArgmax(ct, variant, c.spec, p)
+	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -395,7 +549,7 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 	oh, ow := p.OutDims()
 	out = tensor.New(n, c1, oh, ow, tensor.C0)
 	mask = tensor.New(n, c1, p.Kh, p.Kw, p.PaddedPatches(), tensor.C0)
-	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, stats, err := c.runTiles(rs, n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(in, ni, ci))
 	}, func(ni, ci int) ([]*tensor.Tensor, error) {
 		tile := tensor.SliceC1(in, ni, ci)
@@ -416,11 +570,15 @@ func (c *Chip) MaxPoolForwardArgmax(variant string, in *tensor.Tensor, p isa.Con
 // MaxPoolBackward runs a Fig. 7c variant ("standard" or "col2im"). mask is
 // the saved argmax mask; grad has the output shape (N, C1, Oh, Ow, C0).
 // The result has the input shape (N, C1, Ih, Iw, C0).
-func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.ConvParams) (out *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("maxpool_bwd_" + variant)
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.MaxPoolBackward(variant, c.spec, p)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.MaxPoolBackward(ct, variant, c.spec, p)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -428,8 +586,8 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 		return nil, nil, fmt.Errorf("chip: want a 6-d argmax mask, got %v", mask.Shape)
 	}
 	n, c1 := mask.Shape[0], mask.Shape[1]
-	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
-	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	out = tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	results, stats, err := c.runTiles(rs, n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceOuter2(mask, ni, ci), tensor.SliceC1(grad, ni, ci))
 	}, func(ni, ci int) ([]*tensor.Tensor, error) {
 		mg := ref.MaxPoolBackward(tensor.SliceOuter2(mask, ni, ci), tensor.SliceC1(grad, ni, ci), p, p.Ih, p.Iw)
@@ -448,11 +606,19 @@ func (c *Chip) MaxPoolBackward(variant string, mask, grad *tensor.Tensor, p isa.
 
 // AvgPoolBackward propagates Avgpool gradients (useCol2im selects the
 // accelerated merge, §V-C).
-func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (out *tensor.Tensor, st *Stats, err error) {
+	kernel := "avgpool_bwd_standard"
+	if useCol2im {
+		kernel = "avgpool_bwd_col2im"
+	}
+	rs := c.beginRun(kernel)
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.AvgPoolBackward(c.spec, p, useCol2im)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.AvgPoolBackward(ct, c.spec, p, useCol2im)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -460,8 +626,8 @@ func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im 
 	if err != nil {
 		return nil, nil, err
 	}
-	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
-	results, stats, err := c.runTiles(n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	out = tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	results, stats, err := c.runTiles(rs, n, c1, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, tensor.SliceC1(grad, ni, ci))
 	}, func(ni, ci int) ([]*tensor.Tensor, error) {
 		return []*tensor.Tensor{ref.AvgPoolBackward(tensor.SliceC1(grad, ni, ci), p, p.Ih, p.Iw)}, nil
@@ -480,14 +646,18 @@ func (c *Chip) AvgPoolBackward(grad *tensor.Tensor, p isa.ConvParams, useCol2im 
 // Conv2D runs convolution on the Cube unit. The channel reduction needs
 // the whole C1 extent on one core, so parallelization is across the batch
 // dimension only.
-func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (out *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("conv2d_im2col_cube")
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
-	pl, err := c.plans.Conv2D(c.spec, p, weights.Shape[0], weights.Shape[1])
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.Conv2D(ct, c.spec, p, weights.Shape[0], weights.Shape[1])
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -497,14 +667,14 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 	}
 	co1 := tensor.C1Of(weights.Shape[0])
 	oh, ow := p.OutDims()
-	out := tensor.New(n, co1, oh, ow, tensor.C0)
+	out = tensor.New(n, co1, oh, ow, tensor.C0)
 	imgBytes := in.Shape[1] * p.Ih * p.Iw * tensor.C0 * 2
 	sliceImg := func(ni int) *tensor.Tensor {
 		img := tensor.New(1, in.Shape[1], p.Ih, p.Iw, tensor.C0)
 		copy(img.Data, in.Data[ni*imgBytes:(ni+1)*imgBytes])
 		return img
 	}
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, stats, err := c.runTiles(rs, n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, sliceImg(ni), weights)
 	}, func(ni, _ int) ([]*tensor.Tensor, error) {
 		return []*tensor.Tensor{ref.Conv2D(sliceImg(ni), weights, p)}, nil
@@ -524,14 +694,18 @@ func (c *Chip) Conv2D(in, weights *tensor.Tensor, p isa.ConvParams) (*tensor.Ten
 // Conv2DBackwardData propagates convolution gradients to the layer input
 // (batch-parallel across cores, like Conv2D). c is the logical input
 // channel count.
-func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams, channels int) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams, channels int) (out *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("conv2d_bwd_data")
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("chip: want (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
-	pl, err := c.plans.Conv2DBackwardData(c.spec, p, weights.Shape[0], channels)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.Conv2DBackwardData(ct, c.spec, p, weights.Shape[0], channels)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -540,7 +714,7 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 		return nil, nil, err
 	}
 	c1 := tensor.C1Of(channels)
-	out := tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
+	out = tensor.New(n, c1, p.Ih, p.Iw, tensor.C0)
 	oh, ow := p.OutDims()
 	gradBytes := grad.Shape[1] * oh * ow * tensor.C0 * 2
 	sliceGrad := func(ni int) *tensor.Tensor {
@@ -548,7 +722,7 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 		copy(g.Data, grad.Data[ni*gradBytes:(ni+1)*gradBytes])
 		return g
 	}
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, stats, err := c.runTiles(rs, n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		return pl.Run(core, sliceGrad(ni), weights)
 	}, func(ni, _ int) ([]*tensor.Tensor, error) {
 		return []*tensor.Tensor{ref.Conv2DBackwardData(sliceGrad(ni), weights, p, channels)}, nil
@@ -568,11 +742,15 @@ func (c *Chip) Conv2DBackwardData(grad, weights *tensor.Tensor, p isa.ConvParams
 // Conv2DBackwardWeights computes the convolution weight gradient
 // dW = dY^T x im2col(x), summing contributions over the batch. co and
 // channels are the logical output/input channel counts.
-func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, co, channels int) (*tensor.Tensor, *Stats, error) {
+func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, co, channels int) (dw *tensor.Tensor, st *Stats, err error) {
+	rs := c.beginRun("conv2d_bwd_weights")
+	defer func() { rs.end(st, err) }()
 	if err := p.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
-	pl, err := c.plans.Conv2DBackwardWeights(c.spec, p, co, channels)
+	pl, err := rs.plan(func(ct trace.Ctx) (*ops.Plan, error) {
+		return c.plans.Conv2DBackwardWeights(ct, c.spec, p, co, channels)
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("chip: %w", err)
 	}
@@ -590,7 +768,7 @@ func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, c
 		copy(xi.Data, x.Data[ni*xBytes:(ni+1)*xBytes])
 		return g, xi
 	}
-	results, stats, err := c.runTiles(n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, stats, err := c.runTiles(rs, n, 1, func(core *aicore.Core, ni, _ int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		g, xi := sliceBatch(ni)
 		return pl.Run(core, g, xi)
 	}, func(ni, _ int) ([]*tensor.Tensor, error) {
@@ -600,7 +778,7 @@ func (c *Chip) Conv2DBackwardWeights(grad, x *tensor.Tensor, p isa.ConvParams, c
 	if err != nil {
 		return nil, nil, err
 	}
-	dw := tensor.New(co, channels, p.Kh, p.Kw)
+	dw = tensor.New(co, channels, p.Kh, p.Kw)
 	for _, rs := range results {
 		for _, r := range rs {
 			for i := 0; i < dw.Len(); i++ {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"davinci/internal/aicore"
 	"davinci/internal/faults"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // Resilience configures the fault-tolerant tile executor. With Enabled
@@ -106,6 +108,10 @@ type retryJob struct {
 	// lastErr is the failure that caused this retry (nil for reassigned
 	// first attempts).
 	lastErr error
+	// prevSpan is the failed attempt's tile_exec span, so the retry's
+	// span (or the tile_degrade span) can link back to it causally;
+	// 0 when tracing is off or the job never ran.
+	prevSpan trace.SpanID
 }
 
 // resilientRun is the shared state of one resilient runTiles execution.
@@ -114,6 +120,11 @@ type resilientRun struct {
 	res  Resilience
 	run  tileRun
 	fb   tileFallback
+	rs   *runScope
+	// cycOff is each worker's running simulated-cycle offset, placing
+	// its tile_exec spans back to back on the worker's own cycle axis.
+	// Index idx is touched only by worker goroutine idx.
+	cycOff []int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -134,7 +145,7 @@ type resilientRun struct {
 // fault-free run is scheduled exactly like the default path); failures
 // are classified, retried on fresh cores through a shared requeue, and
 // optionally degraded to the golden model.
-func (c *Chip) runTilesResilient(jobs []tileJob, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
+func (c *Chip) runTilesResilient(rs *runScope, jobs []tileJob, run tileRun, fb tileFallback) ([][]tileResult, *Stats, error) {
 	parent := c.cfg.Context
 	if parent == nil {
 		parent = context.Background()
@@ -147,6 +158,8 @@ func (c *Chip) runTilesResilient(jobs []tileJob, run tileRun, fb tileFallback) (
 		res:       c.cfg.Resilience.withDefaults(),
 		run:       run,
 		fb:        fb,
+		rs:        rs,
+		cycOff:    make([]int64, c.cfg.Cores),
 		ctx:       ctx,
 		cancel:    cancel,
 		remaining: len(jobs),
@@ -263,11 +276,21 @@ func (r *resilientRun) attempt(idx int, j retryJob) {
 	}
 	c := r.chip
 	core := c.newCore()
-	if r.res.TraceTail > 0 {
+	if r.res.TraceTail > 0 || r.rs.capturing(j.n, j.c1) {
 		core.Trace = &aicore.Trace{}
 	}
 	if r.res.Injector != nil {
 		r.res.Injector.Arm(core, r.res.Injector.Decide(faults.Tile{N: j.n, C1: j.c1}, j.attempt))
+	}
+
+	// One tile_exec span per hardware attempt; retries link back to the
+	// attempt they replace, so a trace shows the whole causal chain.
+	ts := r.rs.tileSpan(idx, j.n, j.c1)
+	if ts != nil {
+		ts.SetAttr("attempt", strconv.Itoa(j.attempt))
+		if j.prevSpan != 0 {
+			ts.Link("retry_of", j.prevSpan)
+		}
 	}
 
 	// Watchdog: a per-attempt cancel channel closed by a timer (hang) or
@@ -288,20 +311,43 @@ func (r *resilientRun) attempt(idx int, j retryJob) {
 		case <-stopWatch:
 		}
 	}()
+	start := time.Now()
 	outs, st, err := r.guardedRun(core, idx, j)
+	wall := time.Since(start).Nanoseconds()
 	close(stopWatch)
 
 	if err == nil {
+		if ts != nil {
+			ts.SetAttr("outcome", "ok")
+			off := r.cycOff[idx]
+			ts.SetCycles(off, off+st.Cycles)
+			ts.End()
+		}
+		r.cycOff[idx] += st.Cycles
+		c.tileWall.Observe(wall)
+		if r.rs.capturing(j.n, j.c1) {
+			r.rs.stashTrace(core.Trace)
+		}
 		r.finalizeSuccess(idx, j, outs, st)
 		return
 	}
+	var spanID trace.SpanID
+	if ts != nil {
+		if wdFired.Load() {
+			ts.SetAttr("watchdog", "tripped")
+		}
+		ts.SetAttr("outcome", "error")
+		spanID = ts.ID()
+		ts.End()
+	}
+	c.tileWall.Observe(wall)
 	if r.ctx.Err() != nil && !wdFired.Load() {
 		// Casualty of the run-wide abort, not a failure of this tile.
 		r.noteAborted()
 		return
 	}
 	if te := r.classify(idx, j, core, err, wdFired.Load()); te != nil {
-		r.handleFailure(idx, j, te)
+		r.handleFailure(idx, j, te, spanID)
 	} else {
 		// Not a fault, hang or panic: a deterministic bug (bad plan, bad
 		// shape). Retrying cannot help; fail the run.
@@ -369,7 +415,7 @@ func (r *resilientRun) classify(idx int, j retryJob, core *aicore.Core, err erro
 
 // handleFailure books the failed attempt and either schedules a retry,
 // degrades the tile, or fails the run.
-func (r *resilientRun) handleFailure(idx int, j retryJob, te *TileError) {
+func (r *resilientRun) handleFailure(idx int, j retryJob, te *TileError, spanID trace.SpanID) {
 	c := r.chip
 	if errors.Is(te.Kind, ErrTilePanic) {
 		c.tilePanics.Inc()
@@ -390,7 +436,7 @@ func (r *resilientRun) handleFailure(idx int, j retryJob, te *TileError) {
 	}
 	retryScheduled := false
 	if j.attempt < r.res.MaxAttempts {
-		nj := retryJob{n: j.n, c1: j.c1, attempt: j.attempt + 1, excluded: excludeSet(j.excluded, idx), lastErr: te}
+		nj := retryJob{n: j.n, c1: j.c1, attempt: j.attempt + 1, excluded: excludeSet(j.excluded, idx), lastErr: te, prevSpan: spanID}
 		c.tileRetries.Inc()
 		// Simulated exponential backoff: bookkeeping only, never a host
 		// sleep, never added to the deterministic core cycle accounting.
@@ -400,6 +446,7 @@ func (r *resilientRun) handleFailure(idx int, j retryJob, te *TileError) {
 	r.mu.Unlock()
 
 	if !retryScheduled {
+		j.prevSpan = spanID
 		r.finalizeExhausted(idx, j, te)
 	}
 	for _, ex := range exhausted {
@@ -499,6 +546,7 @@ func (r *resilientRun) finalizeSuccess(idx int, j retryJob, outs []*tensor.Tenso
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	c.tiles.Inc()
+	c.tileAttempts.Observe(int64(j.attempt))
 	c.tileCycles.Observe(st.Cycles)
 	c.tileInstrs.Add(st.Instrs)
 	c.bytesIn.Add(st.BytesIn)
@@ -520,7 +568,15 @@ func (r *resilientRun) finalizeExhausted(idx int, j retryJob, cause error) {
 		r.setFatal(fmt.Errorf("chip: tile (%d,%d): golden fallback failed: %w", j.n, j.c1, err))
 		return
 	}
+	// The degradation decision is itself a span, causally after the
+	// attempt (or requeue) that exhausted the tile.
+	if ds := r.rs.ctx().StartSpan("tile_degrade",
+		"n", strconv.Itoa(j.n), "c1", strconv.Itoa(j.c1), "attempts", strconv.Itoa(j.attempt)); ds != nil {
+		ds.Link("after", j.prevSpan)
+		ds.End()
+	}
 	r.chip.tilesDegraded.Inc()
+	r.chip.tileAttempts.Observe(int64(j.attempt))
 	r.mu.Lock()
 	// Degraded tiles contribute data but no cycles: the host, not a core,
 	// computed them.

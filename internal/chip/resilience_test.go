@@ -264,7 +264,7 @@ func TestPanicRecovery(t *testing.T) {
 		Enabled: true, Watchdog: time.Second, CoreFailLimit: 1 << 30,
 	}})
 	var panicked atomic.Bool
-	results, st, err := c.runTiles(2, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	results, st, err := c.runTiles(nil, 2, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		if ni == 0 && ci == 1 && panicked.CompareAndSwap(false, true) {
 			panic("tile worker exploded")
 		}
@@ -291,7 +291,7 @@ func TestPanicExhaustion(t *testing.T) {
 	c := New(Config{Cores: 2, Resilience: Resilience{
 		Enabled: true, MaxAttempts: 2, Watchdog: time.Second, CoreFailLimit: 1 << 30,
 	}})
-	_, _, err := c.runTiles(1, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	_, _, err := c.runTiles(nil, 1, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		if ci == 0 {
 			panic("always broken")
 		}
@@ -353,7 +353,7 @@ func TestFailFastCancelsInFlight(t *testing.T) {
 	c := New(Config{Cores: 2, Context: context.Background()})
 	boom := errors.New("deterministic tile bug")
 	var ran atomic.Int32
-	_, _, err := c.runTiles(2, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
+	_, _, err := c.runTiles(nil, 2, 2, func(core *aicore.Core, ni, ci int) ([]*tensor.Tensor, *aicore.Stats, error) {
 		ran.Add(1)
 		if ni == 0 && ci == 0 {
 			return nil, nil, boom

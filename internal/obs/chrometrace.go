@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"davinci/internal/aicore"
 	"davinci/internal/isa"
+	"davinci/internal/trace"
 )
 
 // WriteChromeTrace exports an attributed trace as Chrome trace-event JSON,
@@ -25,10 +27,36 @@ import (
 // One simulated cycle maps to one trace tick (microsecond); only ratios
 // are meaningful, as with the cycle counts themselves.
 func WriteChromeTrace(w io.Writer, tr *aicore.Trace) error {
+	return WriteChromeTraceWithSpans(w, tr, nil)
+}
+
+// WriteChromeTraceWithSpans exports a merged Perfetto file with two
+// processes: pid 0 carries the cycle-level pipe tracks of tr (when
+// non-nil), exactly as WriteChromeTrace; pid 1 carries the host-side
+// spans as wall-clock tracks. The two domains share one timeline only
+// nominally — cycle tracks tick one "µs" per cycle from zero, host spans
+// tick real microseconds normalized to the earliest span — so the file
+// reads as two aligned-at-zero lanes of the same run, and span args carry
+// cyc_start/cyc_end for spans that also exist on the cycle timeline.
+// Span links (plan, retry_of, after) render as flow arrows.
+func WriteChromeTraceWithSpans(w io.Writer, tr *aicore.Trace, spans []trace.Span) error {
 	bw := bufio.NewWriter(w)
 	ew := &eventWriter{w: bw}
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	if tr != nil {
+		writeCycleEvents(ew, tr)
+	}
+	if len(spans) > 0 {
+		writeSpanEvents(ew, spans)
+	}
+	bw.WriteString("\n]}\n")
+	if ew.err != nil {
+		return ew.err
+	}
+	return bw.Flush()
+}
 
+func writeCycleEvents(ew *eventWriter, tr *aicore.Trace) {
 	ew.meta("process_name", -1, `{"name":"AI Core"}`)
 	var used [isa.NumPipes]bool
 	for _, e := range tr.Entries {
@@ -91,12 +119,121 @@ func WriteChromeTrace(w io.Writer, tr *aicore.Trace) error {
 			ew.event(fmt.Sprintf(`{"name":"flag","cat":"flag","ph":"f","bp":"e","id":%d,"pid":0,"tid":%d,"ts":%d}`, flowID, int(e.Pipe), e.Start))
 		}
 	}
+}
 
-	bw.WriteString("\n]}\n")
-	if ew.err != nil {
-		return ew.err
+// writeSpanEvents lays host spans out on pid 1. Tracks are allocated per
+// (tree depth, overlap lane): children sit on deeper rows than their
+// parents, and concurrent siblings (tiles racing across cores) spill into
+// extra lanes instead of overdrawing one row. Wall-clock nanoseconds are
+// normalized to the earliest span and scaled to trace microseconds.
+func writeSpanEvents(ew *eventWriter, spans []trace.Span) {
+	ew.event(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"Host pipeline"}}`)
+	ew.event(`{"name":"process_sort_index","ph":"M","pid":1,"args":{"sort_index":1}}`)
+
+	byID := make(map[trace.SpanID]*trace.Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
 	}
-	return bw.Flush()
+	depthOf := func(s *trace.Span) int {
+		d := 0
+		for p := s.Parent; p != 0; d++ {
+			ps, ok := byID[p]
+			if !ok || d > len(spans) {
+				break
+			}
+			p = ps.Parent
+		}
+		return d
+	}
+	var t0 int64
+	for i := range spans {
+		if i == 0 || spans[i].StartNS < t0 {
+			t0 = spans[i].StartNS
+		}
+	}
+	// Lane allocation: within one depth, a span takes the first lane whose
+	// previous occupant ended before it starts. Spans are visited in start
+	// order (ties by ID, which is start order under contention).
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := &spans[order[a]], &spans[order[b]]
+		if sa.StartNS != sb.StartNS {
+			return sa.StartNS < sb.StartNS
+		}
+		return sa.ID < sb.ID
+	})
+	laneEnds := map[int][]int64{} // depth -> end ns per lane
+	rowOf := map[[2]int]int{}     // (depth, lane) -> tid
+	nextRow := 0
+	type placed struct {
+		tid     int
+		ts, dur float64
+	}
+	pos := make(map[trace.SpanID]placed, len(spans))
+	for _, i := range order {
+		s := &spans[i]
+		d := depthOf(s)
+		lane := -1
+		for l, end := range laneEnds[d] {
+			if end <= s.StartNS {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnds[d])
+			laneEnds[d] = append(laneEnds[d], 0)
+		}
+		laneEnds[d][lane] = s.EndNS
+		key := [2]int{d, lane}
+		tid, ok := rowOf[key]
+		if !ok {
+			tid = nextRow
+			nextRow++
+			rowOf[key] = tid
+			ew.event(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+				tid, quote(fmt.Sprintf("host d%d.%d", d, lane))))
+			ew.event(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
+				tid, d*1000+lane))
+		}
+		ts := float64(s.StartNS-t0) / 1e3
+		dur := float64(s.EndNS-s.StartNS) / 1e3
+		if dur <= 0 {
+			dur = 0.001
+		}
+		pos[s.ID] = placed{tid: tid, ts: ts, dur: dur}
+		args := fmt.Sprintf(`{"span":%d`, s.ID)
+		for _, a := range s.Attrs {
+			args += fmt.Sprintf(`,%s:%s`, quote(a.Key), quote(a.Value))
+		}
+		if s.HasCycles {
+			args += fmt.Sprintf(`,"cyc_start":%d,"cyc_end":%d`, s.CycStart, s.CycEnd)
+		}
+		args += "}"
+		ew.event(fmt.Sprintf(`{"name":%s,"cat":"span","ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f,"args":%s}`,
+			quote(s.Name), pos[s.ID].tid, ts, dur, args))
+	}
+	// Causal links as flow arrows: from the target span (its last tick)
+	// into the linking span's start.
+	flow := 1 << 20 // keep ids clear of the cycle-track flag arrows
+	for _, i := range order {
+		s := &spans[i]
+		for _, l := range s.Links {
+			tp, ok := pos[l.Target]
+			if !ok {
+				continue
+			}
+			sp := pos[s.ID]
+			flow++
+			ew.event(fmt.Sprintf(`{"name":%s,"cat":"span","ph":"s","id":%d,"pid":1,"tid":%d,"ts":%.3f}`,
+				quote(l.Kind), flow, tp.tid, tp.ts+tp.dur-0.001))
+			ew.event(fmt.Sprintf(`{"name":%s,"cat":"span","ph":"f","bp":"e","id":%d,"pid":1,"tid":%d,"ts":%.3f}`,
+				quote(l.Kind), flow, sp.tid, sp.ts))
+		}
+	}
 }
 
 // eventWriter emits one JSON object per line with comma management.

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"davinci/internal/trace"
+)
+
+// Exporter serves live telemetry over HTTP: the registry snapshot in
+// Prometheus text exposition format at /metrics, and the recent span tail
+// at /debug/spans. It is the substrate the ROADMAP's serving layer will
+// report queue depth and latency through; today davinci-bench -serve and
+// any test can mount it.
+type Exporter struct {
+	Registry *Registry     // nil: /metrics serves an empty snapshot
+	Tracer   *trace.Tracer // nil: /debug/spans serves an empty list
+}
+
+// Handler returns the exporter's HTTP mux:
+//
+//	/metrics      Prometheus text exposition format (counters, gauges,
+//	              histograms with cumulative le buckets)
+//	/debug/spans  JSON array of the most recent spans (?n=COUNT, default 256)
+//	/             plain-text index
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.serveMetrics)
+	mux.HandleFunc("/debug/spans", e.serveSpans)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "davinci telemetry\n\n/metrics\n/debug/spans?n=256\n")
+	})
+	return mux
+}
+
+func (e *Exporter) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var s *Snapshot
+	if e.Registry != nil {
+		s = e.Registry.Snapshot()
+	} else {
+		s = &Snapshot{}
+	}
+	WritePrometheus(w, s)
+}
+
+func (e *Exporter) serveSpans(w http.ResponseWriter, r *http.Request) {
+	n := 256
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	spans := e.Tracer.Tail(n)
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(spans)
+}
+
+// WritePrometheus renders a snapshot in Prometheus text exposition
+// format. Counters and gauges map directly; histograms emit cumulative
+// le-labeled buckets, a +Inf bucket, _sum and _count, per Prometheus
+// convention. Output order follows the snapshot (sorted by name then
+// labels), so it is deterministic.
+func WritePrometheus(w io.Writer, s *Snapshot) {
+	typed := map[string]bool{}
+	emitType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, c := range s.Counters {
+		emitType(c.Name, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", c.Name, promLabels(c.Labels, "", 0), c.Value)
+	}
+	for _, g := range s.Gauges {
+		emitType(g.Name, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", g.Name, promLabels(g.Labels, "", 0), g.Value)
+	}
+	for _, h := range s.Histograms {
+		emitType(h.Name, "histogram")
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", float64(bound)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promInfLabels(h.Labels), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", h.Name, promLabels(h.Labels, "", 0), h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", 0), h.Count)
+	}
+}
+
+// promLabels renders a label set, optionally with a trailing le bucket
+// label, sorted key order (snapshot label maps are flattened sorted).
+func promLabels(labels map[string]string, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if le != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", le, strconv.FormatFloat(bound, 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promInfLabels(labels map[string]string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if !first {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"`)
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; label sets are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

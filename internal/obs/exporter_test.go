@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"davinci/internal/trace"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("chip_tile_cycles", []int64{10, 20, 40, 80})
+	if h.P50() != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 10 observations: 5 in (<=10), 3 in (<=20), 1 in (<=40), 1 overflow.
+	for i := 0; i < 5; i++ {
+		h.Observe(7)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(15)
+	}
+	h.Observe(33)
+	h.Observe(1000)
+	if got := h.P50(); got != 10 {
+		t.Fatalf("p50 = %d, want 10 (rank 5 falls in first bucket)", got)
+	}
+	if got := h.P90(); got != 40 {
+		t.Fatalf("p90 = %d, want 40 (rank 9)", got)
+	}
+	if got := h.P99(); got != 80 {
+		t.Fatalf("p99 = %d, want 80 (overflow saturates at last bound)", got)
+	}
+	if got := h.Quantile(1.0); got != 80 {
+		t.Fatalf("p100 = %d, want 80", got)
+	}
+	// Snapshot must agree with the live accessors and serialize the fields.
+	s := r.Snapshot()
+	hv, ok := s.HistogramValue("chip_tile_cycles")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hv.P50 != 10 || hv.P90 != 40 || hv.P99 != 80 {
+		t.Fatalf("snapshot quantiles = %d/%d/%d, want 10/40/80", hv.P50, hv.P90, hv.P99)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"p99": 80`) {
+		t.Fatal("p99 not surfaced in snapshot JSON")
+	}
+}
+
+func TestGaugeAndHistogramLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("bench_cycles", "experiment", "fig7a", "input", "147x147x64").Set(42)
+	s := r.Snapshot()
+	if v, ok := s.GaugeValue("bench_cycles", "experiment", "fig7a", "input", "147x147x64"); !ok || v != 42 {
+		t.Fatalf("GaugeValue = %d, %v", v, ok)
+	}
+	if _, ok := s.GaugeValue("bench_cycles"); ok {
+		t.Fatal("label-less lookup must not match labeled gauge")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plan_cache_hits").Add(3)
+	r.Gauge("bench_cycles", "experiment", "fig7a").Set(99)
+	h := r.Histogram("chip_tile_cycles", []int64{10, 20}, "impl", "im2col")
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Snapshot())
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE plan_cache_hits counter",
+		"plan_cache_hits 3",
+		"# TYPE bench_cycles gauge",
+		`bench_cycles{experiment="fig7a"} 99`,
+		"# TYPE chip_tile_cycles histogram",
+		`chip_tile_cycles_bucket{impl="im2col",le="10"} 1`,
+		`chip_tile_cycles_bucket{impl="im2col",le="20"} 2`, // cumulative
+		`chip_tile_cycles_bucket{impl="im2col",le="+Inf"} 3`,
+		`chip_tile_cycles_sum{impl="im2col"} 120`,
+		`chip_tile_cycles_count{impl="im2col"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExporterEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plan_cache_hits").Inc()
+	tr := trace.New()
+	for i := 0; i < 4; i++ {
+		tr.Root().StartSpan("tile_exec").End()
+	}
+	srv := httptest.NewServer((&Exporter{Registry: r, Tracer: tr}).Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(body.String(), "plan_cache_hits 1") {
+		t.Fatalf("/metrics = %d %q", resp.StatusCode, body.String())
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/spans?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []trace.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(spans) != 2 || spans[1].ID != 4 {
+		t.Fatalf("/debug/spans tail = %+v", spans)
+	}
+
+	// Nil registry and tracer must serve empty documents, not crash.
+	srv2 := httptest.NewServer((&Exporter{}).Handler())
+	defer srv2.Close()
+	if resp, err := srv2.Client().Get(srv2.URL + "/debug/spans"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("nil exporter /debug/spans: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestChromeTraceWithSpansValidJSON(t *testing.T) {
+	tr := trace.New()
+	var tick int64
+	tr.SetClock(func() int64 { tick += 1000; return tick })
+	run := tr.Root().StartSpan("chip_run", "impl", "maxpool_fwd/im2col")
+	lk := run.Ctx().StartSpan("plan_lookup")
+	lk.End()
+	t1 := run.Ctx().StartSpan("tile_exec", "core", "0")
+	t1.Link("plan", lk.ID())
+	t1.SetCycles(0, 500)
+	t1.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithSpans(&buf, nil, tr.Finished()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]int{}
+	var flows int
+	for _, e := range doc.TraceEvents {
+		if ph, _ := e["ph"].(string); ph == "X" {
+			names[e["name"].(string)]++
+			if e["pid"].(float64) != 1 {
+				t.Fatalf("host span on pid %v, want 1", e["pid"])
+			}
+		} else if ph == "s" || ph == "f" {
+			flows++
+		}
+	}
+	if names["chip_run"] != 1 || names["plan_lookup"] != 1 || names["tile_exec"] != 1 {
+		t.Fatalf("span slices = %v", names)
+	}
+	if flows != 2 {
+		t.Fatalf("flow arrow events = %d, want 2 (s+f for the plan link)", flows)
+	}
+	// Cycle window must ride along in args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "tile_exec" {
+			args := e["args"].(map[string]any)
+			if args["cyc_end"] == float64(500) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tile_exec span lost its cycle window in the merge")
+	}
+}

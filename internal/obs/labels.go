@@ -87,6 +87,11 @@ var CanonicalMetricNames = map[string]bool{
 	"chip_cores_failed":        true,
 	"chip_tile_panics":         true,
 	"chip_retry_backoff_cycles": true,
+	// Per-tile latency distributions (internal/chip): host wall nanoseconds
+	// per executed tile attempt, and attempts needed per finished tile (1 =
+	// clean first try; the resilient executor pushes the tail right).
+	"chip_tile_wall_nanos": true,
+	"chip_tile_attempts":   true,
 	// Fault injection (internal/faults).
 	"faults_injected": true,
 	// Benchmark measurements (internal/bench).
@@ -94,4 +99,43 @@ var CanonicalMetricNames = map[string]bool{
 	"bench_stall_cycles":   true,
 	"sweep_stall_cycles":   true,
 	"sweep_program_cycles": true,
+}
+
+// CanonicalSpanNames is the closed set of host-side span names
+// (internal/trace) this repo emits. The taxonomy covers the request path
+// top to bottom; cmd/davinci-vet enforces that every literal name passed
+// to StartSpan is in this set, the same way metric names are enforced.
+var CanonicalSpanNames = map[string]bool{
+	// One bench experiment (internal/bench, cmd/davinci-bench): parent of
+	// every chip_run it performs.
+	"bench_experiment": true,
+	// One public chip entry call (internal/chip): kernel dispatch across
+	// cores, parent of the plan lookup and every tile span.
+	"chip_run": true,
+	// Plan-cache consultation (internal/ops.PlanCache.Get). Attr outcome =
+	// hit|miss; on miss, parents the plan_compile span. Tile spans link
+	// "plan" here, covering both the hit and miss cases uniformly.
+	"plan_lookup": true,
+	// One plan compile (lowering + lint + opt + perf), cache-miss only.
+	"plan_compile": true,
+	// Certificate-registry consultation on a strict compile
+	// (internal/ops/cert.go). Attr outcome = certified|lint.
+	"cert_admission": true,
+	// Static-optimizer pipeline over a sealed program (internal/opt),
+	// reconstructed from the wall-clock windows opt.Result records; one
+	// opt_pass child per applied rewrite pass.
+	"opt_pipeline": true,
+	"opt_pass":     true,
+	// Autoschedule search (internal/sched.Search); one sched_candidate
+	// child per frontier candidate confirmed on the cycle-accurate model.
+	"sched_search":    true,
+	"sched_candidate": true,
+	// One tile attempt on a core (internal/chip). Attrs core/n/c1/outcome
+	// (+attempt under the resilient executor); links "plan" to its
+	// plan_lookup span and "retry_of" to the failed attempt it replaces;
+	// carries the simulated-cycle window as its second time domain.
+	"tile_exec": true,
+	// Golden-model fallback after a tile exhausts its retry budget; links
+	// "after" to the final failed tile_exec span.
+	"tile_degrade": true,
 }

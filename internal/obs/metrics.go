@@ -138,6 +138,54 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the total of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the smallest bucket bound at or below which at least ceil(q*count)
+// observations fall. Observations beyond the last finite bound saturate at
+// that bound, so a p99 equal to the final bound means "at or beyond".
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	counts := make([]int64, len(h.bounds)+1)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	counts[len(h.bounds)] = h.over.Load()
+	return quantile(q, h.bounds, counts, h.n.Load())
+}
+
+// P50, P90 and P99 are the conventional latency quantiles.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+func (h *Histogram) P90() int64 { return h.Quantile(0.90) }
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// quantile computes the bucketed quantile over a consistent counts slice
+// (len(bounds)+1 with overflow last). Shared by the live accessor and the
+// snapshot so both report identical values for the same state.
+func quantile(q float64, bounds, counts []int64, n int64) int64 {
+	if n <= 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if float64(rank) < q*float64(n) || rank == 0 {
+		rank++ // ceil, at least 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] // overflow saturates at the last bound
+			}
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
 // DefaultCycleBounds are power-of-two histogram bounds wide enough for any
 // per-tile cycle count the benchmarks produce.
 func DefaultCycleBounds() []int64 {
@@ -146,6 +194,22 @@ func DefaultCycleBounds() []int64 {
 		bounds[i] = 1 << (i + 4) // 16 .. 2^31
 	}
 	return bounds
+}
+
+// DefaultNanoBounds are power-of-two bounds for host wall-clock
+// nanosecond latencies: ~1µs up to ~137s.
+func DefaultNanoBounds() []int64 {
+	bounds := make([]int64, 28)
+	for i := range bounds {
+		bounds[i] = 1 << (i + 10) // 1024ns .. 2^37ns
+	}
+	return bounds
+}
+
+// DefaultAttemptBounds are unit bounds for small discrete counts such as
+// tile retry attempts (1 = clean first try).
+func DefaultAttemptBounds() []int64 {
+	return []int64{1, 2, 3, 4, 5, 6, 7, 8}
 }
 
 // Counter returns (registering on first use) the counter with the given
@@ -210,7 +274,9 @@ type MetricValue struct {
 }
 
 // HistogramValue is one histogram in a snapshot. Counts has one entry per
-// finite bound plus a final overflow bucket.
+// finite bound plus a final overflow bucket. P50/P90/P99 are bucketed
+// upper-bound quantile estimates (see Histogram.Quantile), zero when the
+// histogram is empty.
 type HistogramValue struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
@@ -218,6 +284,15 @@ type HistogramValue struct {
 	Sum    int64             `json:"sum"`
 	Bounds []int64           `json:"bounds"`
 	Counts []int64           `json:"counts"`
+	P50    int64             `json:"p50"`
+	P90    int64             `json:"p90"`
+	P99    int64             `json:"p99"`
+}
+
+// Quantile returns the bucketed upper-bound q-quantile of the snapshotted
+// histogram, consistent with Histogram.Quantile on the live instrument.
+func (hv *HistogramValue) Quantile(q float64) int64 {
+	return quantile(q, hv.Bounds, hv.Counts, hv.Count)
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of a registry.
@@ -265,6 +340,9 @@ func (r *Registry) Snapshot() *Snapshot {
 			hv.Counts[i] = h.counts[i].Load()
 		}
 		hv.Counts[len(h.bounds)] = h.over.Load()
+		hv.P50 = hv.Quantile(0.50)
+		hv.P90 = hv.Quantile(0.90)
+		hv.P99 = hv.Quantile(0.99)
 		s.Histograms = append(s.Histograms, hv)
 	}
 	sortMetrics(s.Counters)
@@ -329,6 +407,49 @@ func (s *Snapshot) CounterValue(name string, labels ...string) (int64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// GaugeValue returns the value of the named gauge in the snapshot,
+// matching labels like CounterValue.
+func (s *Snapshot) GaugeValue(name string, labels ...string) (int64, bool) {
+	want := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		want[labels[i]] = labels[i+1]
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name && labelsMatch(g.Labels, want) {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramValue returns the named histogram in the snapshot, matching
+// labels like CounterValue.
+func (s *Snapshot) HistogramValue(name string, labels ...string) (*HistogramValue, bool) {
+	want := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		want[labels[i]] = labels[i+1]
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		if h.Name == name && labelsMatch(h.Labels, want) {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // WriteJSON writes the snapshot as indented JSON — the payload of

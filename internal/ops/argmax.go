@@ -6,6 +6,7 @@ import (
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // planMaxPoolFwdArgmaxIm2col compiles the Fig. 7b accelerated
@@ -93,7 +94,7 @@ func planMaxPoolFwdArgmaxIm2col(spec Spec, p isa.ConvParams, sp ScheduleParams) 
 // and replay the plan per tile; this wrapper compiles through SharedPlans
 // and runs in one call.
 func MaxPoolFwdArgmaxIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForwardArgmax("im2col", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForwardArgmax(trace.Ctx{}, "im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -242,7 +243,7 @@ func planMaxPoolFwdArgmaxStandard(spec Spec, p isa.ConvParams, sp ScheduleParams
 // and replay the plan per tile; this wrapper compiles through SharedPlans
 // and runs in one call.
 func MaxPoolFwdArgmaxStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForwardArgmax("standard", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForwardArgmax(trace.Ctx{}, "standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/scu"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // avgScale returns the binary16 value of 1/(Kh*Kw), the element-wise
@@ -25,7 +26,7 @@ func avgScale(p isa.ConvParams) fp16.Float16 {
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func AvgPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.AvgPoolForward("standard", SpecFor(core), p)
+	pl, err := SharedPlans.AvgPoolForward(trace.Ctx{}, "standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -40,7 +41,7 @@ func AvgPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) 
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func AvgPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.AvgPoolForward("im2col", SpecFor(core), p)
+	pl, err := SharedPlans.AvgPoolForward(trace.Ctx{}, "im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -69,7 +70,7 @@ func PlanAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, er
 	if useCol2im {
 		variant = "col2im"
 	}
-	return planVariant("avgpool_bwd", "avgpool backward", variant, spec, p)
+	return planVariant(trace.Ctx{}, "avgpool_bwd", "avgpool backward", variant, spec, p)
 }
 
 func planAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool, sp ScheduleParams) (*Plan, error) {
@@ -212,7 +213,7 @@ func planAvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool, sp Schedul
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func AvgPoolBackward(core *aicore.Core, grad *tensor.Tensor, p isa.ConvParams, useCol2im bool) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.AvgPoolBackward(SpecFor(core), p, useCol2im)
+	pl, err := SharedPlans.AvgPoolBackward(trace.Ctx{}, SpecFor(core), p, useCol2im)
 	if err != nil {
 		return nil, nil, err
 	}

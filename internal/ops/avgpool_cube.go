@@ -4,6 +4,7 @@ import (
 	"davinci/internal/aicore"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // planAvgPoolFwdCube compiles average pooling on the Cube unit by mapping
@@ -80,7 +81,7 @@ func planAvgPoolFwdCube(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, 
 // PlanCache) and replay the plan per tile; this wrapper compiles through
 // SharedPlans and runs in one call.
 func AvgPoolFwdCube(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.AvgPoolForward("cube", SpecFor(core), p)
+	pl, err := SharedPlans.AvgPoolForward(trace.Ctx{}, "cube", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}

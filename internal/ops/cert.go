@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"davinci/internal/isa"
+	"davinci/internal/trace"
 )
 
 // CertQuery asks the registered certifier whether a certificate admits
@@ -64,16 +65,31 @@ func Certified(q CertQuery) bool {
 // first, and on a certificate hit compiles with the concrete lint pass
 // elided (the certificate is the proof) and marks the plan Certified.
 // Domain misses fall back to the concrete strict lint unchanged.
-func compileCertified(kernel string, fn plannerFunc, spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
-	if spec.Strict && Certified(CertQuery{Kernel: kernel, Spec: spec, Params: p, Sched: sp}) {
-		unstrict := spec
-		unstrict.Strict = false
-		pl, err := fn(unstrict, p, sp)
-		if err != nil {
-			return nil, err
+//
+// Under a strict spec the admission decision is emitted as a
+// cert_admission span on tc (outcome = certified|lint), so a trace shows
+// whether a compile paid for concrete lint or rode a certificate.
+func compileCertified(tc trace.Ctx, kernel string, fn plannerFunc, spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan, error) {
+	if spec.Strict {
+		admitted := Certified(CertQuery{Kernel: kernel, Spec: spec, Params: p, Sched: sp})
+		if a := tc.StartSpan("cert_admission", "impl", kernel); a != nil {
+			if admitted {
+				a.SetAttr("outcome", "certified")
+			} else {
+				a.SetAttr("outcome", "lint")
+			}
+			a.End()
 		}
-		pl.Certified = true
-		return pl, nil
+		if admitted {
+			unstrict := spec
+			unstrict.Strict = false
+			pl, err := fn(unstrict, p, sp)
+			if err != nil {
+				return nil, err
+			}
+			pl.Certified = true
+			return pl, nil
+		}
 	}
 	return fn(spec, p, sp)
 }

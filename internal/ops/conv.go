@@ -7,6 +7,7 @@ import (
 	"davinci/internal/cce"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // PackWeightsFractal converts a (Co, C, Kh, Kw) weight stack into the
@@ -206,7 +207,7 @@ func Conv2DIm2colCube(core *aicore.Core, in, weights *tensor.Tensor, p isa.ConvP
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("ops: conv wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
-	pl, err := SharedPlans.Conv2D(SpecFor(core), p, weights.Shape[0], weights.Shape[1])
+	pl, err := SharedPlans.Conv2D(trace.Ctx{}, SpecFor(core), p, weights.Shape[0], weights.Shape[1])
 	if err != nil {
 		return nil, nil, err
 	}

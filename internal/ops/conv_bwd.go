@@ -8,6 +8,7 @@ import (
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // PackWeightsBackward converts (Co, C, Kh, Kw) weights into the transposed
@@ -257,7 +258,7 @@ func Conv2DBackwardData(core *aicore.Core, grad, weights *tensor.Tensor, p isa.C
 	if len(weights.Shape) != 4 || weights.Shape[2] != p.Kh || weights.Shape[3] != p.Kw {
 		return nil, nil, fmt.Errorf("ops: conv bwd wants (Co,C,%d,%d) weights, got %v", p.Kh, p.Kw, weights.Shape)
 	}
-	pl, err := SharedPlans.Conv2DBackwardData(SpecFor(core), p, weights.Shape[0], c)
+	pl, err := SharedPlans.Conv2DBackwardData(trace.Ctx{}, SpecFor(core), p, weights.Shape[0], c)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"davinci/internal/cce"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // PlanConv2DBackwardWeights compiles the weight gradient of a convolution
@@ -184,7 +185,7 @@ func PlanConv2DBackwardWeights(spec Spec, p isa.ConvParams, co, c int) (*Plan, e
 // and replay the plan per tile; this wrapper compiles through SharedPlans
 // and runs in one call.
 func Conv2DBackwardWeights(core *aicore.Core, grad, x *tensor.Tensor, p isa.ConvParams, co, c int) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.Conv2DBackwardWeights(SpecFor(core), p, co, c)
+	pl, err := SharedPlans.Conv2DBackwardWeights(trace.Ctx{}, SpecFor(core), p, co, c)
 	if err != nil {
 		return nil, nil, err
 	}

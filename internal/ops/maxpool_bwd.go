@@ -9,6 +9,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/scu"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // bwdPlan is the shared schedule of the backward kernels: fractal-aligned
@@ -221,7 +222,7 @@ func planMaxPoolBwdStandard(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Pl
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func MaxPoolBwdStandard(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolBackward("standard", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolBackward(trace.Ctx{}, "standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -268,7 +269,7 @@ func planMaxPoolBwdCol2im(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Plan
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func MaxPoolBwdCol2im(core *aicore.Core, mask, grad *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolBackward("col2im", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolBackward(trace.Ctx{}, "col2im", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // planMaxPoolFwdStandard compiles the standard TVM Maxpool lowering
@@ -138,7 +139,7 @@ func planDirectForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 // runs in one call, so repeated shapes still amortize, but new code should
 // hold the Plan directly.
 func MaxPoolFwdStandard(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForward("standard", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForward(trace.Ctx{}, "standard", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -420,7 +421,7 @@ func planIm2colForward(name string, spec Spec, p isa.ConvParams, op isa.VecOp, i
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func MaxPoolFwdIm2col(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForward("im2col", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForward(trace.Ctx{}, "im2col", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -574,7 +575,7 @@ func planMaxPoolFwdExpansion(spec Spec, p isa.ConvParams, sp ScheduleParams) (*P
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func MaxPoolFwdExpansion(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForward("expansion", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForward(trace.Ctx{}, "expansion", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -702,7 +703,7 @@ func planMaxPoolFwdXYSplit(spec Spec, p isa.ConvParams, sp ScheduleParams) (*Pla
 // replay the plan per tile; this wrapper compiles through SharedPlans and
 // runs in one call.
 func MaxPoolFwdXYSplit(core *aicore.Core, in *tensor.Tensor, p isa.ConvParams) (*tensor.Tensor, *aicore.Stats, error) {
-	pl, err := SharedPlans.MaxPoolForward("xysplit", SpecFor(core), p)
+	pl, err := SharedPlans.MaxPoolForward(trace.Ctx{}, "xysplit", SpecFor(core), p)
 	if err != nil {
 		return nil, nil, err
 	}

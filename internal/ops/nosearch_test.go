@@ -6,6 +6,7 @@ import (
 
 	"davinci/internal/isa"
 	"davinci/internal/obs"
+	"davinci/internal/trace"
 )
 
 // TestConvAutoScheduleNoSearch pins the degenerate-search contract on
@@ -22,9 +23,9 @@ func TestConvAutoScheduleNoSearch(t *testing.T) {
 		kernel string
 		plan   func(c *PlanCache) (*Plan, error)
 	}{
-		{"conv2d_im2col_cube", func(c *PlanCache) (*Plan, error) { return c.Conv2D(spec, p, 16, 16) }},
-		{"conv2d_bwd_data", func(c *PlanCache) (*Plan, error) { return c.Conv2DBackwardData(spec, p, 16, 16) }},
-		{"conv2d_bwd_weights", func(c *PlanCache) (*Plan, error) { return c.Conv2DBackwardWeights(spec, p, 16, 16) }},
+		{"conv2d_im2col_cube", func(c *PlanCache) (*Plan, error) { return c.Conv2D(trace.Ctx{}, spec, p, 16, 16) }},
+		{"conv2d_bwd_data", func(c *PlanCache) (*Plan, error) { return c.Conv2DBackwardData(trace.Ctx{}, spec, p, 16, 16) }},
+		{"conv2d_bwd_weights", func(c *PlanCache) (*Plan, error) { return c.Conv2DBackwardWeights(trace.Ctx{}, spec, p, 16, 16) }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.kernel, func(t *testing.T) {

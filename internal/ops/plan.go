@@ -20,6 +20,7 @@ package ops
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,7 @@ import (
 	"davinci/internal/obs"
 	"davinci/internal/opt"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // Spec is the compile-time environment of a plan: the per-core buffer
@@ -408,18 +410,31 @@ func (c *PlanCache) Plans() []*Plan {
 // Get returns the plan for key, compiling it with compile on first use.
 // Compile errors are cached too: shape-dependent failures (tile too large
 // for the UB) are as deterministic as the programs themselves.
-func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, error) {
+//
+// tc is the caller's tracing context — conventionally a plan_lookup span.
+// Get annotates it with outcome=hit|miss and, when this call actually
+// compiles, wraps the compile in a plan_compile child span whose context
+// is handed to the compile closure (so certificate admission, optimizer
+// and schedule-search spans nest under the compile that triggered them).
+// The zero trace.Ctx disables all of it at no cost.
+func (c *PlanCache) Get(tc trace.Ctx, key PlanKey, compile func(trace.Ctx) (*Plan, error)) (*Plan, error) {
 	key.Spec = key.Spec.normalized()
 	e := &cacheEntry{}
 	if actual, loaded := c.entries.LoadOrStore(key, e); loaded {
 		e = actual.(*cacheEntry)
 		c.hits.Inc()
+		tc.SetAttr("outcome", "hit")
 	} else {
 		c.misses.Inc()
+		tc.SetAttr("outcome", "miss")
 	}
 	e.once.Do(func() {
-		e.plan, e.err = compile()
-		if e.err == nil {
+		cs := tc.StartSpan("plan_compile", "impl", key.Kernel)
+		e.plan, e.err = compile(cs.Ctx())
+		if e.err != nil {
+			cs.SetAttr("outcome", "error")
+		} else {
+			cs.SetAttr("outcome", "ok")
 			c.compiled.Inc()
 			if r := e.plan.Opt; r != nil {
 				for _, rw := range r.Rewrites {
@@ -451,10 +466,39 @@ func (c *PlanCache) Get(key PlanKey, compile func() (*Plan, error)) (*Plan, erro
 					c.metrics.Counter("sched_lint_skipped").Add(int64(skipped))
 				}
 			}
+			emitOptSpans(cs.Ctx(), e.plan)
 		}
+		cs.End()
 		e.done.Store(true)
 	})
 	return e.plan, e.err
+}
+
+// emitOptSpans replays the wall-clock windows the optimizer recorded in a
+// finished plan's report as opt_pipeline / opt_pass spans under the
+// compile span. The optimizer itself stays trace-free (it records plain
+// timestamps); the spans are reconstructed here, at the one place every
+// cached compile already flows through.
+func emitOptSpans(tc trace.Ctx, pl *Plan) {
+	r := pl.Opt
+	if !tc.Enabled() || r == nil || r.StartNanos == 0 {
+		return
+	}
+	op := tc.StartSpan("opt_pipeline", "impl", pl.Name)
+	op.SetAttr("level", r.Level.String())
+	if r.Rejected != "" {
+		op.SetAttr("outcome", "rejected")
+	} else {
+		op.SetAttr("outcome", "ok")
+	}
+	for _, rw := range r.Rewrites {
+		ps := op.Ctx().StartSpan("opt_pass", "pass", rw.Pass)
+		ps.SetAttr("applied", strconv.Itoa(rw.Applied))
+		ps.SetWall(rw.StartNanos, rw.EndNanos)
+		ps.End()
+	}
+	op.SetWall(r.StartNanos, r.EndNanos)
+	op.End()
 }
 
 // plannerFunc is a schedule-parameterized lowering: it compiles (spec, p)
@@ -522,15 +566,15 @@ func KernelVariants(family string) []string {
 	return variants
 }
 
-func planVariant(family, kind, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+func planVariant(tc trace.Ctx, family, kind, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
 	fn, ok := kernelFamilies[family][variant]
 	if !ok {
 		return nil, fmt.Errorf("ops: unknown %s variant %q", kind, variant)
 	}
 	if spec.AutoSchedule {
-		return autoPlan(family+"/"+variant, spec, p)
+		return autoPlan(tc, family+"/"+variant, spec, p)
 	}
-	return compileCertified(family+"/"+variant, fn, spec, p, ScheduleParams{Mode: variant})
+	return compileCertified(tc, family+"/"+variant, fn, spec, p, ScheduleParams{Mode: variant})
 }
 
 // CompileKernel compiles kernel ("family/variant", e.g.
@@ -555,92 +599,93 @@ func CompileKernel(kernel string, spec Spec, p isa.ConvParams, sp ScheduleParams
 	}
 	spec.AutoSchedule = false
 	sp.Mode = variant
-	return compileCertified(family+"/"+variant, fn, spec, p, sp)
+	return compileCertified(trace.Ctx{}, family+"/"+variant, fn, spec, p, sp)
 }
 
 // PlanMaxPoolForward compiles a forward Maxpool variant ("standard",
 // "im2col", "expansion", "xysplit"). Run takes (in) and returns (out).
 func PlanMaxPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant("maxpool_fwd", "forward", variant, spec, p)
+	return planVariant(trace.Ctx{}, "maxpool_fwd", "forward", variant, spec, p)
 }
 
 // PlanMaxPoolForwardArgmax compiles a Fig. 7b variant ("standard",
 // "im2col"). Run takes (in) and returns (out, mask).
 func PlanMaxPoolForwardArgmax(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant("maxpool_fwd_argmax", "argmax", variant, spec, p)
+	return planVariant(trace.Ctx{}, "maxpool_fwd_argmax", "argmax", variant, spec, p)
 }
 
 // PlanMaxPoolBackward compiles a Fig. 7c variant ("standard", "col2im").
 // Run takes (mask, grad) and returns (dx).
 func PlanMaxPoolBackward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant("maxpool_bwd", "backward", variant, spec, p)
+	return planVariant(trace.Ctx{}, "maxpool_bwd", "backward", variant, spec, p)
 }
 
 // PlanAvgPoolForward compiles an Avgpool forward variant ("standard",
 // "im2col", "cube"). Run takes (in) and returns (out).
 func PlanAvgPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return planVariant("avgpool_fwd", "avgpool", variant, spec, p)
+	return planVariant(trace.Ctx{}, "avgpool_fwd", "avgpool", variant, spec, p)
 }
 
 // Cached plan constructors: each compiles at most once per (key, spec) and
-// then serves the shared immutable plan.
+// then serves the shared immutable plan. tc is the caller's tracing
+// context (see Get); pass trace.Ctx{} when not tracing.
 
 // MaxPoolForward is the cached PlanMaxPoolForward.
-func (c *PlanCache) MaxPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "maxpool_fwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
-		return PlanMaxPoolForward(variant, spec, p)
+func (c *PlanCache) MaxPoolForward(tc trace.Ctx, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "maxpool_fwd_" + variant, Params: p, Spec: spec}, func(ct trace.Ctx) (*Plan, error) {
+		return planVariant(ct, "maxpool_fwd", "forward", variant, spec, p)
 	})
 }
 
 // MaxPoolForwardArgmax is the cached PlanMaxPoolForwardArgmax.
-func (c *PlanCache) MaxPoolForwardArgmax(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "maxpool_fwd_argmax_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
-		return PlanMaxPoolForwardArgmax(variant, spec, p)
+func (c *PlanCache) MaxPoolForwardArgmax(tc trace.Ctx, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "maxpool_fwd_argmax_" + variant, Params: p, Spec: spec}, func(ct trace.Ctx) (*Plan, error) {
+		return planVariant(ct, "maxpool_fwd_argmax", "argmax", variant, spec, p)
 	})
 }
 
 // MaxPoolBackward is the cached PlanMaxPoolBackward.
-func (c *PlanCache) MaxPoolBackward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "maxpool_bwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
-		return PlanMaxPoolBackward(variant, spec, p)
+func (c *PlanCache) MaxPoolBackward(tc trace.Ctx, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "maxpool_bwd_" + variant, Params: p, Spec: spec}, func(ct trace.Ctx) (*Plan, error) {
+		return planVariant(ct, "maxpool_bwd", "backward", variant, spec, p)
 	})
 }
 
 // AvgPoolForward is the cached PlanAvgPoolForward.
-func (c *PlanCache) AvgPoolForward(variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "avgpool_fwd_" + variant, Params: p, Spec: spec}, func() (*Plan, error) {
-		return PlanAvgPoolForward(variant, spec, p)
+func (c *PlanCache) AvgPoolForward(tc trace.Ctx, variant string, spec Spec, p isa.ConvParams) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "avgpool_fwd_" + variant, Params: p, Spec: spec}, func(ct trace.Ctx) (*Plan, error) {
+		return planVariant(ct, "avgpool_fwd", "avgpool", variant, spec, p)
 	})
 }
 
 // AvgPoolBackward is the cached PlanAvgPoolBackward.
-func (c *PlanCache) AvgPoolBackward(spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, error) {
+func (c *PlanCache) AvgPoolBackward(tc trace.Ctx, spec Spec, p isa.ConvParams, useCol2im bool) (*Plan, error) {
 	kernel := "avgpool_bwd_standard"
 	if useCol2im {
 		kernel = "avgpool_bwd_col2im"
 	}
-	return c.Get(PlanKey{Kernel: kernel, Params: p, Spec: spec}, func() (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: kernel, Params: p, Spec: spec}, func(trace.Ctx) (*Plan, error) {
 		return PlanAvgPoolBackward(spec, p, useCol2im)
 	})
 }
 
 // Conv2D is the cached PlanConv2D for co x c logical channels.
-func (c *PlanCache) Conv2D(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "conv2d_im2col_cube", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+func (c *PlanCache) Conv2D(tc trace.Ctx, spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "conv2d_im2col_cube", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func(trace.Ctx) (*Plan, error) {
 		return PlanConv2D(spec, p, co, channels)
 	})
 }
 
 // Conv2DBackwardData is the cached PlanConv2DBackwardData.
-func (c *PlanCache) Conv2DBackwardData(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "conv2d_bwd_data", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+func (c *PlanCache) Conv2DBackwardData(tc trace.Ctx, spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "conv2d_bwd_data", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func(trace.Ctx) (*Plan, error) {
 		return PlanConv2DBackwardData(spec, p, co, channels)
 	})
 }
 
 // Conv2DBackwardWeights is the cached PlanConv2DBackwardWeights.
-func (c *PlanCache) Conv2DBackwardWeights(spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
-	return c.Get(PlanKey{Kernel: "conv2d_bwd_weights", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func() (*Plan, error) {
+func (c *PlanCache) Conv2DBackwardWeights(tc trace.Ctx, spec Spec, p isa.ConvParams, co, channels int) (*Plan, error) {
+	return c.Get(tc, PlanKey{Kernel: "conv2d_bwd_weights", Params: p, Aux: [2]int{co, channels}, Spec: spec}, func(trace.Ctx) (*Plan, error) {
 		return PlanConv2DBackwardWeights(spec, p, co, channels)
 	})
 }

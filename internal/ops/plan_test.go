@@ -12,6 +12,7 @@ import (
 	"davinci/internal/obs"
 	"davinci/internal/ref"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // planCases enumerates one cached-plan constructor per registry variant
@@ -43,24 +44,26 @@ func planCases(t *testing.T, p isa.ConvParams) []struct {
 	for _, v := range []string{"standard", "im2col", "expansion", "xysplit"} {
 		variant := v
 		cases = append(cases, planCase{"maxpool_fwd_" + variant,
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.MaxPoolForward(variant, spec, p) },
+			func(c *PlanCache, spec Spec) (*Plan, error) { return c.MaxPoolForward(trace.Ctx{}, variant, spec, p) },
 			[]*tensor.Tensor{in}})
 	}
 	for _, v := range []string{"standard", "im2col"} {
 		variant := v
 		cases = append(cases, planCase{"maxpool_fwd_argmax_" + variant,
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.MaxPoolForwardArgmax(variant, spec, p) },
+			func(c *PlanCache, spec Spec) (*Plan, error) {
+				return c.MaxPoolForwardArgmax(trace.Ctx{}, variant, spec, p)
+			},
 			[]*tensor.Tensor{in}})
 		cases = append(cases, planCase{"maxpool_bwd_" + map[string]string{"standard": "standard", "im2col": "col2im"}[variant],
 			func(c *PlanCache, spec Spec) (*Plan, error) {
-				return c.MaxPoolBackward(map[string]string{"standard": "standard", "im2col": "col2im"}[variant], spec, p)
+				return c.MaxPoolBackward(trace.Ctx{}, map[string]string{"standard": "standard", "im2col": "col2im"}[variant], spec, p)
 			},
 			[]*tensor.Tensor{mask, grad}})
 	}
 	for _, v := range []string{"standard", "im2col", "cube"} {
 		variant := v
 		cases = append(cases, planCase{"avgpool_fwd_" + variant,
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.AvgPoolForward(variant, spec, p) },
+			func(c *PlanCache, spec Spec) (*Plan, error) { return c.AvgPoolForward(trace.Ctx{}, variant, spec, p) },
 			[]*tensor.Tensor{in}})
 	}
 	for _, col2im := range []bool{false, true} {
@@ -70,21 +73,25 @@ func planCases(t *testing.T, p isa.ConvParams) []struct {
 			name = "avgpool_bwd_col2im"
 		}
 		cases = append(cases, planCase{name,
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.AvgPoolBackward(spec, p, useCol2im) },
+			func(c *PlanCache, spec Spec) (*Plan, error) {
+				return c.AvgPoolBackward(trace.Ctx{}, spec, p, useCol2im)
+			},
 			[]*tensor.Tensor{grad}})
 	}
 	cases = append(cases,
 		planCase{"conv2d_im2col_cube",
-			func(c *PlanCache, spec Spec) (*Plan, error) { return c.Conv2D(spec, p, tensor.C0, tensor.C0) },
+			func(c *PlanCache, spec Spec) (*Plan, error) {
+				return c.Conv2D(trace.Ctx{}, spec, p, tensor.C0, tensor.C0)
+			},
 			[]*tensor.Tensor{in, w}},
 		planCase{"conv2d_bwd_data",
 			func(c *PlanCache, spec Spec) (*Plan, error) {
-				return c.Conv2DBackwardData(spec, p, tensor.C0, tensor.C0)
+				return c.Conv2DBackwardData(trace.Ctx{}, spec, p, tensor.C0, tensor.C0)
 			},
 			[]*tensor.Tensor{grad, w}},
 		planCase{"conv2d_bwd_weights",
 			func(c *PlanCache, spec Spec) (*Plan, error) {
-				return c.Conv2DBackwardWeights(spec, p, tensor.C0, tensor.C0)
+				return c.Conv2DBackwardWeights(trace.Ctx{}, spec, p, tensor.C0, tensor.C0)
 			},
 			[]*tensor.Tensor{grad, in}},
 	)
@@ -171,11 +178,11 @@ func TestPlanCacheKeyCollision(t *testing.T) {
 	p1 := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
 	p2 := isa.ConvParams{Ih: 12, Iw: 10, Kh: 3, Kw: 3, Sh: 2, Sw: 2}
 
-	plA, err := c.MaxPoolForward("im2col", spec, p1)
+	plA, err := c.MaxPoolForward(trace.Ctx{}, "im2col", spec, p1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plB, err := c.MaxPoolForward("im2col", spec, p2)
+	plB, err := c.MaxPoolForward(trace.Ctx{}, "im2col", spec, p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +209,7 @@ func TestPlanCacheKeyCollision(t *testing.T) {
 	// Same params, different buffer spec: a shrunken UB forces a different
 	// schedule, so the key must include the Spec.
 	small := Spec{Buffers: buffer.Config{UBSize: 16 << 10}}
-	plSmall, err := c.MaxPoolForward("im2col", small, p2)
+	plSmall, err := c.MaxPoolForward(trace.Ctx{}, "im2col", small, p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +217,11 @@ func TestPlanCacheKeyCollision(t *testing.T) {
 		t.Error("plans for different buffer specs share one cache entry")
 	}
 	// Same params, different logical channels (the Aux key ints).
-	conv16, err := c.Conv2D(spec, p1, tensor.C0, tensor.C0)
+	conv16, err := c.Conv2D(trace.Ctx{}, spec, p1, tensor.C0, tensor.C0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conv32, err := c.Conv2D(spec, p1, 2*tensor.C0, tensor.C0)
+	conv32, err := c.Conv2D(trace.Ctx{}, spec, p1, 2*tensor.C0, tensor.C0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +233,7 @@ func TestPlanCacheKeyCollision(t *testing.T) {
 	}
 	// A zero-valued spec and the explicit Ascend defaults normalize to the
 	// same key: this lookup must hit.
-	if _, err := c.MaxPoolForward("im2col", Spec{Buffers: buffer.Config{}.Normalized()}, p1); err != nil {
+	if _, err := c.MaxPoolForward(trace.Ctx{}, "im2col", Spec{Buffers: buffer.Config{}.Normalized()}, p1); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.Hits != 1 {
@@ -271,10 +278,10 @@ func TestPlanCacheMetrics(t *testing.T) {
 	r := obs.NewRegistry()
 	c := NewPlanCacheOn(r)
 	p := isa.ConvParams{Ih: 8, Iw: 8, Kh: 2, Kw: 2, Sh: 2, Sw: 2}
-	if _, err := c.MaxPoolForward("im2col", Spec{}, p); err != nil {
+	if _, err := c.MaxPoolForward(trace.Ctx{}, "im2col", Spec{}, p); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.MaxPoolForward("im2col", Spec{}, p); err != nil {
+	if _, err := c.MaxPoolForward(trace.Ctx{}, "im2col", Spec{}, p); err != nil {
 		t.Fatal(err)
 	}
 	want := map[string]int64{"plan_cache_hits": 1, "plan_cache_misses": 1, "plan_cache_compiled": 1}
@@ -319,7 +326,7 @@ func BenchmarkPlanCache(b *testing.B) {
 	b.Run("cached-replay", func(b *testing.B) {
 		cache := NewPlanCache()
 		core := newTestCore()
-		pl, err := cache.MaxPoolForward("im2col", spec, p)
+		pl, err := cache.MaxPoolForward(trace.Ctx{}, "im2col", spec, p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -329,7 +336,7 @@ func BenchmarkPlanCache(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			pl, err := cache.MaxPoolForward("im2col", spec, p)
+			pl, err := cache.MaxPoolForward(trace.Ctx{}, "im2col", spec, p)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -370,7 +377,7 @@ func TestPlanCacheSpeedup(t *testing.T) {
 			}
 		}
 	})
-	pl, err := NewPlanCache().MaxPoolForward("im2col", spec, p)
+	pl, err := NewPlanCache().MaxPoolForward(trace.Ctx{}, "im2col", spec, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"davinci/internal/cce"
 	"davinci/internal/fp16"
 	"davinci/internal/isa"
+	"davinci/internal/trace"
 )
 
 // Saturate values: how wide the reduction sets the vector mask.
@@ -306,10 +307,12 @@ func (r *AutoSchedReport) Summary() string {
 
 // AutoScheduler searches the schedule space of kernel ("family/variant")
 // for (spec, p) and returns the plan to use — the searched winner or the
-// default — with Plan.Auto describing the outcome. Implemented by
-// internal/sched and injected via RegisterAutoScheduler to keep the
-// dependency one-way (sched builds on ops).
-type AutoScheduler func(kernel string, spec Spec, p isa.ConvParams) (*Plan, error)
+// default — with Plan.Auto describing the outcome. tc is the tracing
+// context the search nests its sched_search/sched_candidate spans under
+// (the zero Ctx disables tracing). Implemented by internal/sched and
+// injected via RegisterAutoScheduler to keep the dependency one-way
+// (sched builds on ops).
+type AutoScheduler func(kernel string, spec Spec, p isa.ConvParams, tc trace.Ctx) (*Plan, error)
 
 // autoScheduler is written once from internal/sched's package init,
 // before any goroutines compile plans.
@@ -320,17 +323,17 @@ var autoScheduler AutoScheduler
 func RegisterAutoScheduler(fn AutoScheduler) { autoScheduler = fn }
 
 // autoPlan routes an AutoSchedule compile to the registered search.
-func autoPlan(kernel string, spec Spec, p isa.ConvParams) (*Plan, error) {
+func autoPlan(tc trace.Ctx, kernel string, spec Spec, p isa.ConvParams) (*Plan, error) {
 	if autoScheduler == nil {
 		return nil, fmt.Errorf("ops: %s: Spec.AutoSchedule set but no autoscheduler registered (import davinci/internal/sched)", kernel)
 	}
-	return autoScheduler(kernel, spec, p)
+	return autoScheduler(kernel, spec, p, tc)
 }
 
 // AutoScheduled compiles kernel ("family/variant") through the registered
 // schedule search, regardless of spec.AutoSchedule.
 func AutoScheduled(kernel string, spec Spec, p isa.ConvParams) (*Plan, error) {
-	return autoPlan(kernel, spec, p)
+	return autoPlan(trace.Ctx{}, kernel, spec, p)
 }
 
 // attachNoSearchReport marks a plan compiled under an AutoSchedule spec

@@ -39,6 +39,7 @@ package opt
 
 import (
 	"fmt"
+	"time"
 
 	"davinci/internal/aicore"
 	"davinci/internal/buffer"
@@ -103,6 +104,11 @@ type Rewrite struct {
 	// Saved is the scheduled-makespan reduction the pass bought, under
 	// the cycle oracle.
 	Saved int64
+	// StartNanos/EndNanos is the host wall-clock window the pass ran in
+	// (Unix nanoseconds, including its cycle-gate timing call). The plan
+	// cache replays these windows as opt_pass trace spans after the
+	// compile returns.
+	StartNanos, EndNanos int64
 }
 
 func (r Rewrite) String() string {
@@ -140,6 +146,10 @@ type Result struct {
 	// optimizer reports and the depgraph_budget_exhausted counter instead
 	// of masquerading as "no improvement found".
 	SkippedReschedule *depgraph.BudgetError
+	// StartNanos/EndNanos is the host wall-clock window of the whole
+	// Optimize call (Unix nanoseconds), replayed as the opt_pipeline
+	// trace span.
+	StartNanos, EndNanos int64
 }
 
 // Saved returns the total makespan reduction.
@@ -234,7 +244,9 @@ func Optimize(prog *cce.Program, opts Options) *Result {
 		Instrs:         len(prog.Instrs),
 		BaselineCycles: base,
 		Cycles:         base,
+		StartNanos:     time.Now().UnixNano(),
 	}
+	defer func() { res.EndNanos = time.Now().UnixNano() }()
 	if opts.Level <= LevelNone || len(prog.Instrs) == 0 {
 		res.Validated = true
 		return res
@@ -242,6 +254,7 @@ func Optimize(prog *cce.Program, opts Options) *Result {
 
 	cur, curCycles := prog, base
 	for _, p := range pipeline(opts, res) {
+		passStart := time.Now().UnixNano()
 		next, applied := p.run(cur, cost)
 		if next == nil || applied == 0 {
 			continue
@@ -253,10 +266,12 @@ func Optimize(prog *cce.Program, opts Options) *Result {
 			continue
 		}
 		res.Rewrites = append(res.Rewrites, Rewrite{
-			Pass:    p.name,
-			Applied: applied,
-			Removed: len(cur.Instrs) - len(next.Instrs),
-			Saved:   curCycles - nextCycles,
+			Pass:       p.name,
+			Applied:    applied,
+			Removed:    len(cur.Instrs) - len(next.Instrs),
+			Saved:      curCycles - nextCycles,
+			StartNanos: passStart,
+			EndNanos:   time.Now().UnixNano(),
 		})
 		cur, curCycles = next, nextCycles
 	}

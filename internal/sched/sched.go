@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"davinci/internal/lint"
 	"davinci/internal/ops"
 	"davinci/internal/tensor"
+	"davinci/internal/trace"
 )
 
 // Options tunes one search.
@@ -39,6 +41,11 @@ type Options struct {
 	// SameModeOnly restricts the search to the requested lowering mode
 	// instead of treating the mode as a schedule axis.
 	SameModeOnly bool
+	// Trace is the tracing context the search reports into: a
+	// sched_search span for the whole call, with one sched_candidate
+	// child per frontier candidate confirmed on the cycle oracle. The
+	// zero Ctx (the default) disables tracing.
+	Trace trace.Ctx
 }
 
 // DefaultConfirm is the oracle-confirmation budget when Options.Confirm
@@ -88,6 +95,8 @@ type Result struct {
 // cycle oracle and passed the validation gate.
 func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result, error) {
 	start := time.Now()
+	ss := o.Trace.StartSpan("sched_search", "impl", kernel)
+	defer ss.End()
 	spec.AutoSchedule = false
 	spec.Buffers = spec.Buffers.Normalized()
 	confirmBudget := o.Confirm
@@ -205,8 +214,11 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 			continue
 		}
 		confirmed++
+		cs := ss.Ctx().StartSpan("sched_candidate", "impl", c.pl.Sched.String())
 		c.cand.Cycles = aicore.Time(c.pl.Prog, cost, false)
 		c.cand.Confirmed = true
+		cs.SetAttr("cycles", strconv.FormatInt(c.cand.Cycles, 10))
+		cs.End()
 		if c.cand.Cycles < bestCycles {
 			bestCycles = c.cand.Cycles
 		}
@@ -249,6 +261,14 @@ func Search(kernel string, spec ops.Spec, p isa.ConvParams, o Options) (*Result,
 	}
 	rep.WallNanos = time.Since(start).Nanoseconds()
 	plan.Auto = rep
+	if rep.Accepted {
+		ss.SetAttr("outcome", "accepted")
+	} else if rep.Rejected != "" {
+		ss.SetAttr("outcome", "rejected")
+	} else {
+		ss.SetAttr("outcome", "default")
+	}
+	ss.SetAttr("candidates", strconv.Itoa(considered))
 
 	res := &Result{Kernel: kernel, Plan: plan, Report: rep}
 	res.Candidates = append(res.Candidates, Candidate{
@@ -384,8 +404,8 @@ type compiledCandidate struct {
 // init injects the search into internal/ops, so any Spec with
 // AutoSchedule set — plan caches, chips, the DSL — dispatches here.
 func init() {
-	ops.RegisterAutoScheduler(func(kernel string, spec ops.Spec, p isa.ConvParams) (*ops.Plan, error) {
-		res, err := Search(kernel, spec, p, Options{})
+	ops.RegisterAutoScheduler(func(kernel string, spec ops.Spec, p isa.ConvParams, tc trace.Ctx) (*ops.Plan, error) {
+		res, err := Search(kernel, spec, p, Options{Trace: tc})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL writes one JSON object per span, one span per line, in the
+// order given. With spans from Tracer.Finished() the output is sorted by
+// span ID and — under a pinned clock — byte-for-byte deterministic.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL span log written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}

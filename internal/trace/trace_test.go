@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// pinned returns a tracer with a deterministic clock ticking 10ns per call.
+func pinned() *Tracer {
+	t := New()
+	var n int64
+	t.SetClock(func() int64 { n += 10; return n })
+	return t
+}
+
+func TestZeroCtxIsInert(t *testing.T) {
+	var c Ctx
+	if c.Enabled() {
+		t.Fatal("zero Ctx reports enabled")
+	}
+	s := c.StartSpan("plan_compile", "kernel", "x")
+	if s != nil {
+		t.Fatal("disabled StartSpan must return nil")
+	}
+	// Every method must be a no-op on nil.
+	s.SetAttr("k", "v")
+	s.Link("plan", 7)
+	s.SetCycles(1, 2)
+	s.SetWall(1, 2)
+	s.End()
+	s.End()
+	if got := s.Ctx(); got.Enabled() {
+		t.Fatal("nil span Ctx must be disabled")
+	}
+	if id := s.ID(); id != 0 {
+		t.Fatalf("nil span ID = %d, want 0", id)
+	}
+	c.SetAttr("k", "v")
+	var tr *Tracer
+	if tr.Root().Enabled() || tr.Active() != 0 || tr.Len() != 0 {
+		t.Fatal("nil Tracer must be inert")
+	}
+}
+
+func TestHierarchyAndDeterministicIDs(t *testing.T) {
+	tr := pinned()
+	root := tr.Root()
+	a := root.StartSpan("chip_run", "impl", "maxpool_fwd/im2col")
+	b := a.Ctx().StartSpan("plan_lookup")
+	b.Ctx().SetAttr("outcome", "miss") // callee annotates parent via Ctx
+	c := b.Ctx().StartSpan("plan_compile")
+	c.SetCycles(0, 100)
+	c.End()
+	b.End()
+	d := a.Ctx().StartSpan("tile_exec", "core", "0")
+	d.Link("plan", b.ID())
+	d.End()
+	a.End()
+
+	if n := tr.Active(); n != 0 {
+		t.Fatalf("active = %d after all ended", n)
+	}
+	spans := tr.Finished()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	// IDs assigned in start order 1..4; Finished sorted by ID.
+	wantNames := []string{"chip_run", "plan_lookup", "plan_compile", "tile_exec"}
+	for i, s := range spans {
+		if s.ID != SpanID(i+1) || s.Name != wantNames[i] {
+			t.Fatalf("span %d = {id %d, %q}, want {id %d, %q}", i, s.ID, s.Name, i+1, wantNames[i])
+		}
+		if s.EndNS <= s.StartNS {
+			t.Fatalf("span %q has non-positive duration [%d,%d]", s.Name, s.StartNS, s.EndNS)
+		}
+	}
+	if spans[1].Parent != spans[0].ID || spans[2].Parent != spans[1].ID {
+		t.Fatal("parent links wrong")
+	}
+	if v, ok := spans[1].Attr("outcome"); !ok || v != "miss" {
+		t.Fatalf("parent attr via Ctx.SetAttr = %q, %v", v, ok)
+	}
+	if !spans[2].HasCycles || spans[2].CycEnd != 100 {
+		t.Fatal("cycle domain not recorded")
+	}
+	if !spans[3].LinkTo("plan", spans[1].ID) {
+		t.Fatal("tile span missing plan link")
+	}
+}
+
+func TestSetWallOverridesClock(t *testing.T) {
+	tr := pinned()
+	s := tr.Root().StartSpan("opt_pass", "pass", "dead-sync")
+	s.SetWall(1000, 2000)
+	s.End()
+	got := tr.Finished()[0]
+	if got.StartNS != 1000 || got.EndNS != 2000 {
+		t.Fatalf("wall window = [%d,%d], want [1000,2000]", got.StartNS, got.EndNS)
+	}
+}
+
+func TestAttrReplacement(t *testing.T) {
+	tr := pinned()
+	s := tr.Root().StartSpan("tile_exec", "outcome", "pending")
+	s.SetAttr("outcome", "ok")
+	s.End()
+	if v, _ := tr.Finished()[0].Attr("outcome"); v != "ok" {
+		t.Fatalf("attr = %q, want ok (replaced, not appended)", v)
+	}
+	if n := len(tr.Finished()[0].Attrs); n != 1 {
+		t.Fatalf("attrs len = %d, want 1", n)
+	}
+}
+
+func TestTailAndCount(t *testing.T) {
+	tr := pinned()
+	for i := 0; i < 5; i++ {
+		tr.Root().StartSpan("tile_exec").End()
+	}
+	tr.Root().StartSpan("chip_run").End()
+	if got := tr.Count("tile_exec"); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	tail := tr.Tail(2)
+	if len(tail) != 2 || tail[1].Name != "chip_run" {
+		t.Fatalf("Tail(2) = %+v", tail)
+	}
+	if len(tr.Tail(0)) != 6 || len(tr.Tail(100)) != 6 {
+		t.Fatal("Tail bounds wrong")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := pinned()
+	a := tr.Root().StartSpan("chip_run")
+	b := a.Ctx().StartSpan("tile_exec", "core", "1")
+	b.Link("plan", 1)
+	b.SetCycles(5, 9)
+	b.End()
+	a.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Finished()); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic under the pinned clock: writing twice must be identical.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, tr.Finished()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSONL export not deterministic")
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Name != "tile_exec" || !back[1].LinkTo("plan", 1) ||
+		!back[1].HasCycles || back[1].CycStart != 5 || back[1].CycEnd != 9 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New() // real clock: concurrency is the point, not byte determinism
+	root := tr.Root()
+	const g, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				s := root.StartSpan("tile_exec")
+				s.SetAttr("outcome", "ok")
+				s.Link("plan", 1)
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tr.Len(); n != g*per {
+		t.Fatalf("finished = %d, want %d", n, g*per)
+	}
+	if a := tr.Active(); a != 0 {
+		t.Fatalf("active = %d, want 0", a)
+	}
+	// IDs must be unique and dense 1..g*per.
+	seen := make(map[SpanID]bool)
+	for _, s := range tr.Finished() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for i := 1; i <= g*per; i++ {
+		if !seen[SpanID(i)] {
+			t.Fatalf("missing span ID %d", i)
+		}
+	}
+}
