@@ -6,7 +6,11 @@
 //	davinci-bench [flags] [experiment ...]
 //
 // Experiments: table1, fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, avgpool,
-// perf, sweep, optsweep, autosched, certsweep, all (default: all).
+// perf, sweep, optsweep, autosched, certsweep, serveload, all
+// (default: all). "serveload" drives the internal/serve fleet with an
+// open-loop load generator over the Table I shape mix and reports the
+// per-rate outcome profile (the deterministic smoke cell feeds the
+// serve_goodput / serve_lost_requests trend gates).
 // "sweep" runs every built-in kernel on every Table I layer on a traced
 // core, checking the cycle-accounting identity per program; "optsweep"
 // compiles the same programs baseline vs the static optimizer
@@ -185,7 +189,7 @@ func writeSpans(path string, tracer *trace.Tracer) error {
 // regression gate over -metrics snapshots.
 func trendMain(args []string) int {
 	fs := flag.NewFlagSet("trend", flag.ExitOnError)
-	dir := fs.String("dir", "", "directory of BENCH_*.json snapshots, compared consecutively oldest to newest (by file modification time)")
+	dir := fs.String("dir", "", "directory of BENCH_*.json snapshots, compared consecutively oldest to newest (by embedded taken_unix_nanos when all carry one, else file modification time)")
 	baseline := fs.String("baseline", "", "baseline snapshot prepended before -dir files and positional files")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: davinci-bench trend [-baseline FILE] [-dir DIR] [snapshot.json ...]")
@@ -253,6 +257,10 @@ func printChaosSummary(w *os.File, s *obs.Snapshot) {
 }
 
 func writeMetrics(path string, s *obs.Snapshot) error {
+	// Stamp the capture time so "trend -dir" can order artifacts by when
+	// they were taken rather than by file modtime, which CI downloads and
+	// checkouts rewrite.
+	s.TakenUnixNanos = time.Now().UnixNano()
 	if path == "-" {
 		return s.WriteJSON(os.Stdout)
 	}
@@ -306,6 +314,8 @@ func run(exp string, opts bench.Options, csv bool) error {
 		return emit(bench.AutoschedSweep(opts))
 	case "certsweep":
 		return emit(bench.CertSweep(opts))
+	case "serveload":
+		return emit(bench.ServeLoad(opts))
 	case "all":
 		tables, err := bench.All(opts)
 		if err != nil {
@@ -320,6 +330,6 @@ func run(exp string, opts bench.Options, csv bool) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, autosched, certsweep, all)")
+		return fmt.Errorf("unknown experiment (want table1, fig7a..c, fig8a..c, avgpool, perf, sweep, optsweep, autosched, certsweep, serveload, all)")
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"davinci/internal/isa"
 	"davinci/internal/nn"
 	"davinci/internal/ops"
+	"davinci/internal/serve"
 	"davinci/internal/tensor"
 )
 
@@ -201,3 +202,66 @@ type (
 func (d *Device) RunModel(m *Sequential, in *Tensor) (*Tensor, []LayerReport, int64, error) {
 	return m.Forward(d.Chip, in)
 }
+
+// Serving layer (see internal/serve and DESIGN.md §16): a fleet of
+// simulated chips behind an asynchronous request path with admission
+// control, deadline propagation, continuous batching, load shedding,
+// per-chip circuit breakers and golden-model degradation. The contract
+// is conservation: every submitted request reaches exactly one terminal
+// outcome.
+type (
+	// Server is the serving fleet; build with NewServer, stop with Close.
+	Server = serve.Server
+	// ServeConfig sizes the fleet, queue, batching, SLO and degradation
+	// policy.
+	ServeConfig = serve.Config
+	// ServeRequest is one pooling inference request.
+	ServeRequest = serve.Request
+	// ServeResponse is a request's terminal outcome (completed, degraded,
+	// rejected or cancelled) with per-request degradation reporting.
+	ServeResponse = serve.Response
+	// ServeTicket is the future Submit returns; Wait blocks for the
+	// response.
+	ServeTicket = serve.Ticket
+	// ServeClass is a request priority class; lower classes shed first.
+	ServeClass = serve.Class
+	// ServeStats is the conservation accounting (Lost() must be zero
+	// after a drain).
+	ServeStats = serve.Stats
+	// LoadOptions configures the open-loop load generator.
+	LoadOptions = serve.LoadOptions
+	// LoadReport is one load run's outcome profile.
+	LoadReport = serve.LoadReport
+)
+
+// Priority classes for ServeRequest.Class.
+const (
+	ClassBatch       = serve.ClassBatch
+	ClassStandard    = serve.ClassStandard
+	ClassInteractive = serve.ClassInteractive
+)
+
+// Typed admission and execution errors, matchable with errors.Is against
+// a rejected response's Err.
+var (
+	// ErrQueueFull: the bounded intake queue is full and no lower-class
+	// entry could be evicted.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrShedding: the load-shedding controller predicted an SLO bust for
+	// this class.
+	ErrShedding = serve.ErrShedding
+	// ErrDeadlineBudget: the static critical-path bound proves the
+	// deadline cannot be met.
+	ErrDeadlineBudget = serve.ErrDeadlineBudget
+	// ErrServerClosed: submitted after Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrChipFailed: the batch failed on-chip and degradation is off.
+	ErrChipFailed = serve.ErrChipFailed
+)
+
+// NewServer builds and starts a serving fleet. Callers must Close it.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// RunLoad offers open-loop load to a server and waits for every ticket,
+// so the report's conservation accounting is exact.
+func RunLoad(s *Server, opt LoadOptions) *LoadReport { return serve.RunLoad(s, opt) }

@@ -1,0 +1,106 @@
+// Serving-layer load profile: open-loop load over the Table I shape mix
+// against the internal/serve fleet, reported as a throughput–latency
+// curve with an overload profile (what got completed, degraded, shed or
+// cancelled at each offered rate).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"davinci/internal/chip"
+	"davinci/internal/serve"
+)
+
+// serveCell is one load-generator configuration.
+type serveCell struct {
+	name string
+	// gated marks the deterministic smoke cell whose goodput/shed/lost
+	// gauges feed the trend gate; overload cells publish the ungated
+	// machine-dependent profile (plus the always-gated lost count).
+	gated bool
+	load  serve.LoadOptions
+	cfg   serve.Config
+}
+
+// ServeLoad profiles the serving fleet under offered load. The first cell
+// is the deterministic smoke: a closed burst against an ample queue with
+// shedding and chaos off, so every request must complete — its goodput
+// feeds the trend gate. The remaining cells are open-loop overload: the
+// offered rate steps up against a small queue and a latency SLO, so the
+// admission controller's shedding, eviction and deadline machinery shows
+// up in the profile. Conservation (offered == completed + degraded +
+// rejected + cancelled) is enforced on every cell; a violation is an
+// error, not a table row.
+func ServeLoad(o Options) (*Table, error) {
+	t := &Table{
+		Experiment: "Serving: open-loop load profile (Table I shape mix)",
+		Note:       "smoke = closed burst, no shedding (deterministic, trend-gated); overload cells step the offered rate against an 8-deep queue and a 2ms SLO",
+		Columns:    []string{"offered", "completed", "degraded", "rejected", "cancelled", "goodput rps", "p50 us", "p99 us", "max batch"},
+	}
+	base := serve.Config{
+		Chips:           2,
+		Cores:           o.Chip.Cores,
+		Buffers:         o.Chip.Buffers,
+		Opt:             o.Chip.Opt,
+		AutoSchedule:    o.Chip.AutoSchedule,
+		Resilience:      o.Chip.Resilience,
+		CyclesPerSecond: 1e8,
+		Metrics:         o.Metrics,
+		Trace:           o.Trace,
+	}
+	smoke := base
+	smoke.QueueLimit = 64
+	smoke.MaxBatch = 8
+	// The smoke cell's goodput is trend-gated with zero tolerance, so it
+	// must stay deterministic even under a -chaos run: no fault injection,
+	// every request completes on-chip.
+	smoke.Resilience = chip.Resilience{}
+	overload := base
+	overload.QueueLimit = 8
+	overload.MaxBatch = 4
+	overload.SLO = 2 * time.Millisecond
+
+	cells := []serveCell{
+		{
+			name:  "smoke",
+			gated: true,
+			load:  serve.LoadOptions{Requests: 48, Seed: o.Seed},
+			cfg:   smoke,
+		},
+		{
+			name: "rate_250",
+			load: serve.LoadOptions{Requests: 32, Rate: 250, Seed: o.Seed},
+			cfg:  overload,
+		},
+		{
+			name: "rate_1000",
+			load: serve.LoadOptions{Requests: 32, Rate: 1000, Seed: o.Seed},
+			cfg:  overload,
+		},
+		{
+			name: "rate_4000",
+			load: serve.LoadOptions{Requests: 32, Rate: 4000, Seed: o.Seed, Deadline: 250 * time.Millisecond},
+			cfg:  overload,
+		},
+	}
+	for _, c := range cells {
+		s := serve.New(c.cfg)
+		rep := serve.RunLoad(s, c.load)
+		s.Close()
+		if rep.Lost != 0 {
+			return nil, fmt.Errorf("bench: serveload %s: conservation violated, %d request(s) lost", c.name, rep.Lost)
+		}
+		if c.gated && rep.Completed != rep.Offered {
+			return nil, fmt.Errorf("bench: serveload %s: %d of %d requests did not complete (no overload configured, all must)",
+				c.name, rep.Offered-rep.Completed, rep.Offered)
+		}
+		rep.Publish(o.Metrics, c.name, c.gated)
+		t.Rows = append(t.Rows, Row{Label: c.name, Values: []float64{
+			float64(rep.Offered), float64(rep.Completed), float64(rep.Degraded),
+			float64(rep.Rejected), float64(rep.Cancelled), rep.GoodputRPS,
+			float64(rep.P50NS) / 1e3, float64(rep.P99NS) / 1e3, float64(rep.MaxBatch),
+		}})
+	}
+	return t, nil
+}

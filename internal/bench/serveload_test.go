@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"davinci/internal/obs"
+)
+
+// TestServeLoadSmokeConservation runs the serving load profile end to end
+// and checks the published gauges: the deterministic smoke cell completes
+// everything (the trend-gated goodput), and no cell loses a request.
+func TestServeLoadSmokeConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tbl, err := ServeLoad(Options{Seed: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(tbl.Rows))
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.GaugeValue("serve_goodput", "experiment", "serveload", "input", "smoke"); !ok || v != 48 {
+		t.Fatalf("smoke goodput gauge = %d (present=%v), want 48", v, ok)
+	}
+	if v, ok := snap.GaugeValue("serve_shed_requests", "experiment", "serveload", "input", "smoke"); !ok || v != 0 {
+		t.Fatalf("smoke shed gauge = %d (present=%v), want 0", v, ok)
+	}
+	for _, row := range tbl.Rows {
+		cell := row.Label
+		if v, ok := snap.GaugeValue("serve_lost_requests", "experiment", "serveload", "input", cell); !ok || v != 0 {
+			t.Fatalf("cell %s: lost gauge = %d (present=%v), want 0", cell, v, ok)
+		}
+		// offered == completed + degraded + rejected + cancelled per row.
+		if sum := row.Values[1] + row.Values[2] + row.Values[3] + row.Values[4]; sum != row.Values[0] {
+			t.Fatalf("cell %s: outcomes sum to %.0f, offered %.0f", cell, sum, row.Values[0])
+		}
+	}
+	var b strings.Builder
+	tbl.Format(&b)
+	if !strings.Contains(b.String(), "smoke") {
+		t.Fatal("formatted table missing the smoke row")
+	}
+}

@@ -56,6 +56,13 @@ func DefaultTrendGates() []TrendGate {
 		// Compile-path allocations: counted by the Go runtime, so allow
 		// drift across toolchains; a 25% jump is a real regression.
 		{Metric: "cert_compile_allocs", HigherIsWorse: true, Tolerance: 0.25},
+		// Serving smoke: the deterministic load cell must keep completing
+		// everything it completes today, shed nothing new, and never lose
+		// a request — conservation violations gate with zero tolerance on
+		// every cell.
+		{Metric: "serve_goodput", HigherIsWorse: false},
+		{Metric: "serve_shed_requests", HigherIsWorse: true},
+		{Metric: "serve_lost_requests", HigherIsWorse: true, PerCell: true},
 	}
 }
 
@@ -291,28 +298,49 @@ func TrendFiles(paths []string, gates []TrendGate) ([]*TrendReport, error) {
 }
 
 // TrendDir lists a directory's BENCH_*.json snapshots ordered oldest to
-// newest by modification time (the artifact names carry revision hashes,
-// which do not sort chronologically).
+// newest (the artifact names carry revision hashes, which do not sort
+// chronologically). When every snapshot embeds a capture timestamp
+// (taken_unix_nanos, stamped by the artifact writers) the files sort by
+// it; otherwise the order falls back to filesystem modification time,
+// which CI artifact downloads and git checkouts are free to rewrite.
 func TrendDir(dir string) ([]string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return nil, err
 	}
 	type entry struct {
-		path string
-		mod  int64
+		path  string
+		taken int64
+		mod   int64
 	}
 	entries := make([]entry, 0, len(matches))
+	allTaken := true
 	for _, m := range matches {
 		fi, err := os.Stat(m)
 		if err != nil {
 			return nil, err
 		}
-		entries = append(entries, entry{m, fi.ModTime().UnixNano()})
+		e := entry{path: m, mod: fi.ModTime().UnixNano()}
+		if data, err := os.ReadFile(m); err == nil {
+			var stamp struct {
+				TakenUnixNanos int64 `json:"taken_unix_nanos"`
+			}
+			if json.Unmarshal(data, &stamp) == nil {
+				e.taken = stamp.TakenUnixNanos
+			}
+		}
+		if e.taken <= 0 {
+			allTaken = false
+		}
+		entries = append(entries, e)
+	}
+	key := func(e entry) int64 { return e.mod }
+	if allTaken {
+		key = func(e entry) int64 { return e.taken }
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].mod != entries[j].mod {
-			return entries[i].mod < entries[j].mod
+		if key(entries[i]) != key(entries[j]) {
+			return key(entries[i]) < key(entries[j])
 		}
 		return entries[i].path < entries[j].path
 	})

@@ -22,6 +22,9 @@ func trendSnap(mutate func(*obs.Registry)) *obs.Snapshot {
 	r.Counter("sched_cycles_saved").Add(800)
 	r.Counter("cert_hits").Add(30)
 	r.Gauge("cert_compile_allocs", "mode", "certified").Set(200)
+	r.Gauge("serve_goodput", "experiment", "serveload", "input", "smoke").Set(48)
+	r.Gauge("serve_shed_requests", "experiment", "serveload", "input", "smoke").Set(0)
+	r.Gauge("serve_lost_requests", "experiment", "serveload", "input", "smoke").Set(0)
 	if mutate != nil {
 		mutate(r)
 	}
@@ -199,5 +202,77 @@ func TestTrendFilesAndDirOrdering(t *testing.T) {
 func TestTrendNeedsTwoSnapshots(t *testing.T) {
 	if _, err := TrendFiles([]string{"one.json"}, DefaultTrendGates()); err == nil {
 		t.Fatal("want an error for a single snapshot")
+	}
+}
+
+func TestTrendServeGates(t *testing.T) {
+	base := trendSnap(nil)
+	// Goodput dropping is a regression (lower is worse).
+	worseGoodput := trendSnap(func(r *obs.Registry) {
+		r.Gauge("serve_goodput", "experiment", "serveload", "input", "smoke").Set(40)
+	})
+	if rep := Trend("base", base, "latest", worseGoodput, DefaultTrendGates()); !rep.Failed() {
+		t.Fatal("serve_goodput drop not detected")
+	}
+	// A single lost request anywhere fails with zero tolerance, per cell.
+	lost := trendSnap(func(r *obs.Registry) {
+		r.Gauge("serve_lost_requests", "experiment", "serveload", "input", "smoke").Set(1)
+	})
+	if rep := Trend("base", base, "latest", lost, DefaultTrendGates()); !rep.Failed() {
+		t.Fatal("lost request not detected")
+	}
+	// New shedding in the smoke cell fails too.
+	shed := trendSnap(func(r *obs.Registry) {
+		r.Gauge("serve_shed_requests", "experiment", "serveload", "input", "smoke").Set(3)
+	})
+	if rep := Trend("base", base, "latest", shed, DefaultTrendGates()); !rep.Failed() {
+		t.Fatal("new shedding not detected")
+	}
+}
+
+func TestTrendDirPrefersEmbeddedTimestamp(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, taken int64, mod time.Time) {
+		s := trendSnap(nil)
+		s.TakenUnixNanos = taken
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := os.Chtimes(p, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Modtimes deliberately contradict the embedded capture times — the
+	// situation a CI artifact download or git checkout creates. The
+	// embedded order must win.
+	now := time.Now()
+	write("BENCH_new.json", 2_000_000, now.Add(-2*time.Hour)) // newest capture, oldest file
+	write("BENCH_old.json", 1_000_000, now)                   // oldest capture, newest file
+	paths, err := TrendDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "BENCH_old.json" || filepath.Base(paths[1]) != "BENCH_new.json" {
+		t.Fatalf("want embedded-timestamp ordering [BENCH_old BENCH_new], got %v", paths)
+	}
+
+	// One unstamped file poisons the set: everything falls back to
+	// modtime so the ordering stays internally consistent.
+	write("BENCH_unstamped.json", 0, now.Add(-time.Hour))
+	paths, err = TrendDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_new.json", "BENCH_unstamped.json", "BENCH_old.json"}
+	for i, p := range paths {
+		if filepath.Base(p) != want[i] {
+			t.Fatalf("want modtime fallback ordering %v, got %v", want, paths)
+		}
 	}
 }

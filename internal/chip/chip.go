@@ -59,6 +59,17 @@ type Config struct {
 	// and passes the validation gate, the default otherwise. The sched_*
 	// counters land in Metrics via the plan cache.
 	AutoSchedule bool
+	// Strict routes every compile through the acceptance gate
+	// (lint/certificate admission), so plans this chip caches are the
+	// verified ones. The serving layer turns this on: admission-time
+	// compiles go through the cert registry's fast path and dispatch
+	// reuses them.
+	Strict bool
+	// Plans, when non-nil, is a shared plan cache used instead of a
+	// chip-private one. A fleet of identically-specced chips shares one
+	// cache so a shape compiled at admission time (or on any chip) is a
+	// hit on every other chip.
+	Plans *ops.PlanCache
 	// Metrics is the registry the chip's counters (and its plan cache's)
 	// register in; nil gives the chip a private registry. Benchmarks pass
 	// a shared registry so one snapshot covers every device they build.
@@ -123,10 +134,14 @@ func New(cfg Config) *Chip {
 	if cfg.Resilience.Injector != nil {
 		cfg.Resilience.Injector.Bind(cfg.Metrics)
 	}
+	plans := cfg.Plans
+	if plans == nil {
+		plans = ops.NewPlanCacheOn(cfg.Metrics)
+	}
 	return &Chip{
 		cfg:           cfg,
-		spec:          ops.Spec{Buffers: cfg.Buffers, Opt: cfg.Opt, AutoSchedule: cfg.AutoSchedule},
-		plans:         ops.NewPlanCacheOn(cfg.Metrics),
+		spec:          ops.Spec{Buffers: cfg.Buffers, Strict: cfg.Strict, Opt: cfg.Opt, AutoSchedule: cfg.AutoSchedule},
+		plans:         plans,
 		metrics:       cfg.Metrics,
 		tiles:         cfg.Metrics.Counter("chip_tiles"),
 		tileCycles:    cfg.Metrics.Histogram("chip_tile_cycles", nil),
@@ -147,6 +162,33 @@ func New(cfg Config) *Chip {
 
 // Cores returns the AI Core count.
 func (c *Chip) Cores() int { return c.cfg.Cores }
+
+// Spec returns the compile spec this chip's plans are keyed by. A caller
+// that compiles plans ahead of dispatch (the serving layer's admission
+// fast-path) uses this spec against the shared cache so its compiles are
+// cache hits at dispatch time.
+func (c *Chip) Spec() ops.Spec { return c.spec }
+
+// WithContext returns a view of the chip whose runs are bounded by ctx:
+// cancelling it interrupts all in-flight cores through the core.Cancel
+// path. The view shares the chip's plan cache, metrics and config; the
+// serving layer uses one view per dispatched batch so a batch whose
+// requests have all expired can be cancelled without touching the rest of
+// the fleet.
+func (c *Chip) WithContext(ctx context.Context) *Chip {
+	view := *c
+	view.cfg.Context = ctx
+	return &view
+}
+
+// WithTrace returns a view of the chip whose runs nest under tc instead
+// of the chip's configured span context — one serving batch parents the
+// chip_run it performs under its serve_batch span.
+func (c *Chip) WithTrace(tc trace.Ctx) *Chip {
+	view := *c
+	view.cfg.Trace = tc
+	return &view
+}
 
 // PlanStats returns a snapshot of the chip's plan-cache counters.
 func (c *Chip) PlanStats() ops.CacheStats { return c.plans.Stats() }

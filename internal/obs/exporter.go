@@ -45,6 +45,11 @@ func (e *Exporter) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var s *Snapshot
 	if e.Registry != nil {
+		// Surface span-retention losses alongside the metrics: a capped
+		// tracer silently evicting history would otherwise be invisible.
+		if e.Tracer != nil {
+			e.Registry.Gauge("trace_spans_dropped").Set(e.Tracer.Dropped())
+		}
 		s = e.Registry.Snapshot()
 	} else {
 		s = &Snapshot{}

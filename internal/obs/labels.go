@@ -10,6 +10,8 @@ package obs
 var CanonicalLabelKeys = map[string]bool{
 	// cause attributes stall cycles to a scoreboard reason (aicore.StallCause).
 	"cause": true,
+	// class names a serving priority class ("interactive", "standard", "batch").
+	"class": true,
 	// experiment names the bench experiment a cell belongs to ("fig7a", "sweep", "optsweep").
 	"experiment": true,
 	// impl names the kernel implementation or variant measured ("im2col", "maxpool_bwd/standard/opt").
@@ -20,6 +22,10 @@ var CanonicalLabelKeys = map[string]bool{
 	"kind": true,
 	// pass names an optimizer pass ("coalesce-vec", "reschedule").
 	"pass": true,
+	// reason classifies a serving rejection or degradation
+	// ("queue_full", "shed", "evicted", "deadline", "invalid", "closed",
+	// "exec", "overload").
+	"reason": true,
 }
 
 // CanonicalMetricNames is the closed set of metric names this repo
@@ -99,6 +105,44 @@ var CanonicalMetricNames = map[string]bool{
 	"bench_stall_cycles":   true,
 	"sweep_stall_cycles":   true,
 	"sweep_program_cycles": true,
+	// Span-retention evictions (internal/trace.Tracer.Dropped), published
+	// by the live exporter and davinci-serve so a capped tracer's losses
+	// are visible.
+	"trace_spans_dropped": true,
+	// Serving-fleet request accounting (internal/serve). The conservation
+	// invariant ties them together: submitted == completed + degraded +
+	// rejected + cancelled once the fleet drains.
+	"serve_submitted": true,
+	"serve_admitted":  true,
+	"serve_completed": true,
+	"serve_degraded":  true,
+	"serve_rejected":  true,
+	"serve_cancelled": true,
+	// Serving-fleet dispatch behavior (internal/serve): batches launched,
+	// their size distribution, intake-queue occupancy and wait, end-to-end
+	// request latency, and circuit-breaker activity.
+	"serve_batches":          true,
+	"serve_batch_size":       true,
+	"serve_queue_depth":      true,
+	"serve_queue_wait_nanos": true,
+	"serve_latency_nanos":    true,
+	"serve_breaker_trips":    true,
+	"serve_breaker_probes":   true,
+	// Load-generator summary cells (internal/serve.RunLoad via the bench
+	// serveload experiment and cmd/davinci-serve). The deterministic smoke
+	// cell publishes goodput/shed/lost for the trend gate; the open-loop
+	// overload cells publish the offered-vs-outcome profile and latency
+	// quantiles.
+	"serve_goodput":            true,
+	"serve_shed_requests":      true,
+	"serve_lost_requests":      true,
+	"serve_offered_requests":   true,
+	"serve_completed_requests": true,
+	"serve_degraded_requests":  true,
+	"serve_rejected_requests":  true,
+	"serve_cancelled_requests": true,
+	"serve_p50_nanos":          true,
+	"serve_p99_nanos":          true,
 }
 
 // CanonicalSpanNames is the closed set of host-side span names
@@ -138,4 +182,18 @@ var CanonicalSpanNames = map[string]bool{
 	// Golden-model fallback after a tile exhausts its retry budget; links
 	// "after" to the final failed tile_exec span.
 	"tile_degrade": true,
+	// One serving request end to end (internal/serve): submit to terminal
+	// outcome. Attrs impl/class/outcome; links "batch" to the serve_batch
+	// span that carried it.
+	"serve_request": true,
+	// Admission decision for one request: plan fast-path lookup, deadline
+	// budget check, shed controller, queue bound. Attr outcome =
+	// admitted|queue_full|shed|deadline|invalid|closed.
+	"serve_admit": true,
+	// One coalesced same-shape batch dispatched to a fleet chip; parent of
+	// the chip_run it performs. Attrs chip/impl/size/outcome.
+	"serve_batch": true,
+	// One load-shedding eviction: a queued lower-priority request dropped
+	// to make room for a newly admitted higher-priority one.
+	"serve_shed": true,
 }

@@ -296,10 +296,16 @@ func (hv *HistogramValue) Quantile(q float64) int64 {
 }
 
 // Snapshot is a point-in-time, JSON-serializable view of a registry.
+// TakenUnixNanos is not set by Snapshot() — the instruments themselves
+// stay deterministic — but artifact writers (davinci-bench, davinci-serve)
+// stamp it before serializing so bench.TrendDir can order artifacts by
+// when they were taken rather than by filesystem modtime, which CI
+// artifact restores do not preserve.
 type Snapshot struct {
-	Counters   []MetricValue    `json:"counters"`
-	Gauges     []MetricValue    `json:"gauges"`
-	Histograms []HistogramValue `json:"histograms"`
+	TakenUnixNanos int64            `json:"taken_unix_nanos,omitempty"`
+	Counters       []MetricValue    `json:"counters"`
+	Gauges         []MetricValue    `json:"gauges"`
+	Histograms     []HistogramValue `json:"histograms"`
 }
 
 func labelMap(ls []Label) map[string]string {

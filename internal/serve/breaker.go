@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"time"
+
+	"davinci/internal/chip"
+)
+
+// slot is one fleet position: a chip plus its circuit breaker. The
+// breaker generalizes chip.Resilience's bad-core exclusion one level up —
+// bad-chip exclusion: a chip whose batches keep failing is taken out of
+// rotation (open), then probed with a single batch after a cooldown
+// (half-open). A probe success closes the breaker; a failure re-arms the
+// cooldown. Liveness is guaranteed even with every breaker open: an open
+// breaker always re-admits a probe once its cooldown elapses, so the
+// fleet can never deadlock itself out of serving.
+//
+// All breaker state is guarded by the server mutex — transitions happen
+// in the dispatcher loop which already holds it.
+type slot struct {
+	id   int
+	chip *chip.Chip
+
+	consecFails int
+	open        bool
+	reopenAt    time.Time
+}
+
+// admits reports whether the slot may dispatch now. An open breaker
+// admits (as a half-open probe) only once its cooldown has elapsed.
+func (sl *slot) admits(now time.Time) bool {
+	return !sl.open || !now.Before(sl.reopenAt)
+}
+
+// wake returns how long until an open breaker will admit a probe (0 when
+// it already admits).
+func (sl *slot) wake(now time.Time) time.Duration {
+	if !sl.open || !now.Before(sl.reopenAt) {
+		return 0
+	}
+	return sl.reopenAt.Sub(now)
+}
+
+// onSuccess records a served batch: closes the breaker and clears the
+// failure streak.
+func (s *Server) breakerSuccess(sl *slot) {
+	s.mu.Lock()
+	sl.consecFails = 0
+	sl.open = false
+	s.mu.Unlock()
+}
+
+// breakerFailure records a failed batch: opens the breaker after the
+// configured streak (or immediately re-arms an open one whose probe just
+// failed) and schedules a wakeup so a parked dispatcher retries at
+// cooldown expiry.
+func (s *Server) breakerFailure(sl *slot) {
+	s.mu.Lock()
+	sl.consecFails++
+	tripped := false
+	if sl.open || sl.consecFails >= s.cfg.BreakerFailLimit {
+		if !sl.open {
+			tripped = true
+			sl.open = true
+		}
+		sl.reopenAt = time.Now().Add(s.cfg.BreakerCooldown)
+		time.AfterFunc(s.cfg.BreakerCooldown+time.Millisecond, s.cond.Broadcast)
+	}
+	s.mu.Unlock()
+	if tripped {
+		s.nTrips.Add(1)
+		s.cTrips.Add(1)
+	}
+}

@@ -1,0 +1,33 @@
+package serve
+
+import "errors"
+
+// Typed admission and execution failures. Every rejected request carries
+// exactly one of these in Response.Err (possibly wrapped with detail), so
+// callers can switch on errors.Is rather than parse strings.
+var (
+	// ErrQueueFull: the bounded intake queue is at capacity and no
+	// lower-priority victim was available to evict.
+	ErrQueueFull = errors.New("serve: intake queue full")
+	// ErrShedding: the load-shedding controller rejected the request (or
+	// evicted it from the queue) because the p99-predicted latency
+	// exceeds the SLO and the request's priority class is in the shed
+	// set.
+	ErrShedding = errors.New("serve: shed under overload")
+	// ErrDeadlineBudget: the request's context deadline is too tight for
+	// even an unqueued run — the static critical-path bound says the
+	// chips cannot finish in time, so it is rejected up front rather
+	// than doomed to time out.
+	ErrDeadlineBudget = errors.New("serve: deadline budget insufficient")
+	// ErrInvalid: the request failed validation (unknown kernel, shape
+	// mismatch, uncompilable parameters).
+	ErrInvalid = errors.New("serve: invalid request")
+	// ErrClosed: the server is shutting down and takes no new work.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrChipFailed: chip execution failed after the chip-level retry
+	// budget and serve-level degradation was disabled.
+	ErrChipFailed = errors.New("serve: chip execution failed")
+	// ErrCancelled: the request's context was cancelled before a chip
+	// produced its result.
+	ErrCancelled = errors.New("serve: request cancelled")
+)

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"time"
+
+	"davinci/internal/obs"
+	"davinci/internal/tensor"
+	"davinci/internal/workloads"
+)
+
+// LoadOptions configures one open-loop load run: requests are submitted
+// at the offered rate regardless of how the fleet keeps up (the defining
+// property of an open-loop generator — overload shows up as shed and
+// rejected work, not as a slowed generator).
+type LoadOptions struct {
+	// Requests is the total number to offer; 0 means 32.
+	Requests int
+	// Rate is the offered load in requests/second; <= 0 submits
+	// everything immediately (closed burst).
+	Rate float64
+	// Seed drives shape, class and payload selection deterministically.
+	Seed int64
+	// Layers is the shape mix, drawn uniformly; nil means the three
+	// InceptionV3 Fig. 7 layers.
+	Layers []workloads.CNNLayer
+	// Kernel is "maxpool", "avgpool" or "" (alternating mix).
+	Kernel string
+	// Variant is the implementation variant; "" means "im2col".
+	Variant string
+	// Deadline, when > 0, attaches a per-request context deadline.
+	Deadline time.Duration
+	// Classes are the priority-class weights [batch, standard,
+	// interactive]; all-zero means {1, 2, 1}.
+	Classes [3]int
+}
+
+// LoadReport summarizes a load run. Lost is the conservation residue and
+// must be zero: Offered == Completed + Degraded + Rejected + Cancelled.
+type LoadReport struct {
+	Offered   int64
+	Completed int64
+	Degraded  int64
+	Rejected  int64
+	Cancelled int64
+	Lost      int64
+	// WallNS is the run's wall-clock duration, submit of the first
+	// request to resolution of the last.
+	WallNS int64
+	// GoodputRPS is completed requests per second of wall time.
+	GoodputRPS float64
+	// P50NS/P99NS are latency quantiles over completed requests (0 when
+	// none completed).
+	P50NS int64
+	P99NS int64
+	// MaxBatch is the largest batch any completed request rode in.
+	MaxBatch int
+}
+
+// RunLoad offers load to a running server and waits for every ticket to
+// resolve, so the report's conservation accounting is exact.
+func RunLoad(s *Server, opt LoadOptions) *LoadReport {
+	if opt.Requests <= 0 {
+		opt.Requests = 32
+	}
+	layers := opt.Layers
+	if len(layers) == 0 {
+		layers = workloads.InceptionV3Fig7()
+	}
+	classes := opt.Classes
+	if classes == [3]int{} {
+		classes = [3]int{1, 2, 1}
+	}
+	classPool := make([]Class, 0, classes[0]+classes[1]+classes[2])
+	for i, w := range classes {
+		for j := 0; j < w; j++ {
+			classPool = append(classPool, Class(i))
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Inputs are generated once per layer, before the clock starts, and
+	// shared across requests (the kernels never mutate their input). An
+	// open-loop generator must not be throttled by its own payload
+	// generation — multi-megabyte random tensors built inside the submit
+	// loop would pace offered load down to the service rate and no burst
+	// would ever overload the queue.
+	inputs := make([]*tensor.Tensor, len(layers))
+	for i, layer := range layers {
+		inputs[i] = layer.Input(rng)
+	}
+
+	var interval time.Duration
+	if opt.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / opt.Rate)
+	}
+
+	start := time.Now()
+	tickets := make([]*Ticket, 0, opt.Requests)
+	var cancels []context.CancelFunc
+	for i := 0; i < opt.Requests; i++ {
+		li := rng.Intn(len(layers))
+		kernel := opt.Kernel
+		if kernel == "" {
+			if i%2 == 0 {
+				kernel = "maxpool"
+			} else {
+				kernel = "avgpool"
+			}
+		}
+		req := Request{
+			Kernel:  kernel,
+			Variant: opt.Variant,
+			Params:  layers[li].Params(),
+			Input:   inputs[li],
+			Class:   classPool[rng.Intn(len(classPool))],
+		}
+		ctx := context.Background()
+		if opt.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+			cancels = append(cancels, cancel)
+		}
+		tickets = append(tickets, s.Submit(ctx, req))
+		if interval > 0 && i < opt.Requests-1 {
+			time.Sleep(interval)
+		}
+	}
+
+	rep := &LoadReport{Offered: int64(opt.Requests)}
+	var lat []int64
+	for _, t := range tickets {
+		r := t.Wait()
+		switch r.Outcome {
+		case OutcomeCompleted:
+			rep.Completed++
+			lat = append(lat, r.Latency.Nanoseconds())
+			if r.BatchSize > rep.MaxBatch {
+				rep.MaxBatch = r.BatchSize
+			}
+		case OutcomeDegraded:
+			rep.Degraded++
+		case OutcomeRejected:
+			rep.Rejected++
+		case OutcomeCancelled:
+			rep.Cancelled++
+		default:
+			rep.Lost++ // unreachable: tickets always carry an outcome
+		}
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+	rep.Lost += rep.Offered - rep.Completed - rep.Degraded - rep.Rejected - rep.Cancelled
+	rep.WallNS = time.Since(start).Nanoseconds()
+	if rep.WallNS > 0 {
+		rep.GoodputRPS = float64(rep.Completed) / (float64(rep.WallNS) / 1e9)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.P50NS = lat[len(lat)/2]
+		rep.P99NS = lat[(len(lat)*99)/100]
+	}
+	return rep
+}
+
+// Publish writes the report's summary cells into a registry. The
+// deterministic smoke cell publishes the trend-gated goodput/shed/lost
+// gauges; open-loop overload cells publish the offered-vs-outcome profile
+// and latency quantiles (machine-dependent, ungated) — but always the
+// per-cell lost count, which is schedule-independent (zero) and gated
+// with zero tolerance.
+func (r *LoadReport) Publish(reg *obs.Registry, cell string, gated bool) {
+	if reg == nil {
+		return
+	}
+	label := func(name string) *obs.Gauge {
+		return reg.Gauge(name, "experiment", "serveload", "input", cell)
+	}
+	if gated {
+		label("serve_goodput").Set(r.Completed)
+		label("serve_shed_requests").Set(r.Rejected)
+	} else {
+		label("serve_offered_requests").Set(r.Offered)
+		label("serve_completed_requests").Set(r.Completed)
+		label("serve_degraded_requests").Set(r.Degraded)
+		label("serve_rejected_requests").Set(r.Rejected)
+		label("serve_cancelled_requests").Set(r.Cancelled)
+		label("serve_p50_nanos").Set(r.P50NS)
+		label("serve_p99_nanos").Set(r.P99NS)
+	}
+	label("serve_lost_requests").Set(r.Lost)
+}

@@ -93,12 +93,23 @@ func (s *Span) LinkTo(kind string, target SpanID) bool {
 
 // Tracer collects spans. It is safe for concurrent use; span IDs are
 // allocated atomically and finished spans are appended under a mutex.
+//
+// Retention is unbounded by default, which is right for benches and tests
+// that export every span. Long-running processes (the serving fleet, the
+// live exporter) call SetMaxSpans to cap retention: once full, each new
+// finished span evicts the oldest retained one and Dropped counts the
+// evictions, so memory stays bounded under sustained load while the most
+// recent history stays inspectable.
 type Tracer struct {
-	nextID atomic.Uint64
-	active atomic.Int64 // started but not yet ended
+	nextID  atomic.Uint64
+	active  atomic.Int64 // started but not yet ended
+	dropped atomic.Int64 // finished spans evicted by the retention cap
 
 	mu    sync.Mutex
-	done  []Span
+	done  []Span // ring buffer when max > 0, plain append otherwise
+	head  int    // index of the oldest retained span once the ring is full
+	full  bool   // ring has wrapped at least once
+	max   int    // retention cap; 0 = unbounded
 	clock func() int64
 }
 
@@ -110,6 +121,31 @@ func New() *Tracer {
 // SetClock replaces the wall-clock source (tests pin it for fully
 // deterministic spans). Must be called before any span starts.
 func (t *Tracer) SetClock(now func() int64) { t.clock = now }
+
+// SetMaxSpans caps the number of finished spans the tracer retains; once
+// the cap is reached the oldest span is evicted per new finish and
+// Dropped grows. n <= 0 restores unbounded retention. Call before spans
+// finish — changing the cap mid-run resets retained history.
+func (t *Tracer) SetMaxSpans(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	t.max = n
+	t.done = nil
+	t.head = 0
+	t.full = false
+}
+
+// Dropped returns the number of finished spans evicted by the retention
+// cap (0 when unbounded or not yet full).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
 
 // Root returns the root tracing context: spans started from it have no
 // parent.
@@ -317,7 +353,20 @@ func (s *ActiveSpan) End() {
 	sp := s.span
 	s.mu.Unlock()
 	s.t.active.Add(-1)
-	s.t.mu.Lock()
-	s.t.done = append(s.t.done, sp)
-	s.t.mu.Unlock()
+	t := s.t
+	t.mu.Lock()
+	switch {
+	case t.max == 0:
+		t.done = append(t.done, sp)
+	case len(t.done) < t.max && !t.full:
+		t.done = append(t.done, sp)
+		if len(t.done) == t.max {
+			t.full = true
+		}
+	default:
+		t.done[t.head] = sp
+		t.head = (t.head + 1) % len(t.done)
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
 }

@@ -200,3 +200,71 @@ func TestConcurrentSpans(t *testing.T) {
 		}
 	}
 }
+
+func TestBoundedRetentionEvictsOldest(t *testing.T) {
+	tr := New()
+	tr.SetClock(func() int64 { return 7 })
+	tr.SetMaxSpans(4)
+	root := tr.Root()
+	for i := 0; i < 10; i++ {
+		root.StartSpan("tile_exec").End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("retained %d spans, cap is 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	fin := tr.Finished()
+	if len(fin) != 4 {
+		t.Fatalf("Finished returned %d spans, want 4", len(fin))
+	}
+	// The newest four spans (IDs 7..10) survive, sorted by ID.
+	for i, s := range fin {
+		if want := SpanID(7 + i); s.ID != want {
+			t.Fatalf("retained span %d has ID %d, want %d", i, s.ID, want)
+		}
+	}
+	if tr.Active() != 0 {
+		t.Fatalf("Active = %d after all ended", tr.Active())
+	}
+}
+
+func TestUnboundedRetentionNeverDrops(t *testing.T) {
+	tr := New()
+	tr.SetClock(func() int64 { return 1 })
+	root := tr.Root()
+	for i := 0; i < 100; i++ {
+		root.StartSpan("tile_exec").End()
+	}
+	if tr.Len() != 100 || tr.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 100/0", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestBoundedRetentionConcurrent(t *testing.T) {
+	tr := New()
+	tr.SetMaxSpans(8)
+	root := tr.Root()
+	var wg sync.WaitGroup
+	const n = 200
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				root.StartSpan("tile_exec").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8 {
+		t.Fatalf("retained %d, want 8", tr.Len())
+	}
+	if got := tr.Dropped(); got != 4*n-8 {
+		t.Fatalf("dropped %d, want %d", got, 4*n-8)
+	}
+	if tr.Active() != 0 {
+		t.Fatalf("Active = %d", tr.Active())
+	}
+}
